@@ -1,0 +1,204 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run: go test -bench=. -benchmem). Each benchmark executes
+// the corresponding experiment end to end in virtual time and reports
+// the headline quantity as a custom metric; the rendered tables are
+// logged with -v. Ablation benchmarks cover the design choices DESIGN.md
+// calls out (group-marked vs global GC, zero-copy receive, write-back
+// cache, checkpoint interval).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/landscape"
+	"repro/internal/vclock"
+)
+
+// benchFig3 is a bench-scale Figure 3 grid (≈½ of the default).
+func benchFig3() exp.Fig3Config {
+	cfg := exp.DefaultFig3()
+	cfg.FailPoints = []vclock.Duration{
+		5 * vclock.Second, 10 * vclock.Second, 15 * vclock.Second,
+		20 * vclock.Second, 25 * vclock.Second, 30 * vclock.Second,
+	}
+	return cfg
+}
+
+func BenchmarkFigure3Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Figure3(benchFig3())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(points[5].RecoverySecs, "noCkptRecovery_s")
+		b.ReportMetric(last.RecoverySecs, "ci30Recovery_s")
+		if i == 0 {
+			b.Log("\n" + exp.Figure3Table(points).Render())
+		}
+	}
+}
+
+// benchFig5 is a bench-scale Figure 5/6 configuration.
+func benchFig5() exp.Fig5Config {
+	return exp.Fig5Config{
+		ClientCounts:     []int{1, 2, 4, 8},
+		FillOpsPerClient: 16000,
+		ReadOpsPerClient: 2000,
+		Seed:             7,
+		TimelineBucket:   100 * vclock.Millisecond,
+		PagesPerBlock:    12,
+		MemtableMB:       8,
+	}
+}
+
+func BenchmarkFigure5DbBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.Figure5(benchFig5())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Clients == 1 && c.Workload == 0 && c.Placement == 0 {
+				b.ReportMetric(c.KOps, "fillH1_kops")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + exp.Figure5Table(cells).Render())
+		}
+	}
+}
+
+func BenchmarkFigure6Timeline(b *testing.B) {
+	cfg := benchFig5()
+	cfg.ClientCounts = []int{1, 8}
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.Figure6Table(cells, 0).Render())
+			b.Log("\n" + exp.Figure6Table(cells, 1).Render())
+		}
+	}
+}
+
+func BenchmarkFigure7DataCopies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Figure7(exp.DefaultFig7())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Utilization*100, "util1thread_pct")
+		b.ReportMetric(points[1].Utilization*100, "util2threads_pct")
+		if i == 0 {
+			b.Log("\n" + exp.Figure7Table(points).Render())
+		}
+	}
+}
+
+func BenchmarkGCLocalityTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.GCLocality(exp.DefaultGCLocality())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Channels == 16 {
+				b.ReportMetric(p.Unaffected*100, "unaffected16ch_pct")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + exp.GCLocalityTable(points).Render())
+		}
+	}
+}
+
+func BenchmarkUnitOfWriteTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.UnitOfWrite()
+		if len(rows) != 12 {
+			b.Fatal("table incomplete")
+		}
+		if i == 0 {
+			b.Log("\n" + exp.UnitOfWriteTable(rows).Render())
+		}
+	}
+}
+
+func BenchmarkFigure1Landscape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := landscape.Render()
+		if len(out) == 0 {
+			b.Fatal("empty landscape")
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationGlobalGC disables group marking: interference spreads
+// across all channels instead of staying on the marked one (§4.3).
+func BenchmarkAblationGlobalGC(b *testing.B) {
+	cfg := exp.DefaultGCLocality()
+	cfg.ChannelCounts = []int{8}
+	cfg.GlobalGC = true
+	for i := 0; i < b.N; i++ {
+		points, err := exp.GCLocality(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Unaffected*100, "unaffectedGlobalGC_pct")
+		if i == 0 {
+			b.Log("\n" + exp.GCLocalityTable(points).Render())
+		}
+	}
+}
+
+// BenchmarkAblationZeroCopy measures §4.4's co-design hint: eliding the
+// network→FTL copy (AF_XDP-style) raises the saturation throughput.
+func BenchmarkAblationZeroCopy(b *testing.B) {
+	cfg := exp.DefaultFig7()
+	cfg.ThreadCounts = []int{2}
+	for i := 0; i < b.N; i++ {
+		with, err := exp.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zc := cfg
+		zc.ZeroCopyRX = true
+		without, err := exp.Figure7(zc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(with[0].MBps, "copies_MBps")
+		b.ReportMetric(without[0].MBps, "zerocopy_MBps")
+	}
+}
+
+// BenchmarkAblationCheckpointInterval sweeps Ci beyond the paper's two
+// settings to show the recovery/checkpoint-overhead trade-off.
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	cfg := benchFig3()
+	cfg.FailPoints = []vclock.Duration{20 * vclock.Second}
+	cfg.Intervals = []vclock.Duration{
+		0, 2 * vclock.Second, 5 * vclock.Second, 10 * vclock.Second, 30 * vclock.Second,
+	}
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.Logf("Ci=%v: recovery %.2fs (replayed %d, checkpoints %d)",
+					p.Interval, p.RecoverySecs, p.Replayed, p.Checkpoints)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command dbbench is the db_bench clone of §4.3: it runs
+// fill-sequential, read-sequential and read-random over the miniature
+// RocksDB on a LightLSM environment.
+//
+// Usage:
+//
+//	dbbench -clients 4 -ops 20000 -placement vertical
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dbbench"
+	"repro/internal/exp"
+	"repro/internal/lightlsm"
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+)
+
+func main() {
+	clients := flag.Int("clients", 1, "client threads")
+	ops := flag.Int("ops", 16000, "fill operations per client (1 KB values)")
+	readOps := flag.Int("readops", 2000, "read operations per client")
+	placement := flag.String("placement", "horizontal", "SSTable placement: horizontal | vertical")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+
+	p := lightlsm.Horizontal
+	if *placement == "vertical" {
+		p = lightlsm.Vertical
+	}
+	rig := exp.DefaultRig()
+	rig.PagesPerBlock = 12
+	rig.CacheMB = 4
+	_, ctrl, err := rig.Build()
+	fail(err)
+	env, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
+	fail(err)
+	db, err := lsm.Open(lsm.Options{
+		Env:           env,
+		MemtableBytes: 8 << 20,
+		MaxImmutables: 6,
+		FlushWorkers:  4,
+		RateLimitMBps: 400,
+		Seed:          *seed,
+	})
+	fail(err)
+
+	cfg := dbbench.Config{Clients: *clients, OpsPerClient: *ops, Seed: *seed}
+	fmt.Printf("db_bench on LightLSM (%s placement), %d clients, 16 B keys, 1 KB values\n\n", p, *clients)
+
+	fill, err := dbbench.Run(db, dbbench.FillSequential, cfg, 0)
+	fail(err)
+	report(fill)
+	start := db.WaitIdle(fill.End)
+
+	cfg.OpsPerClient = *readOps
+	for _, w := range []dbbench.Workload{dbbench.ReadSequential, dbbench.ReadRandom} {
+		res, err := dbbench.Run(db, w, cfg, start)
+		fail(err)
+		report(res)
+	}
+	s := db.Stats()
+	fmt.Printf("\nlevels L0/L1/L2: %d/%d/%d  flushes: %d  compactions: %d  stall: %v\n",
+		s.TablesL0, s.TablesL1, s.TablesL2, s.Flushes, s.Compactions, s.StallTime)
+}
+
+func report(r dbbench.Result) {
+	fmt.Printf("%-16s %8d ops in %8.3fs virtual  →  %s kops/s\n",
+		r.Workload, r.Ops, r.Elapsed().Seconds(), metrics.Fmt(r.OpsPerSec))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Command landscape prints Figure 1 of the paper: the SSD landscape
+// organized by FTL placement and abstraction.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/landscape"
+)
+
+func main() {
+	fmt.Print(landscape.Render())
+}

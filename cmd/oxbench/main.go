@@ -1,0 +1,92 @@
+// Command oxbench regenerates the paper's tables and figures on the
+// simulated testbed and prints them as text tables (optionally CSV).
+//
+// Usage:
+//
+//	oxbench -run all
+//	oxbench -run fig3,fig7 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/landscape"
+	"repro/internal/lightlsm"
+)
+
+func main() {
+	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,all")
+	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*runs, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+
+	emit := func(name string, t *exp.Table) {
+		fmt.Println(t.Render())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+
+	if all || want["fig1"] {
+		fmt.Println(landscape.Render())
+	}
+	if all || want["unit"] {
+		emit("unit_of_write", exp.UnitOfWriteTable(exp.UnitOfWrite()))
+	}
+	if all || want["fig3"] {
+		points, err := exp.Figure3(exp.DefaultFig3())
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure3", exp.Figure3Table(points))
+	}
+	if all || want["fig5"] || want["fig6"] {
+		cells, err := exp.Figure5(exp.DefaultFig5())
+		if err != nil {
+			fatal(err)
+		}
+		if all || want["fig5"] {
+			emit("figure5", exp.Figure5Table(cells))
+		}
+		if all || want["fig6"] {
+			emit("figure6_horizontal", exp.Figure6Table(cells, lightlsm.Horizontal))
+			emit("figure6_vertical", exp.Figure6Table(cells, lightlsm.Vertical))
+		}
+	}
+	if all || want["fig7"] {
+		points, err := exp.Figure7(exp.DefaultFig7())
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure7", exp.Figure7Table(points))
+	}
+	if all || want["gc"] {
+		points, err := exp.GCLocality(exp.DefaultGCLocality())
+		if err != nil {
+			fatal(err)
+		}
+		emit("gc_locality", exp.GCLocalityTable(points))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oxbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command oxctl inspects a simulated Open-Channel SSD: geometry
+// (identify), the chunk report, and the Figure 4 placement layouts.
+//
+// Usage:
+//
+//	oxctl -cmd geometry [-paper]
+//	oxctl -cmd report
+//	oxctl -cmd placement -mode vertical
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/lightlsm"
+	"repro/internal/ocssd"
+)
+
+func main() {
+	cmd := flag.String("cmd", "geometry", "geometry | report | placement")
+	paper := flag.Bool("paper", false, "use the paper's exact Figure 4 geometry (1.4 TB)")
+	mode := flag.String("mode", "horizontal", "placement mode: horizontal | vertical")
+	flag.Parse()
+
+	if *paper && *cmd != "geometry" {
+		fmt.Fprintln(os.Stderr, "oxctl: -paper only supports -cmd geometry (the full device does not fit in memory)")
+		os.Exit(1)
+	}
+
+	switch *cmd {
+	case "geometry":
+		geo := exp.DefaultRig()
+		g := geoFor(geo, *paper)
+		fmt.Println("Open-Channel 2.0 identify:")
+		fmt.Printf("  %s\n", g)
+		fmt.Printf("  ws_min = %d sectors, ws_opt = %d sectors (%d KB unit of write)\n",
+			g.WSMin, g.WSOpt, g.UnitOfWriteBytes()/1024)
+		fmt.Printf("  chunk = %d sectors (%d MB), %d stripes\n",
+			g.SectorsPerChunk(), g.ChunkBytes()>>20, g.StripesPerChunk())
+		fmt.Printf("  SSTable sizing rule (§4.3): %d PUs × %d MB chunk = %d MB\n",
+			g.TotalPUs(), g.ChunkBytes()>>20, int64(g.TotalPUs())*g.ChunkBytes()>>20)
+	case "report":
+		dev, _, err := exp.DefaultRig().Build()
+		fail(err)
+		states := map[ocssd.ChunkState]int{}
+		for _, ci := range dev.Report() {
+			states[ci.State]++
+		}
+		fmt.Println("chunk report summary:")
+		for _, s := range []ocssd.ChunkState{ocssd.ChunkFree, ocssd.ChunkOpen, ocssd.ChunkClosed, ocssd.ChunkOffline} {
+			fmt.Printf("  %-8s %d\n", s, states[s])
+		}
+	case "placement":
+		_, ctrl, err := exp.DefaultRig().Build()
+		fail(err)
+		p := lightlsm.Horizontal
+		if *mode == "vertical" {
+			p = lightlsm.Vertical
+		}
+		env, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
+		fail(err)
+		w, err := env.CreateTable(0)
+		fail(err)
+		block := make([]byte, env.BlockSize())
+		now, err := w.Append(0, block)
+		fail(err)
+		h, _, err := w.Commit(now)
+		fail(err)
+		chunks, _ := env.TableChunks(h.ID)
+		fmt.Printf("Figure 4: %s placement — one SSTable (%d chunks of %d KB blocks):\n",
+			p, len(chunks), env.BlockSize()/1024)
+		perGroup := map[int][]string{}
+		for _, c := range chunks {
+			perGroup[c.Group] = append(perGroup[c.Group], fmt.Sprintf("pu%d/c%d", c.PU, c.Chunk))
+		}
+		geo := ctrl.Media().Geometry()
+		for g := 0; g < geo.Groups; g++ {
+			if len(perGroup[g]) == 0 {
+				fmt.Printf("  group%-2d: -\n", g)
+				continue
+			}
+			fmt.Printf("  group%-2d: %v\n", g, perGroup[g])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "oxctl: unknown command %q\n", *cmd)
+		os.Exit(1)
+	}
+}
+
+func geoFor(rig exp.RigConfig, paper bool) ocssd.Geometry {
+	if paper {
+		return ocssd.PaperGeometry()
+	}
+	dev, _, err := rig.Build()
+	fail(err)
+	return dev.Geometry()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oxctl:", err)
+		os.Exit(1)
+	}
+}

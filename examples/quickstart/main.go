@@ -1,0 +1,57 @@
+// Quickstart: build a simulated Open-Channel SSD, mount the OX-Block
+// FTL on the OX controller, and use it as a transactional block device.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/oxblock"
+)
+
+func main() {
+	// A scaled-down dual-plane TLC drive: 8 groups × 4 PUs, 96 KB unit
+	// of write — structurally the paper's device.
+	dev, ctrl, err := exp.DefaultRig().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("device:", dev.Geometry())
+
+	// Mount OX-Block: a 4 KB block device with WAL + checkpoint
+	// transactions and group-marked garbage collection.
+	blk, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 16384}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every write of up to 1 MB is one atomic, durable transaction.
+	payload := make([]byte, 8*4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	now, err = blk.Write(now, 100, payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, now, err := blk.Read(now, 100, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote+read 8 pages at lpn 100: first byte %#x, virtual time %v\n", got[0], now)
+
+	// Crash the controller and recover: the committed write survives.
+	dev.Crash()
+	blk2, report, end, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 16384}, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, _, err = blk2.Read(end, 100, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash: replayed %d records in %v; data intact: %v\n",
+		report.ReplayedRecords, report.Duration, got[0] == 0)
+	fmt.Printf("device stats: %+v\n", dev.Stats())
+}

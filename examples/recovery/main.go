@@ -1,0 +1,39 @@
+// recovery: Figure 3 in miniature — kill OX-Block at different points
+// with and without checkpoints and watch recovery time change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/vclock"
+)
+
+func main() {
+	cfg := exp.Fig3Config{
+		FailPoints: []vclock.Duration{
+			2 * vclock.Second, 4 * vclock.Second, 6 * vclock.Second, 8 * vclock.Second,
+		},
+		Intervals: []vclock.Duration{0, 2 * vclock.Second},
+		TxnPages:  64,
+		TxnEvery:  10 * vclock.Millisecond,
+		Seed:      1,
+	}
+	points, err := exp.Figure3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("kill -9 at T, then recover (WAL replay + checkpoint load):")
+	fmt.Println()
+	for _, p := range points {
+		ci := "disabled"
+		if p.Interval > 0 {
+			ci = p.Interval.String()
+		}
+		fmt.Printf("  checkpoint %-9s  fail at %4.0fs  %5d txns  replayed %5d records  recovery %6.2fs\n",
+			ci, p.FailAt.Seconds(), p.Txns, p.Replayed, p.RecoverySecs)
+	}
+	fmt.Println()
+	fmt.Println("without checkpoints recovery grows with the log; with them it stays bounded.")
+}

@@ -1,0 +1,41 @@
+// Package core re-exports the entry points of the paper's primary
+// contribution: the modular FTL toolkit (internal/ftl/ftlcore) and the
+// OX controller runtime (internal/ox) it plugs into. It exists so the
+// repository keeps a meaningful `internal/core` package; new code should
+// import the underlying packages directly.
+package core
+
+import (
+	"repro/internal/ftl/ftlcore"
+	"repro/internal/ox"
+)
+
+// Controller is the OX controller runtime (§4.1's three-layer design).
+type Controller = ox.Controller
+
+// Media is the media-manager abstraction FTLs program against.
+type Media = ox.Media
+
+// PageMap is the 4 KB page-level mapping table of OX-Block.
+type PageMap = ftlcore.PageMap
+
+// Allocator is the chunk-provisioning component of Figure 2.
+type Allocator = ftlcore.Allocator
+
+// WAL is the recovery-log component of Figure 2.
+type WAL = ftlcore.WAL
+
+// Checkpointer is the checkpoint process of Figure 2.
+type Checkpointer = ftlcore.Checkpointer
+
+// GC is the garbage-collection component of Figure 2.
+type GC = ftlcore.GC
+
+// NewController wires a controller over media.
+var NewController = ox.NewController
+
+// NewPageMap creates a mapping table for n logical pages.
+var NewPageMap = ftlcore.NewPageMap
+
+// NewAllocator builds a chunk allocator over the media's chunk report.
+var NewAllocator = ftlcore.NewAllocator

@@ -1,0 +1,176 @@
+package dbbench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/vclock"
+)
+
+func testDB(t *testing.T) *lsm.DB {
+	t.Helper()
+	db, err := lsm.Open(lsm.Options{
+		Env:           lsm.NewMemEnv(16*1024, 16),
+		MemtableBytes: 64 * 1024,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestKeyEncoding(t *testing.T) {
+	k := Key(42, 16)
+	if len(k) != 16 {
+		t.Fatalf("key length = %d", len(k))
+	}
+	if string(k) != "0000000000000042" {
+		t.Fatalf("key = %q", k)
+	}
+	// Keys sort in index order.
+	if !(bytes.Compare(Key(1, 16), Key(2, 16)) < 0 && bytes.Compare(Key(99, 16), Key(100, 16)) < 0) {
+		t.Fatal("keys do not sort numerically")
+	}
+	// Deterministic values.
+	if !bytes.Equal(Value(7, 100), Value(7, 100)) {
+		t.Fatal("values not deterministic")
+	}
+	if bytes.Equal(Value(7, 100), Value(8, 100)) {
+		t.Fatal("distinct keys share a value")
+	}
+}
+
+func TestFillThenReadWorkloads(t *testing.T) {
+	db := testDB(t)
+	cfg := Config{Clients: 2, OpsPerClient: 300, ValueSize: 128, Seed: 1}
+	fill, err := Run(db, FillSequential, cfg, 0)
+	if err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	if fill.Ops != 600 {
+		t.Fatalf("fill ops = %d", fill.Ops)
+	}
+	if fill.OpsPerSec <= 0 {
+		t.Fatal("fill throughput not measured")
+	}
+	start := db.WaitIdle(fill.End)
+
+	rseq, err := Run(db, ReadSequential, cfg, start)
+	if err != nil {
+		t.Fatalf("read-seq: %v", err)
+	}
+	if rseq.Ops != 600 {
+		t.Fatalf("read-seq ops = %d", rseq.Ops)
+	}
+
+	rrand, err := Run(db, ReadRandom, cfg, start)
+	if err != nil {
+		t.Fatalf("read-random: %v", err)
+	}
+	if rrand.Ops != 600 {
+		t.Fatalf("read-random ops = %d", rrand.Ops)
+	}
+	// Every random read must hit (the fill wrote all keys).
+	if rrand.NotFound != 0 {
+		t.Fatalf("read-random missed %d keys", rrand.NotFound)
+	}
+}
+
+func TestReadSeqFasterThanReadRandom(t *testing.T) {
+	// The paper: "The throughput of read-sequential is much higher than
+	// the throughput of read-random."
+	db := testDB(t)
+	cfg := Config{Clients: 1, OpsPerClient: 2000, ValueSize: 128, Seed: 2}
+	fill, err := Run(db, FillSequential, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := db.WaitIdle(fill.End)
+	rseq, err := Run(db, ReadSequential, cfg, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrand, err := Run(db, ReadRandom, cfg, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rseq.OpsPerSec <= rrand.OpsPerSec {
+		t.Fatalf("read-seq (%.0f) should beat read-random (%.0f)",
+			rseq.OpsPerSec, rrand.OpsPerSec)
+	}
+}
+
+func TestTimelineRecorded(t *testing.T) {
+	db := testDB(t)
+	cfg := Config{Clients: 1, OpsPerClient: 500, ValueSize: 128, Seed: 3,
+		TimelineBucket: vclock.Millisecond}
+	res, err := Run(db, FillSequential, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil || res.Timeline.Total() != 500 {
+		t.Fatal("timeline missing or incomplete")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (vclock.Time, float64) {
+		db := testDB(t)
+		cfg := Config{Clients: 4, OpsPerClient: 200, ValueSize: 128, Seed: 9}
+		res, err := Run(db, FillSequential, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.End, res.OpsPerSec
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("runs diverged: %v/%v vs %v/%v", e1, t1, e2, t2)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	db := testDB(t)
+	if _, err := Run(db, FillSequential, Config{Clients: 1}, 0); err == nil {
+		t.Fatal("zero ops should be rejected")
+	}
+	if _, err := Run(db, FillSequential, Config{Clients: 1, OpsPerClient: 10, KeySize: 4}, 0); err == nil {
+		t.Fatal("tiny keys should be rejected")
+	}
+	if _, err := Run(db, ReadSequential, Config{Clients: 1, OpsPerClient: 10}, 0); err == nil {
+		t.Fatal("read of empty database should be rejected")
+	}
+	if _, err := Run(db, Workload(99), Config{Clients: 1, OpsPerClient: 1}, 0); err == nil {
+		t.Fatal("unknown workload should be rejected")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	if FillSequential.String() != "fill-sequential" ||
+		ReadSequential.String() != "read-sequential" ||
+		ReadRandom.String() != "read-random" {
+		t.Fatal("workload names wrong")
+	}
+}
+
+func TestMultiClientSharesVirtualTime(t *testing.T) {
+	// With k clients the aggregate ops are k× but elapsed should grow
+	// far less than k× (clients overlap in virtual time).
+	elapsed := func(clients int) vclock.Duration {
+		db := testDB(t)
+		cfg := Config{Clients: clients, OpsPerClient: 400, ValueSize: 128, Seed: 5}
+		res, err := Run(db, FillSequential, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed()
+	}
+	one := elapsed(1)
+	four := elapsed(4)
+	if four >= 4*one {
+		t.Fatalf("4 clients took %v, 1 client %v: no overlap at all", four, one)
+	}
+}

@@ -1,0 +1,258 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dbbench"
+	"repro/internal/lightlsm"
+	"repro/internal/vclock"
+)
+
+// Scaled-down configurations keep these integration tests fast; the
+// full-scale runs live in the root bench_test.go and cmd/oxbench.
+
+func smallFig3() Fig3Config {
+	return Fig3Config{
+		FailPoints: []vclock.Duration{2 * vclock.Second, 4 * vclock.Second, 6 * vclock.Second},
+		Intervals:  []vclock.Duration{0, 1 * vclock.Second},
+		TxnPages:   64,
+		TxnEvery:   20 * vclock.Millisecond,
+		Seed:       3,
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	points, err := Figure3(smallFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byInterval := map[vclock.Duration][]Fig3Point{}
+	for _, p := range points {
+		byInterval[p.Interval] = append(byInterval[p.Interval], p)
+	}
+	none := byInterval[0]
+	ckpt := byInterval[vclock.Second]
+	if len(none) != 3 || len(ckpt) != 3 {
+		t.Fatalf("points: %d/%d", len(none), len(ckpt))
+	}
+	// Without checkpoints, recovery grows with the failure time.
+	if !(none[0].RecoverySecs < none[2].RecoverySecs) {
+		t.Fatalf("no-checkpoint recovery not increasing: %v vs %v",
+			none[0].RecoverySecs, none[2].RecoverySecs)
+	}
+	// With checkpoints, recovery at the last failure point is far lower.
+	if ckpt[2].RecoverySecs >= none[2].RecoverySecs/2 {
+		t.Fatalf("checkpointing did not bound recovery: %.3f vs %.3f",
+			ckpt[2].RecoverySecs, none[2].RecoverySecs)
+	}
+	// Replay volume shrinks accordingly.
+	if ckpt[2].Replayed >= none[2].Replayed {
+		t.Fatalf("checkpointing did not bound replay: %d vs %d",
+			ckpt[2].Replayed, none[2].Replayed)
+	}
+	// The render includes every failure point.
+	table := Figure3Table(points)
+	out := table.Render()
+	if !strings.Contains(out, "T=2s") || !strings.Contains(out, "T=6s") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+}
+
+func smallFig5() Fig5Config {
+	return Fig5Config{
+		ClientCounts:     []int{1, 4, 8},
+		FillOpsPerClient: 16000,
+		ReadOpsPerClient: 1500,
+		Seed:             7,
+		TimelineBucket:   100 * vclock.Millisecond,
+		PagesPerBlock:    12, // 384 KB chunks → 12 MB tables
+		MemtableMB:       8,
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cells, err := Figure5(smallFig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(w dbbench.Workload, p lightlsm.Placement, c int) float64 {
+		for _, cell := range cells {
+			if cell.Workload == w && cell.Placement == p && cell.Clients == c {
+				return cell.KOps
+			}
+		}
+		t.Fatalf("missing cell %v %v %d", w, p, c)
+		return 0
+	}
+	// Shape 1: writes are much faster than reads (write-back cache).
+	if get(dbbench.FillSequential, lightlsm.Horizontal, 1) <= get(dbbench.ReadRandom, lightlsm.Horizontal, 1) {
+		t.Error("fill should beat read-random (write-back policy)")
+	}
+	// Shape 2: read-sequential beats read-random.
+	for _, p := range []lightlsm.Placement{lightlsm.Horizontal, lightlsm.Vertical} {
+		if get(dbbench.ReadSequential, p, 1) <= get(dbbench.ReadRandom, p, 1) {
+			t.Errorf("%v: read-seq should beat read-random", p)
+		}
+	}
+	// Shape 3: under flush backpressure (4 clients here), horizontal fill
+	// beats vertical fill — the SSTable is striped across all PUs, so a
+	// single flush streams at the whole device's bandwidth rather than
+	// one group's (§4.3: "with one thread we observe 4x more throughput
+	// with horizontal placement").
+	h4 := get(dbbench.FillSequential, lightlsm.Horizontal, 4)
+	v4 := get(dbbench.FillSequential, lightlsm.Vertical, 4)
+	if h4 <= v4 {
+		t.Errorf("horizontal fill (%.1f) should beat vertical (%.1f) under backpressure", h4, v4)
+	}
+	// Shape 4: horizontal fill degrades sharply at 8 clients (§4.3:
+	// "performance degrades by 60% when considering 4 or 8 db_bench
+	// threads"). NOTE: the paper's 8-client vertical>horizontal
+	// crossover — which the authors themselves call "unexpected" — is
+	// not reproduced; see EXPERIMENTS.md.
+	h8 := get(dbbench.FillSequential, lightlsm.Horizontal, 8)
+	if h8 >= h4*0.6 {
+		t.Errorf("horizontal fill should degrade at 8 clients: %.1f -> %.1f", h4, h8)
+	}
+	// Shape 5: horizontal placement dominates vertical on reads
+	// ("Horizontal placement consistently dominates vertical placement",
+	// with marginal impact) — allow a small tolerance.
+	for _, n := range []int{4, 8} {
+		hr := get(dbbench.ReadRandom, lightlsm.Horizontal, n)
+		vr := get(dbbench.ReadRandom, lightlsm.Vertical, n)
+		if hr < vr*0.9 {
+			t.Errorf("%d clients: horizontal read-random (%.1f) far below vertical (%.1f)", n, hr, vr)
+		}
+	}
+	// Figure 6 tables render with timelines.
+	f6 := Figure6Table(cells, lightlsm.Horizontal)
+	if len(f6.Rows) == 0 {
+		t.Error("figure 6 table empty")
+	}
+	if !strings.Contains(Figure5Table(cells).Render(), "fill-seq horiz") {
+		t.Error("figure 5 render broken")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	cfg := DefaultFig7()
+	cfg.BuffersPerThread = 10
+	points, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Utilization is monotone in thread count and saturates by 2 threads
+	// (the paper: "The storage controller is saturated with 2 host
+	// threads").
+	if points[0].Utilization >= 0.95 {
+		t.Errorf("1 thread already saturated: %.2f", points[0].Utilization)
+	}
+	if points[1].Utilization < 0.85 {
+		t.Errorf("2 threads should (near-)saturate the bus: %.2f", points[1].Utilization)
+	}
+	if points[2].Utilization < 0.93 || points[3].Utilization < 0.93 {
+		t.Errorf("4/8 threads should pin the bus: %.2f %.2f",
+			points[2].Utilization, points[3].Utilization)
+	}
+	// Throughput stops scaling once the bus is saturated.
+	if points[3].MBps > points[1].MBps*1.35 {
+		t.Errorf("throughput kept scaling past saturation: %v", points)
+	}
+	if len(Figure7Table(points).Rows) != 4 {
+		t.Error("figure 7 table broken")
+	}
+}
+
+func TestFigure7ZeroCopyAblation(t *testing.T) {
+	base := DefaultFig7()
+	base.BuffersPerThread = 8
+	base.ThreadCounts = []int{2}
+	with, err := Figure7(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.ZeroCopyRX = true
+	without, err := Figure7(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.4: avoiding the RX copy raises achievable throughput.
+	if without[0].MBps <= with[0].MBps {
+		t.Errorf("zero-copy should raise throughput: %.0f vs %.0f",
+			without[0].MBps, with[0].MBps)
+	}
+}
+
+func TestGCLocalityMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := DefaultGCLocality()
+	cfg.TxnsPerWriter = 2400
+	points, err := GCLocality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Collections == 0 {
+			t.Fatalf("%d channels: GC never ran", p.Channels)
+		}
+		// The paper: 87.5% at 8 channels, 93.7% at 16. Allow ±8pp of
+		// sampling noise around the structural expectation (in-window
+		// samples are sparse at test scale).
+		if diff := p.Unaffected - p.Expected; diff < -0.08 || diff > 0.08 {
+			t.Errorf("%d channels: unaffected %.1f%%, expected %.1f%%",
+				p.Channels, p.Unaffected*100, p.Expected*100)
+		}
+	}
+	if len(GCLocalityTable(points).Rows) != len(points) {
+		t.Error("table broken")
+	}
+}
+
+func TestUnitOfWriteMatchesPaper(t *testing.T) {
+	rows := UnitOfWrite()
+	lookup := func(cell, planes int) int {
+		for _, r := range rows {
+			if int(r.Cell) == cell && r.Planes == planes {
+				return r.Unit
+			}
+		}
+		return -1
+	}
+	// §2.2: dual-plane TLC → 24 sectors = 96 KB.
+	if lookup(3, 2) != 96*1024 {
+		t.Errorf("TLC×2 = %d, want 96KB", lookup(3, 2))
+	}
+	// §2.1: QLC with 4 planes → 256 KB.
+	if lookup(4, 4) != 256*1024 {
+		t.Errorf("QLC×4 = %d, want 256KB", lookup(4, 4))
+	}
+	// SLC single plane: one 16 KB page.
+	if lookup(1, 1) != 16*1024 {
+		t.Errorf("SLC×1 = %d, want 16KB", lookup(1, 1))
+	}
+	if len(UnitOfWriteTable(rows).Rows) != 12 {
+		t.Error("table should have 12 rows")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "b"}}
+	tab.Add("x", 1.5)
+	tab.Add("longer", "cell,with,commas")
+	out := tab.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "1.500") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"cell,with,commas"`) {
+		t.Fatalf("csv escaping broken:\n%s", csv)
+	}
+}

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ox"
+	"repro/internal/oxeleos"
+	"repro/internal/vclock"
+)
+
+// Fig7Config parameterizes the data-copy experiment of Figure 7: host
+// threads stream 8 MB LSS buffers into OX-ELEOS; the controller's
+// memory bus carries two copies per buffer (network→FTL, FTL→device)
+// and saturates at two threads.
+type Fig7Config struct {
+	ThreadCounts []int
+	BuffersPerThread int
+	BufferBytes  int
+	Seed         int64
+	// ZeroCopyRX enables the §4.4 ablation (AF_XDP-style receive).
+	ZeroCopyRX bool
+}
+
+// DefaultFig7 returns the default configuration.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		ThreadCounts:     []int{1, 2, 4, 8},
+		BuffersPerThread: 24,
+		BufferBytes:      8 << 20,
+		Seed:             11,
+	}
+}
+
+// Fig7Point is one bar of Figure 7.
+type Fig7Point struct {
+	Threads     int
+	Utilization float64 // controller memory-bus utilization, 0..1
+	CoreUtil    float64
+	MBps        float64 // aggregate ingest throughput
+	Elapsed     vclock.Duration
+}
+
+// Figure7 measures controller utilization for each host thread count.
+func Figure7(cfg Fig7Config) ([]Fig7Point, error) {
+	var out []Fig7Point
+	for _, threads := range cfg.ThreadCounts {
+		p, err := figure7Run(cfg, threads)
+		if err != nil {
+			return out, fmt.Errorf("fig7 %d threads: %w", threads, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
+	rigCfg := DefaultRig()
+	rigCfg.Seed = cfg.Seed
+	rigCfg.CacheMB = 64
+	_, ctrl, err := rigCfg.Build()
+	if err != nil {
+		return Fig7Point{}, err
+	}
+	// The DFC's ARM memory bus copies far slower than the two OCSSDs
+	// drain: on that platform the copies, not the flash, are the
+	// bottleneck (§4.3). Rebuild the controller copy-bound.
+	c := ctrl.Config()
+	c.MemMBps = 400
+	c.ZeroCopyRX = cfg.ZeroCopyRX
+	if ctrl, err = ox.NewController(c, ctrl.Media()); err != nil {
+		return Fig7Point{}, err
+	}
+	store, err := oxeleos.New(ctrl, oxeleos.Config{BufferBytes: cfg.BufferBytes})
+	if err != nil {
+		return Fig7Point{}, err
+	}
+
+	// Each host thread streams buffers back to back; the DES loop always
+	// advances the thread with the smallest clock.
+	clocks := make([]vclock.Time, threads)
+	done := make([]int, threads)
+	buf := make([]byte, cfg.BufferBytes) // zero payload (content-free)
+	pageBytes := 32 * 1024
+	var end vclock.Time
+	remaining := threads * cfg.BuffersPerThread
+	bufIdx := 0
+	for remaining > 0 {
+		ti := 0
+		for i := 1; i < threads; i++ {
+			if done[i] < cfg.BuffersPerThread && (done[ti] >= cfg.BuffersPerThread || clocks[i] < clocks[ti]) {
+				ti = i
+			}
+		}
+		// Host link transfer, then the OX-ELEOS flush (both copies).
+		t := ctrl.HostTransfer(clocks[ti], int64(cfg.BufferBytes))
+		pages := make([]oxeleos.PageDesc, 0, cfg.BufferBytes/pageBytes)
+		for off := 0; off+pageBytes <= cfg.BufferBytes; off += pageBytes {
+			pages = append(pages, oxeleos.PageDesc{
+				ID:     int64(bufIdx*1_000_000 + off),
+				Offset: off,
+				Length: pageBytes,
+			})
+		}
+		t, err := store.Flush(t, buf, pages)
+		if err != nil {
+			return Fig7Point{}, err
+		}
+		clocks[ti] = t
+		done[ti]++
+		remaining--
+		bufIdx++
+		if t > end {
+			end = t
+		}
+	}
+	totalBytes := int64(threads) * int64(cfg.BuffersPerThread) * int64(cfg.BufferBytes)
+	return Fig7Point{
+		Threads:     threads,
+		Utilization: ctrl.Utilization(end),
+		CoreUtil:    ctrl.CoreUtilization(end),
+		MBps:        float64(totalBytes) / 1e6 / end.Seconds(),
+		Elapsed:     end.Sub(0),
+	}, nil
+}
+
+// Figure7Table renders the utilization-vs-threads series.
+func Figure7Table(points []Fig7Point) *Table {
+	t := &Table{
+		Title:   "Figure 7: impact of data copies on storage controller utilization (OX-ELEOS writes)",
+		Headers: []string{"host threads", "membus util %", "ingest MB/s", "core util %"},
+	}
+	for _, p := range points {
+		t.Add(p.Threads,
+			fmt.Sprintf("%.1f", p.Utilization*100),
+			fmt.Sprintf("%.0f", p.MBps),
+			fmt.Sprintf("%.1f", p.CoreUtil*100),
+		)
+	}
+	return t
+}

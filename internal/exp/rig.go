@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+)
+
+// RigConfig sizes a simulated testbed (device + controller). The
+// defaults mirror the paper's drive structurally — 8 groups × 4 PUs,
+// dual-plane TLC, 96 KB unit of write — at a chunk size scaled down
+// (1.5 MB instead of 24 MB) so whole experiments fit in memory.
+type RigConfig struct {
+	Groups      int
+	PUsPerGroup int
+	ChunksPerPU int
+	PagesPerBlock int
+	CacheMB     int
+	Seed        int64
+	PLP         bool
+}
+
+// DefaultRig returns the standard scaled testbed.
+func DefaultRig() RigConfig {
+	return RigConfig{
+		Groups:      8,
+		PUsPerGroup: 4,
+		ChunksPerPU: 48,
+		PagesPerBlock: 48, // 48 pages × 2 planes × 4 sectors = 1.5 MB chunks
+		CacheMB:     32,
+		Seed:        1,
+		PLP:         true,
+	}
+}
+
+// Build constructs the device and controller.
+func (rc RigConfig) Build() (*ocssd.Device, *ox.Controller, error) {
+	chip := nand.Geometry{
+		Planes:         2,
+		BlocksPerPlane: rc.ChunksPerPU,
+		PagesPerBlock:  rc.PagesPerBlock,
+		SectorsPerPage: 4,
+		SectorSize:     4096,
+		OOBPerPage:     64,
+		Cell:           nand.TLC,
+	}
+	geo := ocssd.Finish(ocssd.Geometry{
+		Groups:      rc.Groups,
+		PUsPerGroup: rc.PUsPerGroup,
+		ChunksPerPU: rc.ChunksPerPU,
+		Chip:        chip,
+		ChannelMBps: 800,
+		CacheMBps:   3200,
+		CacheMB:     rc.CacheMB,
+		MaxOpenPerPU: 64,
+	})
+	dev, err := ocssd.New(geo, ocssd.Options{Seed: rc.Seed, PowerLossProtected: rc.PLP})
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: building device: %w", err)
+	}
+	ctrl, err := ox.NewController(ox.DefaultConfig(), dev)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: building controller: %w", err)
+	}
+	return dev, ctrl, nil
+}

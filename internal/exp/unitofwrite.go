@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+)
+
+// UnitOfWriteRow is one line of the §2.1 unit-of-write arithmetic.
+type UnitOfWriteRow struct {
+	Cell   nand.CellType
+	Planes int
+	Unit   int // bytes
+}
+
+// UnitOfWrite tabulates how the unit of write grows with storage
+// density and planes (§2.1 and §2.2): paired pages × planes × sectors.
+// The paper's two worked examples are dual-plane TLC (96 KB, §2.2) and
+// 4-plane QLC (256 KB, §2.1).
+func UnitOfWrite() []UnitOfWriteRow {
+	var out []UnitOfWriteRow
+	for _, cell := range []nand.CellType{nand.SLC, nand.MLC, nand.TLC, nand.QLC} {
+		for _, planes := range []int{1, 2, 4} {
+			g := nand.Geometry{
+				Planes:         planes,
+				BlocksPerPlane: 8,
+				PagesPerBlock:  12 * cell.BitsPerCell(),
+				SectorsPerPage: 4,
+				SectorSize:     4096,
+				Cell:           cell,
+			}
+			out = append(out, UnitOfWriteRow{Cell: cell, Planes: planes, Unit: g.UnitOfWrite()})
+		}
+	}
+	return out
+}
+
+// UnitOfWriteTable renders the §2.1 table.
+func UnitOfWriteTable(rows []UnitOfWriteRow) *Table {
+	t := &Table{
+		Title:   "§2.1: unit of write = sectors/page × paired pages × planes × 4 KB",
+		Headers: []string{"cell", "planes", "unit of write"},
+	}
+	for _, r := range rows {
+		t.Add(r.Cell.String(), r.Planes, fmt.Sprintf("%d KB", r.Unit/1024))
+	}
+	return t
+}

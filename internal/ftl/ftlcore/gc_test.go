@@ -1,0 +1,288 @@
+package ftlcore
+
+import (
+	"testing"
+
+	"repro/internal/ocssd"
+	"repro/internal/vclock"
+)
+
+// gcHarness wires a device, allocator, validity, reverse map, a page map
+// and a GC into a miniature write path for testing collection.
+type gcHarness struct {
+	t     *testing.T
+	d     *ocssd.Device
+	alloc *Allocator
+	val   *Validity
+	rmap  *ReverseMap
+	pmap  *PageMap
+	gc    *GC
+	geo   ocssd.Geometry
+	now   vclock.Time
+}
+
+func newGCHarness(t *testing.T, cfg GCConfig) *gcHarness {
+	d, ctrl := testDevice(t, ocssd.Options{Seed: 1})
+	geo := d.Geometry()
+	alloc := NewAllocator(d, nil)
+	val := NewValidity(geo)
+	rmap := NewReverseMap(geo)
+	pmap := NewPageMap(4096)
+	return &gcHarness{
+		t: t, d: d, alloc: alloc, val: val, rmap: rmap, pmap: pmap,
+		gc:  NewGC(d, ctrl, alloc, val, rmap, cfg),
+		geo: geo,
+	}
+}
+
+// fillChunk writes a whole chunk, mapping its sectors to the logical
+// pages [lbaBase, lbaBase+sectorsPerChunk).
+func (h *gcHarness) fillChunk(id ocssd.ChunkID, lbaBase int64) {
+	h.t.Helper()
+	n := h.geo.SectorsPerChunk()
+	data := make([]byte, n*h.geo.Chip.SectorSize)
+	for i := range data {
+		data[i] = byte(lbaBase)
+	}
+	start, end, err := h.d.Append(h.now, id, data)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.now = end
+	for s := 0; s < n; s++ {
+		ppa := id.PPAOf(start + s)
+		lba := lbaBase + int64(s)
+		old, had, err := h.pmap.Update(lba, ppa)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if had {
+			h.val.MarkInvalid(old)
+		}
+		h.val.MarkValid(ppa)
+		h.rmap.Set(ppa, lba)
+	}
+	h.gc.AddCandidate(id)
+}
+
+// remap is the mapping-update callback the owner would pass to Collect.
+func (h *gcHarness) remap(lba int64, old, new ocssd.PPA) bool {
+	cur, ok := h.pmap.Lookup(lba)
+	if !ok || cur != old {
+		return false
+	}
+	if _, _, err := h.pmap.Update(lba, new); err != nil {
+		return false
+	}
+	return true
+}
+
+func TestGCCollectReclaimsDeadChunks(t *testing.T) {
+	h := newGCHarness(t, GCConfig{FreeThreshold: 40, TargetFree: 40})
+	// Fill two chunks with the SAME logical pages: the first becomes
+	// fully dead.
+	c0, _ := h.alloc.Alloc(InGroup(0))
+	c1, _ := h.alloc.Alloc(InGroup(0))
+	h.fillChunk(c0, 0)
+	h.fillChunk(c1, 0) // overwrites all of c0's pages
+	if h.val.ValidCount(c0) != 0 {
+		t.Fatalf("c0 valid = %d, want 0", h.val.ValidCount(c0))
+	}
+	free := h.alloc.FreeCount()
+	end, err := h.gc.Collect(h.now, h.remap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.alloc.FreeCount() <= free {
+		t.Fatal("collection reclaimed nothing")
+	}
+	s := h.gc.Stats()
+	if s.ChunksReclaimed == 0 || s.Collections != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// A fully dead chunk must not move any sectors.
+	if s.SectorsMoved != 0 && h.val.ValidCount(c0) == 0 && s.ChunksReclaimed == 1 {
+		t.Fatalf("dead chunk moved %d sectors", s.SectorsMoved)
+	}
+	if end < h.now {
+		t.Fatal("time went backwards")
+	}
+}
+
+func TestGCPreservesLiveData(t *testing.T) {
+	h := newGCHarness(t, GCConfig{FreeThreshold: 64, TargetFree: 64})
+	// Fill chunk A, then overwrite half its pages into chunk B: A is
+	// half live. GC must relocate the live half and keep reads correct.
+	cA, _ := h.alloc.Alloc(InGroup(0))
+	h.fillChunk(cA, 0)
+	n := h.geo.SectorsPerChunk()
+	half := n / 2
+	cB, _ := h.alloc.Alloc(InGroup(0))
+	dataB := make([]byte, half*h.geo.Chip.SectorSize)
+	for i := range dataB {
+		dataB[i] = 0xBB
+	}
+	startB, end, err := h.d.Append(h.now, cB, dataB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.now = end
+	for s := 0; s < half; s++ {
+		ppa := cB.PPAOf(startB + s)
+		lba := int64(s) // overwrite first half
+		old, had, _ := h.pmap.Update(lba, ppa)
+		if had {
+			h.val.MarkInvalid(old)
+		}
+		h.val.MarkValid(ppa)
+		h.rmap.Set(ppa, lba)
+	}
+	if h.val.ValidCount(cA) != n-half {
+		t.Fatalf("cA valid = %d, want %d", h.val.ValidCount(cA), n-half)
+	}
+
+	if _, err := h.gc.Collect(h.now, h.remap); err != nil {
+		t.Fatal(err)
+	}
+	if h.gc.Stats().SectorsMoved == 0 {
+		t.Fatal("live sectors should have moved")
+	}
+	// Every logical page must still read its value through the map.
+	for lba := int64(half); lba < int64(n); lba++ {
+		ppa, ok := h.pmap.Lookup(lba)
+		if !ok {
+			t.Fatalf("lba %d lost its mapping", lba)
+		}
+		buf := make([]byte, h.geo.Chip.SectorSize)
+		if _, err := h.d.VectorRead(h.now+vclock.Time(vclock.Second), []ocssd.PPA{ppa}, buf); err != nil {
+			t.Fatalf("read lba %d at %v: %v", lba, ppa, err)
+		}
+		if buf[0] != 0 { // fillChunk wrote byte(lbaBase)=0
+			t.Fatalf("lba %d data corrupted: %x", lba, buf[0])
+		}
+	}
+}
+
+func TestGCGroupMarkingLocality(t *testing.T) {
+	h := newGCHarness(t, GCConfig{FreeThreshold: 64, TargetFree: 64})
+	// Make group 0 rich in garbage; group 1 untouched.
+	c0, _ := h.alloc.Alloc(InGroup(0))
+	c1, _ := h.alloc.Alloc(InGroup(0))
+	h.fillChunk(c0, 0)
+	h.fillChunk(c1, 0)
+	if _, err := h.gc.Collect(h.now, h.remap); err != nil {
+		t.Fatal(err)
+	}
+	// All collection windows must be on group 0.
+	h.gc.mu.Lock()
+	windows := append([]gcWindow(nil), h.gc.windows...)
+	h.gc.mu.Unlock()
+	if len(windows) == 0 {
+		t.Fatal("no collection window recorded")
+	}
+	for _, w := range windows {
+		if w.group != 0 {
+			t.Fatalf("collection marked group %d, want 0", w.group)
+		}
+	}
+	if h.gc.MarkedGroup() != -1 {
+		t.Fatal("mark should clear after collection")
+	}
+}
+
+func TestGCInterferenceAccounting(t *testing.T) {
+	h := newGCHarness(t, GCConfig{FreeThreshold: 64, TargetFree: 64})
+	c0, _ := h.alloc.Alloc(InGroup(0))
+	c1, _ := h.alloc.Alloc(InGroup(0))
+	h.fillChunk(c0, 0)
+	h.fillChunk(c1, 0)
+	start := h.now
+	end, err := h.gc.Collect(start, h.remap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := start + (end-start)/2
+	// An app I/O to the marked group during the window is affected...
+	h.gc.NoteAppIO(0, mid)
+	// ...one to another group is not, and one outside the window is not.
+	h.gc.NoteAppIO(1, mid)
+	h.gc.NoteAppIO(0, end+vclock.Time(vclock.Second))
+	s := h.gc.Stats()
+	if s.TotalAppIOs != 3 {
+		t.Fatalf("total = %d", s.TotalAppIOs)
+	}
+	if s.AffectedAppIOs != 1 {
+		t.Fatalf("affected = %d, want 1", s.AffectedAppIOs)
+	}
+}
+
+func TestGCNotNeededIsNoOp(t *testing.T) {
+	h := newGCHarness(t, GCConfig{FreeThreshold: 1, TargetFree: 1})
+	end, err := h.gc.Collect(5, h.remap)
+	if err != nil || end != 5 {
+		t.Fatalf("no-op collect: end=%v err=%v", end, err)
+	}
+	if h.gc.Stats().Collections != 0 {
+		t.Fatal("no-op should not count a collection")
+	}
+	if h.gc.Needed() {
+		t.Fatal("pool is full; GC should not be needed")
+	}
+}
+
+func TestGCRoundUpCopiesStaleSector(t *testing.T) {
+	// A chunk with a valid count that is not a ws_min multiple exercises
+	// the round-up path; data must stay correct.
+	h := newGCHarness(t, GCConfig{FreeThreshold: 64, TargetFree: 64})
+	cA, _ := h.alloc.Alloc(InGroup(0))
+	h.fillChunk(cA, 0)
+	// Overwrite lbas 5..n+4: cA keeps exactly 5 valid sectors (not a
+	// ws_min multiple), exercising the round-up path.
+	cB, _ := h.alloc.Alloc(InGroup(0))
+	h.fillChunk(cB, 5)
+	if got := h.val.ValidCount(cA); got != 5 {
+		t.Fatalf("cA valid = %d, want 5", got)
+	}
+	if _, err := h.gc.Collect(h.now, h.remap); err != nil {
+		t.Fatal(err)
+	}
+	if h.gc.Stats().SectorsMoved < 5 {
+		t.Fatalf("moved = %d, want >= 5", h.gc.Stats().SectorsMoved)
+	}
+	// The five surviving pages must still be mapped and readable.
+	for lba := int64(0); lba < 5; lba++ {
+		ppa, ok := h.pmap.Lookup(lba)
+		if !ok {
+			t.Fatalf("lba %d lost", lba)
+		}
+		buf := make([]byte, h.geo.Chip.SectorSize)
+		if _, err := h.d.VectorRead(h.now+vclock.Time(vclock.Second), []ocssd.PPA{ppa}, buf); err != nil {
+			t.Fatalf("read lba %d: %v", lba, err)
+		}
+	}
+}
+
+func TestGCGlobalVictimsAblation(t *testing.T) {
+	h := newGCHarness(t, GCConfig{FreeThreshold: 64, TargetFree: 64, GlobalVictims: true})
+	c0, _ := h.alloc.Alloc(InGroup(0))
+	c1, _ := h.alloc.Alloc(InGroup(1))
+	h.fillChunk(c0, 0)
+	h.fillChunk(c1, 0) // kills c0's pages
+	if _, err := h.gc.Collect(h.now, h.remap); err != nil {
+		t.Fatal(err)
+	}
+	if h.gc.Stats().ChunksReclaimed == 0 {
+		t.Fatal("global GC reclaimed nothing")
+	}
+}
+
+func TestGCCandidateCount(t *testing.T) {
+	h := newGCHarness(t, GCConfig{FreeThreshold: 0, TargetFree: 0})
+	if h.gc.CandidateCount() != 0 {
+		t.Fatal("fresh GC should have no candidates")
+	}
+	h.gc.AddCandidate(ocssd.ChunkID{Group: 0, PU: 0, Chunk: 1})
+	if h.gc.CandidateCount() != 1 {
+		t.Fatal("candidate not registered")
+	}
+}

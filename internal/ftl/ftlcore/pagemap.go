@@ -1,0 +1,233 @@
+// Package ftlcore is the paper's primary contribution in library form:
+// the modular FTL of Figure 2. It provides the components that §4.1
+// names — mapping, provisioning, caching, recovery log (WAL), checkpoint
+// process, garbage collection and bad block management — as composable
+// pieces that the three FTLs of §4.2 (OX-Block, OX-ELEOS, LightLSM) are
+// built from.
+package ftlcore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ocssd"
+)
+
+// unmapped is the sentinel for an unmapped LBA entry.
+const unmapped = ^uint64(0)
+
+// MapPageEntries is the number of 8-byte entries per mapping page; one
+// mapping page serializes to exactly 4 KB, the paper's read granularity.
+const MapPageEntries = 512
+
+// MapPageBytes is the serialized size of one mapping page.
+const MapPageBytes = MapPageEntries * 8
+
+// PageMap is the page-level mapping table of OX-Block (§4.2: "OX-Block
+// maintains a 4KB-granularity page-level mapping table"). Entries map a
+// logical page number to a packed PPA. The map tracks which 4 KB mapping
+// pages are dirty since the last checkpoint, so the checkpoint process
+// (Figure 2: "mapping and block metadata may be persisted during
+// checkpoint process") can persist them.
+type PageMap struct {
+	mu      sync.RWMutex
+	entries []uint64
+	dirty   map[int]struct{}
+}
+
+// NewPageMap creates a mapping table for n logical pages.
+func NewPageMap(n int) *PageMap {
+	m := &PageMap{
+		entries: make([]uint64, n),
+		dirty:   make(map[int]struct{}),
+	}
+	for i := range m.entries {
+		m.entries[i] = unmapped
+	}
+	return m
+}
+
+// Len reports the number of logical pages.
+func (m *PageMap) Len() int { return len(m.entries) }
+
+// Pages reports the number of 4 KB mapping pages (ceil division).
+func (m *PageMap) Pages() int { return (len(m.entries) + MapPageEntries - 1) / MapPageEntries }
+
+// Lookup returns the PPA mapped to the logical page, if any.
+func (m *PageMap) Lookup(lpn int64) (ocssd.PPA, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if lpn < 0 || lpn >= int64(len(m.entries)) {
+		return ocssd.PPA{}, false
+	}
+	v := m.entries[lpn]
+	if v == unmapped {
+		return ocssd.PPA{}, false
+	}
+	return ocssd.Unpack(v), true
+}
+
+// Update maps the logical page to ppa and returns the previous mapping
+// (used by validity accounting to invalidate the old physical sector).
+func (m *PageMap) Update(lpn int64, ppa ocssd.PPA) (old ocssd.PPA, hadOld bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lpn < 0 || lpn >= int64(len(m.entries)) {
+		return ocssd.PPA{}, false, fmt.Errorf("ftlcore: lpn %d out of range [0,%d)", lpn, len(m.entries))
+	}
+	v := m.entries[lpn]
+	m.entries[lpn] = ppa.Pack()
+	m.dirty[int(lpn/MapPageEntries)] = struct{}{}
+	if v == unmapped {
+		return ocssd.PPA{}, false, nil
+	}
+	return ocssd.Unpack(v), true, nil
+}
+
+// Unmap removes the mapping for a logical page (trim), returning the
+// previous mapping if there was one.
+func (m *PageMap) Unmap(lpn int64) (old ocssd.PPA, hadOld bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lpn < 0 || lpn >= int64(len(m.entries)) {
+		return ocssd.PPA{}, false, fmt.Errorf("ftlcore: lpn %d out of range [0,%d)", lpn, len(m.entries))
+	}
+	v := m.entries[lpn]
+	m.entries[lpn] = unmapped
+	m.dirty[int(lpn/MapPageEntries)] = struct{}{}
+	if v == unmapped {
+		return ocssd.PPA{}, false, nil
+	}
+	return ocssd.Unpack(v), true, nil
+}
+
+// DirtyPages returns the sorted-free list of mapping-page indexes dirtied
+// since the last ClearDirty.
+func (m *PageMap) DirtyPages() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int, 0, len(m.dirty))
+	for p := range m.dirty {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ClearDirty forgets dirtiness for the given mapping pages (after a
+// checkpoint persisted them).
+func (m *PageMap) ClearDirty(pages []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range pages {
+		delete(m.dirty, p)
+	}
+}
+
+// SerializePage renders mapping page idx as exactly MapPageBytes bytes.
+func (m *PageMap) SerializePage(idx int) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if idx < 0 || idx >= m.Pages() {
+		return nil, fmt.Errorf("ftlcore: mapping page %d out of range", idx)
+	}
+	out := make([]byte, MapPageBytes)
+	base := idx * MapPageEntries
+	for i := 0; i < MapPageEntries; i++ {
+		var v uint64 = unmapped
+		if base+i < len(m.entries) {
+			v = m.entries[base+i]
+		}
+		binary.LittleEndian.PutUint64(out[i*8:], v)
+	}
+	return out, nil
+}
+
+// LoadPage installs a serialized mapping page (recovery path).
+func (m *PageMap) LoadPage(idx int, data []byte) error {
+	if len(data) != MapPageBytes {
+		return fmt.Errorf("ftlcore: mapping page payload %d bytes, want %d", len(data), MapPageBytes)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx < 0 || idx >= m.Pages() {
+		return fmt.Errorf("ftlcore: mapping page %d out of range", idx)
+	}
+	base := idx * MapPageEntries
+	for i := 0; i < MapPageEntries && base+i < len(m.entries); i++ {
+		m.entries[base+i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return nil
+}
+
+// MappedCount reports how many logical pages are currently mapped.
+func (m *PageMap) MappedCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, v := range m.entries {
+		if v != unmapped {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrVarEntry is returned for malformed variable-size map entries.
+var ErrVarEntry = errors.New("ftlcore: invalid variable-size mapping entry")
+
+// VarEntry is a variable-size mapping target: a byte extent within the
+// physical log. §4.2 (OX-ELEOS): "with variable-sized pages of an
+// arbitrary number of bytes, mapping becomes more challenging ...
+// application-specific FTLs might require mapping at a granularity which
+// is smaller than the unit of read on an Open-Channel SSD."
+type VarEntry struct {
+	PPA    ocssd.PPA // sector containing the first byte
+	Offset int       // byte offset within that sector
+	Length int       // extent length in bytes (may span sectors)
+}
+
+// VarMap maps logical page IDs to variable-size extents (OX-ELEOS).
+type VarMap struct {
+	mu      sync.RWMutex
+	entries map[int64]VarEntry
+}
+
+// NewVarMap creates an empty variable-size mapping table.
+func NewVarMap() *VarMap {
+	return &VarMap{entries: make(map[int64]VarEntry)}
+}
+
+// Lookup returns the extent for a logical page ID.
+func (m *VarMap) Lookup(id int64) (VarEntry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.entries[id]
+	return e, ok
+}
+
+// Update maps a logical page ID to an extent.
+func (m *VarMap) Update(id int64, e VarEntry) error {
+	if e.Length <= 0 || e.Offset < 0 {
+		return ErrVarEntry
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[id] = e
+	return nil
+}
+
+// Delete removes a logical page ID.
+func (m *VarMap) Delete(id int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, id)
+}
+
+// Len reports the number of mapped extents.
+func (m *VarMap) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}

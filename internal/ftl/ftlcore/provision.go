@@ -1,0 +1,295 @@
+package ftlcore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+	"repro/internal/vclock"
+)
+
+// ErrNoFreeChunks is returned when provisioning cannot satisfy a request.
+var ErrNoFreeChunks = errors.New("ftlcore: no free chunks available")
+
+// Target selects where a chunk should be provisioned. The zero value
+// means "anywhere" (round-robin across all PUs, which is what horizontal
+// striping wants); InGroup confines allocation to one group (vertical
+// placement, Figure 4); InPU pins an exact parallel unit.
+type Target struct {
+	Group int // -1 = any
+	PU    int // -1 = any within the group
+}
+
+// AnyTarget allocates anywhere, rotating across PUs for parallelism.
+func AnyTarget() Target { return Target{Group: -1, PU: -1} }
+
+// InGroup allocates within one group (vertical placement).
+func InGroup(g int) Target { return Target{Group: g, PU: -1} }
+
+// InPU allocates on one exact parallel unit.
+func InPU(g, u int) Target { return Target{Group: g, PU: u} }
+
+// Allocator is the provisioning component of Figure 2: it owns the free
+// chunk pool, skips offline chunks (bad block management) and hands out
+// chunks according to placement targets.
+type Allocator struct {
+	media ox.Media
+	geo   ocssd.Geometry
+
+	mu      sync.Mutex
+	free    [][][]int // [group][pu] -> stack of free chunk ids
+	nfree   int
+	rrGroup int // round-robin cursors for AnyTarget
+	rrPU    []int
+	offline map[ocssd.ChunkID]struct{}
+}
+
+// NewAllocator builds an allocator over the media's current chunk report.
+// Chunks in reserved are withheld (the FTL keeps them for its log,
+// checkpoint area or superblock); offline chunks are never handed out.
+// Only chunks in the free state enter the pool: after a crash, closed or
+// open chunks stay out until recovery explicitly frees them.
+func NewAllocator(media ox.Media, reserved map[ocssd.ChunkID]bool) *Allocator {
+	geo := media.Geometry()
+	a := &Allocator{
+		media:   media,
+		geo:     geo,
+		free:    make([][][]int, geo.Groups),
+		rrPU:    make([]int, geo.Groups),
+		offline: make(map[ocssd.ChunkID]struct{}),
+	}
+	for g := range a.free {
+		a.free[g] = make([][]int, geo.PUsPerGroup)
+	}
+	for _, ci := range media.Report() {
+		switch {
+		case ci.State == ocssd.ChunkOffline:
+			a.offline[ci.ID] = struct{}{}
+		case reserved[ci.ID]:
+			// withheld
+		case ci.State == ocssd.ChunkFree:
+			a.free[ci.ID.Group][ci.ID.PU] = append(a.free[ci.ID.Group][ci.ID.PU], ci.ID.Chunk)
+			a.nfree++
+		}
+	}
+	return a
+}
+
+// FreeCount reports the number of chunks in the pool.
+func (a *Allocator) FreeCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nfree
+}
+
+// FreeInGroup reports the number of free chunks in one group.
+func (a *Allocator) FreeInGroup(g int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g < 0 || g >= a.geo.Groups {
+		return 0
+	}
+	n := 0
+	for _, s := range a.free[g] {
+		n += len(s)
+	}
+	return n
+}
+
+// Alloc takes a free chunk matching the target out of the pool.
+func (a *Allocator) Alloc(t Target) (ocssd.ChunkID, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case t.Group >= 0 && t.PU >= 0:
+		return a.popPU(t.Group, t.PU)
+	case t.Group >= 0:
+		return a.popGroup(t.Group)
+	default:
+		// Round-robin across groups then PUs so consecutive allocations
+		// stripe over all parallel units.
+		for i := 0; i < a.geo.Groups; i++ {
+			g := (a.rrGroup + i) % a.geo.Groups
+			if id, err := a.popGroup(g); err == nil {
+				a.rrGroup = (g + 1) % a.geo.Groups
+				return id, nil
+			}
+		}
+		return ocssd.ChunkID{}, ErrNoFreeChunks
+	}
+}
+
+func (a *Allocator) popGroup(g int) (ocssd.ChunkID, error) {
+	if g < 0 || g >= a.geo.Groups {
+		return ocssd.ChunkID{}, fmt.Errorf("ftlcore: group %d out of range", g)
+	}
+	for i := 0; i < a.geo.PUsPerGroup; i++ {
+		u := (a.rrPU[g] + i) % a.geo.PUsPerGroup
+		if id, err := a.popPU(g, u); err == nil {
+			a.rrPU[g] = (u + 1) % a.geo.PUsPerGroup
+			return id, nil
+		}
+	}
+	return ocssd.ChunkID{}, ErrNoFreeChunks
+}
+
+func (a *Allocator) popPU(g, u int) (ocssd.ChunkID, error) {
+	if g < 0 || g >= a.geo.Groups || u < 0 || u >= a.geo.PUsPerGroup {
+		return ocssd.ChunkID{}, fmt.Errorf("ftlcore: pu %d.%d out of range", g, u)
+	}
+	s := a.free[g][u]
+	if len(s) == 0 {
+		return ocssd.ChunkID{}, ErrNoFreeChunks
+	}
+	c := s[len(s)-1]
+	a.free[g][u] = s[:len(s)-1]
+	a.nfree--
+	return ocssd.ChunkID{Group: g, PU: u, Chunk: c}, nil
+}
+
+// Release resets the chunk on media and returns it to the pool. A chunk
+// that fails its reset is retired (bad block management).
+func (a *Allocator) Release(now vclock.Time, id ocssd.ChunkID) (vclock.Time, error) {
+	end, err := a.media.Reset(now, id)
+	if err != nil {
+		a.Retire(id)
+		return end, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free[id.Group][id.PU] = append(a.free[id.Group][id.PU], id.Chunk)
+	a.nfree++
+	return end, nil
+}
+
+// ReturnFree puts an already-free chunk back into the pool without a
+// reset (recovery uses this for chunks the report shows as free).
+func (a *Allocator) ReturnFree(id ocssd.ChunkID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free[id.Group][id.PU] = append(a.free[id.Group][id.PU], id.Chunk)
+	a.nfree++
+}
+
+// Retire permanently removes a chunk from circulation (grown bad).
+func (a *Allocator) Retire(id ocssd.ChunkID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.offline[id] = struct{}{}
+}
+
+// RetiredCount reports the number of chunks withheld as bad.
+func (a *Allocator) RetiredCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.offline)
+}
+
+// StripeWriter appends data across a rotating set of open chunks, one
+// per allocation target, giving the striped "horizontal" data path that
+// OX-Block's logical log uses. Appends are ws_min multiples; each append
+// goes to the next chunk in the rotation, so consecutive appends land on
+// different parallel units and proceed concurrently.
+type StripeWriter struct {
+	media ox.Media
+	alloc *Allocator
+	geo   ocssd.Geometry
+	t     Target
+	width int // number of concurrently open chunks
+
+	mu     sync.Mutex
+	chunks []ocssd.ChunkID
+	wps    []int
+	next   int
+}
+
+// NewStripeWriter opens width chunks matching the target.
+func NewStripeWriter(media ox.Media, alloc *Allocator, t Target, width int) (*StripeWriter, error) {
+	if width <= 0 {
+		return nil, errors.New("ftlcore: stripe width must be positive")
+	}
+	w := &StripeWriter{
+		media:  media,
+		alloc:  alloc,
+		geo:    media.Geometry(),
+		t:      t,
+		width:  width,
+		chunks: make([]ocssd.ChunkID, 0, width),
+		wps:    make([]int, 0, width),
+	}
+	for i := 0; i < width; i++ {
+		id, err := alloc.Alloc(t)
+		if err != nil {
+			return nil, err
+		}
+		w.chunks = append(w.chunks, id)
+		w.wps = append(w.wps, 0)
+	}
+	return w, nil
+}
+
+// Append writes data (a ws_min multiple) to the next chunk in the
+// rotation, allocating a replacement when a chunk fills. It returns the
+// PPAs assigned to each written sector.
+func (w *StripeWriter) Append(now vclock.Time, data []byte) ([]ocssd.PPA, vclock.Time, error) {
+	secSize := w.geo.Chip.SectorSize
+	n := len(data) / secSize
+	if n == 0 || len(data)%secSize != 0 || n%w.geo.WSMin != 0 {
+		return nil, now, fmt.Errorf("ftlcore: append of %d bytes is not a ws_min multiple", len(data))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	ppas := make([]ocssd.PPA, 0, n)
+	end := now
+	for len(data) > 0 {
+		slot := w.next % w.width
+		id := w.chunks[slot]
+		room := w.geo.SectorsPerChunk() - w.wps[slot]
+		if room == 0 {
+			nid, err := w.alloc.Alloc(w.t)
+			if err != nil {
+				return nil, now, err
+			}
+			w.chunks[slot] = nid
+			w.wps[slot] = 0
+			id = nid
+			room = w.geo.SectorsPerChunk()
+		}
+		take := n
+		if take > room {
+			take = room
+		}
+		// Keep appends ws_min aligned.
+		take -= take % w.geo.WSMin
+		if take == 0 {
+			take = room // room is ws_min aligned by construction
+		}
+		start, e, err := w.media.Append(now, id, data[:take*secSize])
+		if err != nil {
+			return nil, now, err
+		}
+		if e > end {
+			end = e
+		}
+		for s := 0; s < take; s++ {
+			ppas = append(ppas, id.PPAOf(start+s))
+		}
+		w.wps[slot] += take
+		data = data[take*secSize:]
+		n -= take
+		w.next++
+	}
+	return ppas, end, nil
+}
+
+// OpenChunks returns the chunks currently held open by the writer.
+func (w *StripeWriter) OpenChunks() []ocssd.ChunkID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]ocssd.ChunkID, len(w.chunks))
+	copy(out, w.chunks)
+	return out
+}

@@ -1,0 +1,266 @@
+package ftlcore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+)
+
+// testDevice returns a small device: 2 groups × 2 PUs × 8 chunks,
+// 96 sectors per chunk (dual-plane TLC, ws_opt 24).
+func testDevice(t *testing.T, opts ocssd.Options) (*ocssd.Device, *ox.Controller) {
+	t.Helper()
+	chip := nand.Geometry{
+		Planes: 2, BlocksPerPlane: 8, PagesPerBlock: 12,
+		SectorsPerPage: 4, SectorSize: 4096, Cell: nand.TLC,
+	}
+	geo := ocssd.Finish(ocssd.Geometry{
+		Groups: 2, PUsPerGroup: 2, ChunksPerPU: 8, Chip: chip,
+		ChannelMBps: 800, CacheMBps: 3200, CacheMB: 4, MaxOpenPerPU: 8,
+	})
+	d, err := ocssd.New(geo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := ox.NewController(ox.DefaultConfig(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ctrl
+}
+
+func TestAllocatorPoolAccounting(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	if a.FreeCount() != 2*2*8 {
+		t.Fatalf("free = %d, want 32", a.FreeCount())
+	}
+	id, err := a.Alloc(AnyTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeCount() != 31 {
+		t.Fatalf("free after alloc = %d", a.FreeCount())
+	}
+	// Returning requires the chunk to have been written (reset of a free
+	// chunk errors); write a little first.
+	data := make([]byte, d.Geometry().WSMin*d.Geometry().Chip.SectorSize)
+	if _, _, err := d.Append(0, id, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Release(0, id); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeCount() != 32 {
+		t.Fatalf("free after release = %d", a.FreeCount())
+	}
+}
+
+func TestAllocatorReservedWithheld(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	reserved := map[ocssd.ChunkID]bool{
+		{Group: 0, PU: 0, Chunk: 0}: true,
+		{Group: 1, PU: 1, Chunk: 7}: true,
+	}
+	a := NewAllocator(d, reserved)
+	if a.FreeCount() != 30 {
+		t.Fatalf("free = %d, want 30", a.FreeCount())
+	}
+	// Exhaust the pool: the reserved chunks must never appear.
+	for i := 0; i < 30; i++ {
+		id, err := a.Alloc(AnyTarget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reserved[id] {
+			t.Fatalf("reserved chunk %v handed out", id)
+		}
+	}
+	if _, err := a.Alloc(AnyTarget()); !errors.Is(err, ErrNoFreeChunks) {
+		t.Fatalf("exhausted pool: %v", err)
+	}
+}
+
+func TestAllocatorRoundRobinStripes(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	// Four consecutive any-target allocations must hit 4 distinct PUs.
+	seen := make(map[[2]int]bool)
+	for i := 0; i < 4; i++ {
+		id, err := a.Alloc(AnyTarget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[[2]int{id.Group, id.PU}] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("allocations covered %d PUs, want 4", len(seen))
+	}
+}
+
+func TestAllocatorTargets(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	for i := 0; i < 16; i++ {
+		id, err := a.Alloc(InGroup(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id.Group != 1 {
+			t.Fatalf("in-group alloc returned %v", id)
+		}
+	}
+	if _, err := a.Alloc(InGroup(1)); !errors.Is(err, ErrNoFreeChunks) {
+		t.Fatal("group 1 should be exhausted")
+	}
+	if a.FreeInGroup(1) != 0 || a.FreeInGroup(0) != 16 {
+		t.Fatalf("free per group = %d/%d", a.FreeInGroup(0), a.FreeInGroup(1))
+	}
+	id, err := a.Alloc(InPU(0, 1))
+	if err != nil || id.Group != 0 || id.PU != 1 {
+		t.Fatalf("in-pu alloc = %v, %v", id, err)
+	}
+	if _, err := a.Alloc(InGroup(99)); err == nil {
+		t.Fatal("out-of-range group should fail")
+	}
+	if _, err := a.Alloc(InPU(0, 99)); err == nil {
+		t.Fatal("out-of-range PU should fail")
+	}
+}
+
+func TestAllocatorSkipsOfflineChunks(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 5, Reliability: nand.Reliability{FactoryBadRate: 0.3}})
+	var offline int
+	for _, ci := range d.Report() {
+		if ci.State == ocssd.ChunkOffline {
+			offline++
+		}
+	}
+	if offline == 0 {
+		t.Skip("seed produced no offline chunks")
+	}
+	a := NewAllocator(d, nil)
+	if a.FreeCount() != 32-offline {
+		t.Fatalf("free = %d, want %d", a.FreeCount(), 32-offline)
+	}
+	for {
+		id, err := a.Alloc(AnyTarget())
+		if err != nil {
+			break
+		}
+		info, _ := d.Chunk(id)
+		if info.State == ocssd.ChunkOffline {
+			t.Fatalf("offline chunk %v handed out", id)
+		}
+	}
+}
+
+func TestAllocatorRetire(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	a.Retire(ocssd.ChunkID{Group: 0, PU: 0, Chunk: 3})
+	if a.RetiredCount() != 1 {
+		t.Fatalf("retired = %d", a.RetiredCount())
+	}
+}
+
+func TestStripeWriterStripesAcrossPUs(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	w, err := NewStripeWriter(d, a, AnyTarget(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := d.Geometry()
+	unit := geo.WSOpt * geo.Chip.SectorSize
+	puSeen := make(map[[2]int]bool)
+	for i := 0; i < 4; i++ {
+		ppas, _, err := w.Append(0, make([]byte, unit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ppas) != geo.WSOpt {
+			t.Fatalf("append returned %d ppas", len(ppas))
+		}
+		puSeen[[2]int{ppas[0].Group, ppas[0].PU}] = true
+	}
+	if len(puSeen) != 4 {
+		t.Fatalf("4 appends covered %d PUs, want 4 (striping)", len(puSeen))
+	}
+}
+
+func TestStripeWriterRotatesFullChunks(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	w, err := NewStripeWriter(d, a, AnyTarget(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := d.Geometry()
+	chunkBytes := int(geo.ChunkBytes())
+	// Write two chunks' worth through a width-1 writer.
+	var ppas []ocssd.PPA
+	for i := 0; i < 2; i++ {
+		p, _, err := w.Append(0, make([]byte, chunkBytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ppas = append(ppas, p...)
+	}
+	first := ppas[0].ChunkOf()
+	second := ppas[len(ppas)-1].ChunkOf()
+	if first == second {
+		t.Fatal("writer did not rotate to a fresh chunk")
+	}
+	info, _ := d.Chunk(first)
+	if info.State != ocssd.ChunkClosed {
+		t.Fatalf("first chunk state = %v, want closed", info.State)
+	}
+}
+
+func TestStripeWriterRejectsMisaligned(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	w, err := NewStripeWriter(d, a, AnyTarget(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Append(0, make([]byte, 100)); err == nil {
+		t.Fatal("misaligned append should fail")
+	}
+	if _, _, err := w.Append(0, nil); err == nil {
+		t.Fatal("empty append should fail")
+	}
+	if _, err := NewStripeWriter(d, a, AnyTarget(), 0); err == nil {
+		t.Fatal("zero width should fail")
+	}
+}
+
+func TestStripeWriterSpansChunkBoundary(t *testing.T) {
+	d, _ := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	w, err := NewStripeWriter(d, a, InPU(0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := d.Geometry()
+	// Append 1.5 chunks in one call: must span two chunks.
+	n := geo.SectorsPerChunk() + geo.SectorsPerChunk()/2
+	ppas, _, err := w.Append(0, make([]byte, n*geo.Chip.SectorSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ppas) != n {
+		t.Fatalf("got %d ppas, want %d", len(ppas), n)
+	}
+	chunks := make(map[ocssd.ChunkID]int)
+	for _, p := range ppas {
+		chunks[p.ChunkOf()]++
+	}
+	if len(chunks) != 2 {
+		t.Fatalf("write spanned %d chunks, want 2", len(chunks))
+	}
+}

@@ -1,0 +1,102 @@
+package ftlcore
+
+import (
+	"sync"
+
+	"repro/internal/ocssd"
+)
+
+// Validity tracks, per chunk, which sectors hold live (mapped) data.
+// The write path marks sectors valid when the mapping table points at
+// them and invalid when an overwrite or trim unmaps them; garbage
+// collection uses the counts to pick victims and the bitmaps to relocate
+// only live sectors.
+type Validity struct {
+	geo ocssd.Geometry
+
+	mu     sync.Mutex
+	bitmap map[ocssd.ChunkID][]uint64
+	valid  map[ocssd.ChunkID]int
+}
+
+// NewValidity creates an empty validity tracker for the geometry.
+func NewValidity(geo ocssd.Geometry) *Validity {
+	return &Validity{
+		geo:    geo,
+		bitmap: make(map[ocssd.ChunkID][]uint64),
+		valid:  make(map[ocssd.ChunkID]int),
+	}
+}
+
+func (v *Validity) words() int { return (v.geo.SectorsPerChunk() + 63) / 64 }
+
+// MarkValid records that the sector at ppa holds live data.
+func (v *Validity) MarkValid(ppa ocssd.PPA) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	id := ppa.ChunkOf()
+	bm := v.bitmap[id]
+	if bm == nil {
+		bm = make([]uint64, v.words())
+		v.bitmap[id] = bm
+	}
+	w, b := ppa.Sector/64, uint(ppa.Sector%64)
+	if bm[w]&(1<<b) == 0 {
+		bm[w] |= 1 << b
+		v.valid[id]++
+	}
+}
+
+// MarkInvalid records that the sector at ppa no longer holds live data.
+func (v *Validity) MarkInvalid(ppa ocssd.PPA) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	id := ppa.ChunkOf()
+	bm := v.bitmap[id]
+	if bm == nil {
+		return
+	}
+	w, b := ppa.Sector/64, uint(ppa.Sector%64)
+	if bm[w]&(1<<b) != 0 {
+		bm[w] &^= 1 << b
+		v.valid[id]--
+	}
+}
+
+// ValidCount reports the number of live sectors in a chunk.
+func (v *Validity) ValidCount(id ocssd.ChunkID) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.valid[id]
+}
+
+// ValidSectors returns the PPAs of the live sectors of a chunk, in order.
+func (v *Validity) ValidSectors(id ocssd.ChunkID) []ocssd.PPA {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	bm := v.bitmap[id]
+	if bm == nil {
+		return nil
+	}
+	out := make([]ocssd.PPA, 0, v.valid[id])
+	for s := 0; s < v.geo.SectorsPerChunk(); s++ {
+		if bm[s/64]&(1<<uint(s%64)) != 0 {
+			out = append(out, id.PPAOf(s))
+		}
+	}
+	return out
+}
+
+// Drop forgets all state for a chunk (after it is reset).
+func (v *Validity) Drop(id ocssd.ChunkID) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.bitmap, id)
+	delete(v.valid, id)
+}
+
+// InvalidCount reports dead sectors in a chunk, given how many were
+// written (the chunk's write pointer).
+func (v *Validity) InvalidCount(id ocssd.ChunkID, written int) int {
+	return written - v.ValidCount(id)
+}

@@ -1,0 +1,150 @@
+// Package landscape encodes Figure 1 of the paper: the SSD landscape
+// organized by FTL placement (host vs controller) and FTL abstraction
+// (block device, ZNS, application-specific), with the extra dimensions
+// §3.1 identifies (storage chip, FTL integration, transparency, access).
+package landscape
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Abstraction is the FTL abstraction dimension (columns of Figure 1).
+type Abstraction int
+
+// Abstractions.
+const (
+	BlockDevice Abstraction = iota
+	ZNS
+	AppSpecific
+)
+
+func (a Abstraction) String() string {
+	switch a {
+	case BlockDevice:
+		return "Block-device"
+	case ZNS:
+		return "ZNS"
+	case AppSpecific:
+		return "App-Specific"
+	default:
+		return fmt.Sprintf("Abstraction(%d)", int(a))
+	}
+}
+
+// Placement is the FTL placement dimension (rows of Figure 1).
+type Placement int
+
+// Placements.
+const (
+	Host Placement = iota
+	Controller
+)
+
+func (p Placement) String() string {
+	if p == Controller {
+		return "Controller"
+	}
+	return "Host"
+}
+
+// Integration is where the FTL code runs.
+type Integration int
+
+// Integration levels.
+const (
+	Firmware Integration = iota
+	KernelSpace
+	UserSpace
+)
+
+func (i Integration) String() string {
+	switch i {
+	case Firmware:
+		return "embedded"
+	case KernelSpace:
+		return "kernel space"
+	case UserSpace:
+		return "user space"
+	default:
+		return fmt.Sprintf("Integration(%d)", int(i))
+	}
+}
+
+// Model is one SSD model of Figure 1.
+type Model struct {
+	Name        string
+	Abstraction Abstraction
+	Placement   Placement
+	Chips       string // storage chip note (e.g. "MLC/TLC")
+	Integration Integration
+	WhiteBox    bool // FTL transparency
+	Access      Placement
+	Available   bool // lighter color in the figure = not fully available
+}
+
+// Models returns Figure 1's entries.
+func Models() []Model {
+	return []Model{
+		{"Fusion-IO", BlockDevice, Host, "SLC/MLC", KernelSpace, false, Host, true},
+		{"pblk", BlockDevice, Host, "MLC/TLC", KernelSpace, true, Host, true},
+		{"SPDK", BlockDevice, Host, "MLC/TLC", UserSpace, true, Host, true},
+		{"LightNVM target for ZNS", ZNS, Host, "TLC", KernelSpace, true, Host, false},
+		{"RocksDB NVM engine", AppSpecific, Host, "MLC/TLC", UserSpace, true, Host, true},
+		{"Traditional SSDs", BlockDevice, Controller, "any", Firmware, false, Host, true},
+		{"Smart SSD", BlockDevice, Controller, "QLC", Firmware, false, Controller, true},
+		{"OX-Block", BlockDevice, Controller, "MLC", UserSpace, true, Controller, true},
+		{"ZNS SSD", ZNS, Controller, "any", Firmware, false, Host, false},
+		{"OX-ZNS", ZNS, Controller, "TLC", UserSpace, true, Controller, false},
+		{"KV-SSD", AppSpecific, Controller, "QLC", Firmware, false, Host, true},
+		{"Pliops", AppSpecific, Controller, "TLC", UserSpace, false, Controller, true},
+		{"OX-ELEOS, LightLSM", AppSpecific, Controller, "MLC", UserSpace, true, Controller, true},
+	}
+}
+
+// Quadrant returns the models in one (placement, abstraction) cell.
+func Quadrant(p Placement, a Abstraction) []Model {
+	var out []Model
+	for _, m := range Models() {
+		if m.Placement == p && m.Abstraction == a {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Detail renders a model's parenthetical, matching the figure's format:
+// (chips, integration, box, access).
+func (m Model) Detail() string {
+	box := "black box"
+	if m.WhiteBox {
+		box = "white box"
+	}
+	return fmt.Sprintf("(%s, %s, %s, %s)", m.Chips, m.Integration, box, strings.ToLower(m.Access.String()))
+}
+
+// Render draws Figure 1 as a text table.
+func Render() string {
+	var b strings.Builder
+	cols := []Abstraction{BlockDevice, ZNS, AppSpecific}
+	rows := []Placement{Host, Controller}
+	b.WriteString("Figure 1: SSD models by FTL placement (rows) and abstraction (columns)\n")
+	b.WriteString("(* = not fully available at publication time)\n\n")
+	for _, p := range rows {
+		fmt.Fprintf(&b, "== FTL placement: %s ==\n", p)
+		for _, a := range cols {
+			fmt.Fprintf(&b, "  [%s]\n", a)
+			for _, m := range Quadrant(p, a) {
+				mark := ""
+				if !m.Available {
+					mark = " *"
+				}
+				fmt.Fprintf(&b, "    - %s%s %s\n", m.Name, mark, m.Detail())
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

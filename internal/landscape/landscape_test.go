@@ -1,0 +1,71 @@
+package landscape
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelsMatchFigure1(t *testing.T) {
+	ms := Models()
+	if len(ms) != 13 {
+		t.Fatalf("Figure 1 has 13 models, got %d", len(ms))
+	}
+	byName := make(map[string]Model)
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	// Spot-check the quadrants the paper's §3.1 discussion highlights.
+	ox := byName["OX-Block"]
+	if ox.Placement != Controller || ox.Abstraction != BlockDevice || !ox.WhiteBox {
+		t.Fatalf("OX-Block misplaced: %+v", ox)
+	}
+	lsm := byName["OX-ELEOS, LightLSM"]
+	if lsm.Placement != Controller || lsm.Abstraction != AppSpecific || lsm.Access != Controller {
+		t.Fatalf("OX-ELEOS/LightLSM misplaced: %+v", lsm)
+	}
+	// "Traditional SSDs and SmartSSD are in the same quadrant" (§3.1).
+	trad, smart := byName["Traditional SSDs"], byName["Smart SSD"]
+	if trad.Placement != smart.Placement || trad.Abstraction != smart.Abstraction {
+		t.Fatal("traditional and SmartSSD should share a quadrant")
+	}
+	// The unavailable (lighter) models.
+	for _, name := range []string{"LightNVM target for ZNS", "ZNS SSD", "OX-ZNS"} {
+		if byName[name].Available {
+			t.Fatalf("%s should be marked unavailable", name)
+		}
+	}
+}
+
+func TestQuadrant(t *testing.T) {
+	q := Quadrant(Controller, AppSpecific)
+	if len(q) != 3 { // KV-SSD, Pliops, OX-ELEOS+LightLSM
+		t.Fatalf("controller/app-specific has %d models, want 3", len(q))
+	}
+	if len(Quadrant(Host, ZNS)) != 1 {
+		t.Fatal("host/ZNS should hold only the LightNVM target")
+	}
+}
+
+func TestRenderContainsAllModels(t *testing.T) {
+	out := Render()
+	for _, m := range Models() {
+		if !strings.Contains(out, m.Name) {
+			t.Fatalf("render is missing %q", m.Name)
+		}
+	}
+	if !strings.Contains(out, "white box") || !strings.Contains(out, "black box") {
+		t.Fatal("transparency dimension missing from render")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if BlockDevice.String() != "Block-device" || ZNS.String() != "ZNS" || AppSpecific.String() != "App-Specific" {
+		t.Fatal("abstraction names wrong")
+	}
+	if Host.String() != "Host" || Controller.String() != "Controller" {
+		t.Fatal("placement names wrong")
+	}
+	if Firmware.String() != "embedded" || KernelSpace.String() != "kernel space" || UserSpace.String() != "user space" {
+		t.Fatal("integration names wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const maxHeight = 12
+
+// skiplist is an ordered map from internal keys to values. Internal
+// ordering: user key ascending, then sequence number descending, so the
+// newest version of a key comes first.
+type skiplist struct {
+	head   *slNode
+	height int
+	rng    *rand.Rand
+	size   int64 // approximate bytes
+	count  int
+}
+
+type slNode struct {
+	key   []byte
+	seq   uint64
+	value []byte // nil means tombstone
+	del   bool
+	next  [maxHeight]*slNode
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:   &slNode{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// cmpInternal orders by (key asc, seq desc).
+func cmpInternal(aKey []byte, aSeq uint64, bKey []byte, bSeq uint64) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aSeq > bSeq:
+		return -1
+	case aSeq < bSeq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// insert adds an entry. Duplicate (key, seq) pairs are not expected.
+func (s *skiplist) insert(key []byte, seq uint64, value []byte, del bool) {
+	var prev [maxHeight]*slNode
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && cmpInternal(x.next[level].key, x.next[level].seq, key, seq) < 0 {
+			x = x.next[level]
+		}
+		prev[level] = x
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		for level := s.height; level < h; level++ {
+			prev[level] = s.head
+		}
+		s.height = h
+	}
+	n := &slNode{key: append([]byte(nil), key...), seq: seq, del: del}
+	if !del {
+		n.value = append([]byte(nil), value...)
+	}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	s.size += int64(len(key) + len(value) + 32)
+	s.count++
+}
+
+// get returns the newest version of key at or below maxSeq.
+// found=false means the key is absent; del=true means tombstone.
+func (s *skiplist) get(key []byte, maxSeq uint64) (value []byte, del, found bool) {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && cmpInternal(x.next[level].key, x.next[level].seq, key, maxSeq) < 0 {
+			x = x.next[level]
+		}
+	}
+	n := x.next[0]
+	if n == nil || !bytes.Equal(n.key, key) || n.seq > maxSeq {
+		return nil, false, false
+	}
+	return n.value, n.del, true
+}
+
+// first returns the first node (smallest internal key).
+func (s *skiplist) first() *slNode { return s.head.next[0] }
+
+// seek returns the first node with internal key ≥ (key, maxSeq).
+func (s *skiplist) seek(key []byte, maxSeq uint64) *slNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && cmpInternal(x.next[level].key, x.next[level].seq, key, maxSeq) < 0 {
+			x = x.next[level]
+		}
+	}
+	return x.next[0]
+}

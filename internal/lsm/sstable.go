@@ -1,0 +1,362 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Entry is one internal LSM record.
+type Entry struct {
+	Key   []byte
+	Seq   uint64
+	Value []byte
+	Del   bool
+}
+
+// Block format: repeated entries
+//
+//	keyLen uint16 | flagsValLen uint32 | seq uint64 | key | value
+//
+// keyLen == 0 terminates the block; the rest is zero padding. The high
+// bit of flagsValLen marks a tombstone.
+const (
+	entryHeader = 2 + 4 + 8
+	delFlag     = 1 << 31
+)
+
+var errBlockFull = errors.New("lsm: block full")
+
+// appendEntry encodes e into buf if it fits within blockSize.
+func appendEntry(buf []byte, e Entry, blockSize int) ([]byte, error) {
+	need := entryHeader + len(e.Key) + len(e.Value)
+	// Leave room for the 2-byte terminator.
+	if len(buf)+need+2 > blockSize {
+		return buf, errBlockFull
+	}
+	var hdr [entryHeader]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(e.Key)))
+	fv := uint32(len(e.Value))
+	if e.Del {
+		fv |= delFlag
+	}
+	binary.LittleEndian.PutUint32(hdr[2:], fv)
+	binary.LittleEndian.PutUint64(hdr[6:], e.Seq)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, e.Key...)
+	buf = append(buf, e.Value...)
+	return buf, nil
+}
+
+// decodeBlock parses all entries of a block.
+func decodeBlock(block []byte) []Entry {
+	var out []Entry
+	off := 0
+	for off+entryHeader <= len(block) {
+		keyLen := int(binary.LittleEndian.Uint16(block[off:]))
+		if keyLen == 0 {
+			break
+		}
+		fv := binary.LittleEndian.Uint32(block[off+2:])
+		seq := binary.LittleEndian.Uint64(block[off+6:])
+		valLen := int(fv &^ delFlag)
+		del := fv&delFlag != 0
+		off += entryHeader
+		if off+keyLen+valLen > len(block) {
+			break // torn block
+		}
+		e := Entry{
+			Key: append([]byte(nil), block[off:off+keyLen]...),
+			Seq: seq,
+			Del: del,
+		}
+		off += keyLen
+		if !del {
+			e.Value = append([]byte(nil), block[off:off+valLen]...)
+		}
+		off += valLen
+		out = append(out, e)
+	}
+	return out
+}
+
+// TableMeta is the in-memory metadata of one SSTable: block index
+// (first key per block), bloom filter and key range. RocksDB keeps
+// these in index/filter blocks inside the table; LightLSM holds them in
+// controller RAM (they are rebuildable by scanning the table).
+type TableMeta struct {
+	Handle    TableHandle
+	FirstKeys [][]byte
+	Smallest  []byte
+	Largest   []byte
+	Filter    *bloom
+	Entries   int
+	Bytes     int64
+}
+
+// Overlaps reports whether the table's key range intersects [lo, hi].
+// nil bounds mean unbounded.
+func (t *TableMeta) Overlaps(lo, hi []byte) bool {
+	if hi != nil && bytes.Compare(t.Smallest, hi) > 0 {
+		return false
+	}
+	if lo != nil && bytes.Compare(t.Largest, lo) < 0 {
+		return false
+	}
+	return true
+}
+
+// blockFor returns the index of the last block whose first key is ≤ key
+// (the only block that can contain key), or -1.
+func (t *TableMeta) blockFor(key []byte) int {
+	lo, hi := 0, len(t.FirstKeys)-1
+	ans := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.FirstKeys[mid], key) <= 0 {
+			ans = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return ans
+}
+
+// entryIterator yields entries in internal-key order.
+type entryIterator interface {
+	// next returns the next entry; ok=false at exhaustion.
+	next() (Entry, bool)
+}
+
+// buildTables drains iter into one or more SSTables of at most
+// maxBlocks blocks each, returning their metadata. bitsPerKey sizes the
+// bloom filters; dropDeletes elides tombstones (bottom level only).
+// Each table flush is atomic (Commit).
+func buildTables(env Env, now vclock.Time, iter entryIterator, bitsPerKey int, dropDeletes bool) ([]*TableMeta, vclock.Time, error) {
+	blockSize := env.BlockSize()
+	maxBlocks := env.MaxTableBlocks()
+	var metas []*TableMeta
+	end := now
+
+	var (
+		w         TableWriter
+		meta      *TableMeta
+		keys      [][]byte
+		block     []byte
+		blockFirst []byte
+		err       error
+	)
+	flushBlock := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		padded := make([]byte, blockSize)
+		copy(padded, block)
+		if end, err = w.Append(end, padded); err != nil {
+			return err
+		}
+		meta.FirstKeys = append(meta.FirstKeys, blockFirst)
+		meta.Bytes += int64(blockSize)
+		block = block[:0]
+		blockFirst = nil
+		return nil
+	}
+	finishTable := func() error {
+		if w == nil {
+			return nil
+		}
+		if err := flushBlock(); err != nil {
+			return err
+		}
+		if meta.Entries == 0 {
+			_, err := w.Abort(end)
+			w, meta, keys = nil, nil, nil
+			return err
+		}
+		var h TableHandle
+		if h, end, err = w.Commit(end); err != nil {
+			return err
+		}
+		meta.Handle = h
+		meta.Filter = newBloomFromKeys(keys, bitsPerKey)
+		metas = append(metas, meta)
+		w, meta, keys = nil, nil, nil
+		return nil
+	}
+
+	for {
+		e, ok := iter.next()
+		if !ok {
+			break
+		}
+		if dropDeletes && e.Del {
+			continue
+		}
+		if w == nil {
+			if w, err = env.CreateTable(end); err != nil {
+				return metas, end, err
+			}
+			meta = &TableMeta{Smallest: append([]byte(nil), e.Key...)}
+		}
+		if len(block) == 0 {
+			blockFirst = append([]byte(nil), e.Key...)
+		}
+		block, err = appendEntry(block, e, blockSize)
+		if errors.Is(err, errBlockFull) {
+			if err := flushBlock(); err != nil {
+				return metas, end, err
+			}
+			if len(meta.FirstKeys) >= maxBlocks {
+				if err := finishTable(); err != nil {
+					return metas, end, err
+				}
+				if w, err = env.CreateTable(end); err != nil {
+					return metas, end, err
+				}
+				meta = &TableMeta{Smallest: append([]byte(nil), e.Key...)}
+			}
+			blockFirst = append([]byte(nil), e.Key...)
+			if block, err = appendEntry(block, e, blockSize); err != nil {
+				return metas, end, fmt.Errorf("lsm: entry larger than a block: %w", err)
+			}
+		} else if err != nil {
+			return metas, end, err
+		}
+		meta.Entries++
+		meta.Largest = append(meta.Largest[:0], e.Key...)
+		keys = append(keys, append([]byte(nil), e.Key...))
+	}
+	if err := finishTable(); err != nil {
+		return metas, end, err
+	}
+	return metas, end, nil
+}
+
+// tableIterator streams a committed table's entries block by block.
+type tableIterator struct {
+	env     Env
+	meta    *TableMeta
+	now     *vclock.Time // shared clock advanced by block reads
+	blockIdx int
+	entries []Entry
+	pos     int
+	buf     []byte
+}
+
+// newTableIterator creates an iterator over one table. Block read time
+// accrues to *now.
+func newTableIterator(env Env, meta *TableMeta, now *vclock.Time) *tableIterator {
+	return &tableIterator{env: env, meta: meta, now: now, buf: make([]byte, env.BlockSize())}
+}
+
+func (it *tableIterator) next() (Entry, bool) {
+	for it.pos >= len(it.entries) {
+		if it.blockIdx >= it.meta.Handle.Blocks {
+			return Entry{}, false
+		}
+		end, err := it.env.ReadBlock(*it.now, it.meta.Handle, it.blockIdx, it.buf)
+		if err != nil {
+			return Entry{}, false
+		}
+		*it.now = end
+		it.entries = decodeBlock(it.buf)
+		it.pos = 0
+		it.blockIdx++
+	}
+	e := it.entries[it.pos]
+	it.pos++
+	return e, true
+}
+
+// mergeIterator merges several entryIterators in internal-key order;
+// inputs must each be internally sorted. On ties (same key and seq),
+// earlier inputs win (callers order inputs newest-first).
+type mergeIterator struct {
+	its     []entryIterator
+	heads   []*Entry
+}
+
+func newMergeIterator(its []entryIterator) *mergeIterator {
+	m := &mergeIterator{its: its, heads: make([]*Entry, len(its))}
+	for i := range its {
+		if e, ok := its[i].next(); ok {
+			cp := e
+			m.heads[i] = &cp
+		}
+	}
+	return m
+}
+
+func (m *mergeIterator) next() (Entry, bool) {
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || cmpInternal(h.Key, h.Seq, m.heads[best].Key, m.heads[best].Seq) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Entry{}, false
+	}
+	e := *m.heads[best]
+	if ne, ok := m.its[best].next(); ok {
+		cp := ne
+		m.heads[best] = &cp
+	} else {
+		m.heads[best] = nil
+	}
+	return e, true
+}
+
+// dedupIterator keeps only the newest version of each key.
+type dedupIterator struct {
+	in      entryIterator
+	lastKey []byte
+	primed  bool
+	head    Entry
+	headOK  bool
+}
+
+func newDedupIterator(in entryIterator) *dedupIterator { return &dedupIterator{in: in} }
+
+func (d *dedupIterator) next() (Entry, bool) {
+	for {
+		var e Entry
+		var ok bool
+		if d.primed {
+			e, ok = d.head, d.headOK
+			d.primed = false
+		} else {
+			e, ok = d.in.next()
+		}
+		if !ok {
+			return Entry{}, false
+		}
+		if d.lastKey != nil && bytes.Equal(e.Key, d.lastKey) {
+			continue // older version of the same key
+		}
+		d.lastKey = append(d.lastKey[:0], e.Key...)
+		return e, true
+	}
+}
+
+// sliceIterator iterates a pre-built entry slice.
+type sliceIterator struct {
+	entries []Entry
+	pos     int
+}
+
+func (s *sliceIterator) next() (Entry, bool) {
+	if s.pos >= len(s.entries) {
+		return Entry{}, false
+	}
+	e := s.entries[s.pos]
+	s.pos++
+	return e, true
+}

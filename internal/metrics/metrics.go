@@ -1,0 +1,249 @@
+// Package metrics provides the measurement plumbing for the experiment
+// harness: counters, latency histograms and virtual-time series (used for
+// the throughput-over-time plots of Figure 6).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vclock"
+)
+
+// Counter is a monotonically increasing event count, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Histogram records virtual durations in power-of-two buckets from 1 µs.
+// It answers count, mean and approximate percentiles.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64
+	count   int64
+	sum     vclock.Duration
+	min     vclock.Duration
+	max     vclock.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketFor(d vclock.Duration) int {
+	us := int64(d) / int64(vclock.Microsecond)
+	b := 0
+	for us > 0 && b < 63 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d vclock.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the average observed duration, or 0 when empty.
+func (h *Histogram) Mean() vclock.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return vclock.Duration(int64(h.sum) / h.count)
+}
+
+// Min reports the smallest observation, or 0 when empty.
+func (h *Histogram) Min() vclock.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() vclock.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile reports an upper bound on the p-th percentile (p in [0,100]),
+// at bucket granularity.
+func (h *Histogram) Percentile(p float64) vclock.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := int64(math.Ceil(p / 100 * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for b, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			// Upper edge of bucket b: 2^b microseconds (bucket 0 is <1µs).
+			if b == 0 {
+				return vclock.Microsecond
+			}
+			return vclock.Duration(int64(1)<<uint(b)) * vclock.Microsecond
+		}
+	}
+	return h.max
+}
+
+// Timeline buckets event counts by virtual time, producing a
+// throughput-versus-time series. Safe for concurrent use.
+type Timeline struct {
+	mu     sync.Mutex
+	width  vclock.Duration
+	counts map[int64]int64
+}
+
+// NewTimeline returns a timeline with the given bucket width.
+func NewTimeline(bucket vclock.Duration) *Timeline {
+	if bucket <= 0 {
+		bucket = vclock.Second
+	}
+	return &Timeline{width: bucket, counts: make(map[int64]int64)}
+}
+
+// Record adds n events at virtual instant t.
+func (tl *Timeline) Record(t vclock.Time, n int64) {
+	if t < 0 {
+		t = 0
+	}
+	b := int64(t) / int64(tl.width)
+	tl.mu.Lock()
+	tl.counts[b] += n
+	tl.mu.Unlock()
+}
+
+// BucketWidth reports the configured bucket width.
+func (tl *Timeline) BucketWidth() vclock.Duration { return tl.width }
+
+// Point is one sample of a timeline series.
+type Point struct {
+	T    vclock.Time // bucket start
+	Rate float64     // events per virtual second over the bucket
+}
+
+// Series returns the timeline as (bucket start, events/sec) points in
+// time order, including zero-rate gaps between first and last bucket.
+func (tl *Timeline) Series() []Point {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if len(tl.counts) == 0 {
+		return nil
+	}
+	keys := make([]int64, 0, len(tl.counts))
+	for k := range tl.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	first, last := keys[0], keys[len(keys)-1]
+	out := make([]Point, 0, last-first+1)
+	secs := tl.width.Seconds()
+	for b := first; b <= last; b++ {
+		out = append(out, Point{
+			T:    vclock.Time(b * int64(tl.width)),
+			Rate: float64(tl.counts[b]) / secs,
+		})
+	}
+	return out
+}
+
+// Total reports the total number of recorded events.
+func (tl *Timeline) Total() int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var n int64
+	for _, c := range tl.counts {
+		n += c
+	}
+	return n
+}
+
+// MeanRate reports total events divided by the covered span, in events
+// per virtual second. Zero when fewer than one bucket is covered.
+func (tl *Timeline) MeanRate() float64 {
+	s := tl.Series()
+	if len(s) == 0 {
+		return 0
+	}
+	span := float64(len(s)) * tl.width.Seconds()
+	return float64(tl.Total()) / span
+}
+
+// PeakRate reports the highest per-bucket rate.
+func (tl *Timeline) PeakRate() float64 {
+	var peak float64
+	for _, p := range tl.Series() {
+		if p.Rate > peak {
+			peak = p.Rate
+		}
+	}
+	return peak
+}
+
+// Throughput is a convenience: ops completed over an interval, as ops/sec.
+func Throughput(ops int64, elapsed vclock.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// Fmt renders a rate in thousands of operations per second, matching how
+// the paper reports Figure 5 ("operations/sec – in thousands").
+func Fmt(rate float64) string {
+	return fmt.Sprintf("%.3f", rate/1000)
+}

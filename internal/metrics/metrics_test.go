@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("value = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should answer zeros")
+	}
+	h.Observe(10 * vclock.Microsecond)
+	h.Observe(20 * vclock.Microsecond)
+	h.Observe(30 * vclock.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 20*vclock.Microsecond {
+		t.Fatalf("mean = %v, want 20µs", h.Mean())
+	}
+	if h.Min() != 10*vclock.Microsecond || h.Max() != 30*vclock.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative observation should clamp to 0, min=%v", h.Min())
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(vclock.Duration(i) * vclock.Microsecond)
+	}
+	p50 := h.Percentile(50)
+	p99 := h.Percentile(99)
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	if p100 := h.Percentile(100); p100 < p99 {
+		t.Fatalf("p100 %v < p99 %v", p100, p99)
+	}
+	// Out-of-range percentiles clamp rather than panic.
+	if h.Percentile(-1) <= 0 || h.Percentile(200) <= 0 {
+		t.Fatal("clamped percentiles should still answer")
+	}
+}
+
+// Property: percentile never exceeds 2x the true value's bucket upper
+// bound and the histogram count always matches observations.
+func TestHistogramCountProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Observe(vclock.Duration(s) * vclock.Microsecond)
+		}
+		return h.Count() == int64(len(samples))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineSeries(t *testing.T) {
+	tl := NewTimeline(vclock.Second)
+	tl.Record(0, 100)
+	tl.Record(vclock.Time(500*vclock.Millisecond), 100)
+	tl.Record(vclock.Time(2*vclock.Second), 50) // gap at bucket 1
+	s := tl.Series()
+	if len(s) != 3 {
+		t.Fatalf("series length = %d, want 3 (with gap)", len(s))
+	}
+	if s[0].Rate != 200 {
+		t.Fatalf("bucket0 rate = %v, want 200", s[0].Rate)
+	}
+	if s[1].Rate != 0 {
+		t.Fatalf("gap bucket rate = %v, want 0", s[1].Rate)
+	}
+	if s[2].Rate != 50 {
+		t.Fatalf("bucket2 rate = %v, want 50", s[2].Rate)
+	}
+	if tl.Total() != 250 {
+		t.Fatalf("total = %d, want 250", tl.Total())
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline(vclock.Second)
+	if tl.Series() != nil || tl.MeanRate() != 0 || tl.PeakRate() != 0 {
+		t.Fatal("empty timeline should answer zeros")
+	}
+}
+
+func TestTimelineRates(t *testing.T) {
+	tl := NewTimeline(vclock.Second)
+	tl.Record(0, 10)
+	tl.Record(vclock.Time(vclock.Second), 30)
+	if tl.PeakRate() != 30 {
+		t.Fatalf("peak = %v, want 30", tl.PeakRate())
+	}
+	if tl.MeanRate() != 20 {
+		t.Fatalf("mean = %v, want 20", tl.MeanRate())
+	}
+}
+
+func TestTimelineDefaultsAndClamps(t *testing.T) {
+	tl := NewTimeline(0)
+	if tl.BucketWidth() != vclock.Second {
+		t.Fatal("zero width should default to 1s")
+	}
+	tl.Record(-5, 1) // negative time clamps to bucket 0
+	if tl.Total() != 1 {
+		t.Fatal("record at negative time lost")
+	}
+}
+
+func TestThroughputAndFmt(t *testing.T) {
+	if Throughput(1000, vclock.Second) != 1000 {
+		t.Fatal("throughput wrong")
+	}
+	if Throughput(1000, 0) != 0 {
+		t.Fatal("zero elapsed should be 0")
+	}
+	if got := Fmt(13091); got != "13.091" {
+		t.Fatalf("Fmt = %q, want 13.091", got)
+	}
+}

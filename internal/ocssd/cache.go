@@ -1,0 +1,94 @@
+package ocssd
+
+import (
+	"container/heap"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// cacheTracker models the controller's write-back cache occupancy in
+// virtual time. Each admitted write occupies cache space until its data
+// has been programmed to NAND (its "free at" instant, known when the
+// flush is scheduled). Admission of a new write may have to wait until
+// enough earlier entries drain.
+type cacheTracker struct {
+	mu       sync.Mutex
+	capacity int64
+	occupied int64
+	entries  entryHeap // pending entries ordered by freeAt
+}
+
+type cacheEntry struct {
+	freeAt vclock.Time
+	bytes  int64
+}
+
+type entryHeap []cacheEntry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].freeAt < h[j].freeAt }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)         { *h = append(*h, x.(cacheEntry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func newCacheTracker(capacity int64) *cacheTracker {
+	return &cacheTracker{capacity: capacity}
+}
+
+// enabled reports whether write-back caching is on.
+func (c *cacheTracker) enabled() bool { return c != nil && c.capacity > 0 }
+
+// admit returns the earliest instant ≥ now at which bytes of cache space
+// are available, draining entries whose flushes complete by then. The
+// space is reserved; release it by scheduling the flush with occupy.
+func (c *cacheTracker) admit(now vclock.Time, bytes int64) vclock.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := now
+	// Drain everything already flushed by t.
+	for len(c.entries) > 0 && c.entries[0].freeAt <= t {
+		e := heap.Pop(&c.entries).(cacheEntry)
+		c.occupied -= e.bytes
+	}
+	// Wait for further drains until the new entry fits. An over-sized
+	// write proceeds once the cache is fully drained (occupancy may then
+	// transiently exceed capacity, as with any single huge I/O).
+	for c.occupied+bytes > c.capacity && len(c.entries) > 0 {
+		e := heap.Pop(&c.entries).(cacheEntry)
+		c.occupied -= e.bytes
+		if e.freeAt > t {
+			t = e.freeAt
+		}
+	}
+	c.occupied += bytes
+	return t
+}
+
+// occupy records that the bytes admitted earlier will be freed at freeAt
+// (the virtual completion of their NAND program).
+func (c *cacheTracker) occupy(freeAt vclock.Time, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// admit already counted these bytes as occupied; the entry just
+	// records when future admissions may drain them. Every admitted byte
+	// must be covered by exactly one occupy call so holds never leak.
+	heap.Push(&c.entries, cacheEntry{freeAt: freeAt, bytes: bytes})
+}
+
+// occupancy reports bytes held at the given instant (for tests).
+func (c *cacheTracker) occupancy(now vclock.Time) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.entries) > 0 && c.entries[0].freeAt <= now {
+		e := heap.Pop(&c.entries).(cacheEntry)
+		c.occupied -= e.bytes
+	}
+	return c.occupied
+}

@@ -1,0 +1,693 @@
+// Package ocssd simulates an Open-Channel 2.0 SSD (§2.2 of the paper):
+// a physical address space of groups × parallel units × chunks × logical
+// blocks, vector read/write commands, chunk reset, device-side copy and
+// a chunk report, on top of the NAND simulator. The device enforces the
+// interface rules — writes land at the chunk write pointer in ws_min
+// units, chunks are reset before rewrite — and abstracts planes and
+// paired pages by buffering sub-stripe writes in controller DRAM until a
+// full wordline stripe (ws_opt) can be programmed.
+//
+// Timing is virtual (internal/vclock): each group has a channel-bus
+// resource and each PU a chip resource, so cross-group operations never
+// interfere while same-group operations queue — exactly the isolation
+// argument of §2.2 and §4.3.
+package ocssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/nand"
+	"repro/internal/vclock"
+)
+
+// Errors reported by device commands.
+var (
+	ErrAddress     = errors.New("ocssd: address out of range")
+	ErrWritePointer = errors.New("ocssd: write not at chunk write pointer")
+	ErrWriteSize   = errors.New("ocssd: write size not a multiple of ws_min")
+	ErrChunkState  = errors.New("ocssd: invalid chunk state for command")
+	ErrChunkFull   = errors.New("ocssd: write beyond chunk capacity")
+	ErrUnwritten   = errors.New("ocssd: read of unwritten sector")
+	ErrOffline     = errors.New("ocssd: chunk is offline")
+	ErrOpenLimit   = errors.New("ocssd: too many open chunks on parallel unit")
+	ErrDataSize    = errors.New("ocssd: data length does not match sector count")
+)
+
+// ChunkState is the state machine of §2.2 / OCSSD 2.0 chunk reports.
+type ChunkState uint8
+
+// Chunk states.
+const (
+	ChunkFree ChunkState = iota
+	ChunkOpen
+	ChunkClosed
+	ChunkOffline
+)
+
+func (s ChunkState) String() string {
+	switch s {
+	case ChunkFree:
+		return "free"
+	case ChunkOpen:
+		return "open"
+	case ChunkClosed:
+		return "closed"
+	case ChunkOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("ChunkState(%d)", uint8(s))
+	}
+}
+
+// ChunkInfo is one entry of the chunk report (get log page, §2.2).
+type ChunkInfo struct {
+	ID    ChunkID
+	State ChunkState
+	WP    int // write pointer: next writable sector
+	Wear  int // reset count
+}
+
+// AsyncError is an asynchronous device notification (§2.2: bad media
+// management and asynchronous error reporting).
+type AsyncError struct {
+	Chunk ChunkID
+	Err   error
+}
+
+// Stats aggregates device-level operation counters.
+type Stats struct {
+	VectorWrites  int64
+	VectorReads   int64
+	Resets        int64
+	Copies        int64
+	SectorsWritten int64
+	SectorsRead   int64
+	CacheHitReads int64
+	MediaReads    int64
+	PadSectors    int64
+	GrownBadChunks int64
+}
+
+// Options configures device construction.
+type Options struct {
+	Seed        int64
+	Reliability nand.Reliability
+	// Timing overrides the per-cell-type default when non-nil.
+	Timing *nand.TimingProfile
+	// PowerLossProtected keeps partially filled stripe buffers across a
+	// Crash (capacitor-backed DRAM). Without it, un-programmed sectors
+	// are lost on crash, which is what forces FTLs to use a WAL.
+	PowerLossProtected bool
+}
+
+type chunkMeta struct {
+	state    ChunkState
+	wp       int
+	wear     int
+	flushEnd vclock.Time // latest NAND program completion for this chunk
+	buf      []byte      // partial-stripe buffer (len < stripe bytes)
+	bufBase  int         // sector index where buf starts (stripe-aligned)
+}
+
+// Device is one simulated Open-Channel SSD.
+type Device struct {
+	geo  Geometry
+	opts Options
+
+	chips    [][]*nand.Chip       // [group][pu]
+	channels []*vclock.Resource   // one bus per group
+	chipRes  [][]*vclock.Resource // one resource per PU
+	cache    *cacheTracker
+
+	mu     sync.Mutex
+	chunks [][][]chunkMeta // [group][pu][chunk]
+	open   [][]int         // open chunk count per PU
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	asyncC chan AsyncError
+}
+
+// New builds a device with the given geometry. The seed drives all
+// failure injection; chips get distinct derived seeds.
+func New(geo Geometry, opts Options) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	timing := nand.DefaultTiming(geo.Chip.Cell)
+	if opts.Timing != nil {
+		timing = *opts.Timing
+	}
+	d := &Device{
+		geo:      geo,
+		opts:     opts,
+		chips:    make([][]*nand.Chip, geo.Groups),
+		channels: make([]*vclock.Resource, geo.Groups),
+		chipRes:  make([][]*vclock.Resource, geo.Groups),
+		chunks:   make([][][]chunkMeta, geo.Groups),
+		open:     make([][]int, geo.Groups),
+		asyncC:   make(chan AsyncError, 1024),
+	}
+	var cacheBytes int64
+	if geo.CacheMB > 0 {
+		cacheBytes = int64(geo.CacheMB) << 20
+		d.cache = newCacheTracker(cacheBytes)
+	}
+	for g := 0; g < geo.Groups; g++ {
+		d.channels[g] = vclock.NewResource(fmt.Sprintf("ch%d", g))
+		d.chips[g] = make([]*nand.Chip, geo.PUsPerGroup)
+		d.chipRes[g] = make([]*vclock.Resource, geo.PUsPerGroup)
+		d.chunks[g] = make([][]chunkMeta, geo.PUsPerGroup)
+		d.open[g] = make([]int, geo.PUsPerGroup)
+		for u := 0; u < geo.PUsPerGroup; u++ {
+			seed := opts.Seed*1000003 + int64(g)*257 + int64(u) + 1
+			chip, err := nand.New(geo.Chip, timing, opts.Reliability, seed)
+			if err != nil {
+				return nil, err
+			}
+			d.chips[g][u] = chip
+			d.chipRes[g][u] = vclock.NewResource(fmt.Sprintf("chip%d.%d", g, u))
+			d.chunks[g][u] = make([]chunkMeta, geo.ChunksPerPU)
+			for c := range d.chunks[g][u] {
+				// A chunk is offline if any of its per-plane blocks is
+				// factory bad (the chunk spans block c on every plane).
+				for p := 0; p < geo.Chip.Planes; p++ {
+					if chip.IsBad(p, c) {
+						d.chunks[g][u][c].state = ChunkOffline
+						break
+					}
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// Geometry reports the device geometry (the identify command of §2.2).
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Errors returns the asynchronous error notification channel.
+func (d *Device) Errors() <-chan AsyncError { return d.asyncC }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.stats
+}
+
+// ChannelUtilization reports per-group channel utilization over [0, now].
+func (d *Device) ChannelUtilization(now vclock.Time) []float64 {
+	out := make([]float64, d.geo.Groups)
+	for g, r := range d.channels {
+		out[g] = r.Utilization(now)
+	}
+	return out
+}
+
+func (d *Device) notify(id ChunkID, err error) {
+	select {
+	case d.asyncC <- AsyncError{Chunk: id, Err: err}:
+	default: // drop when nobody is listening
+	}
+}
+
+// Chunk reports the chunk-log entry for one chunk.
+func (d *Device) Chunk(id ChunkID) (ChunkInfo, error) {
+	if err := d.geo.CheckPPA(id.PPAOf(0)); err != nil {
+		return ChunkInfo{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	return ChunkInfo{ID: id, State: m.state, WP: m.wp, Wear: m.wear}, nil
+}
+
+// Report returns the full chunk log (every chunk on the device).
+func (d *Device) Report() []ChunkInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ChunkInfo, 0, d.geo.Groups*d.geo.PUsPerGroup*d.geo.ChunksPerPU)
+	for g := range d.chunks {
+		for u := range d.chunks[g] {
+			for c := range d.chunks[g][u] {
+				m := &d.chunks[g][u][c]
+				out = append(out, ChunkInfo{
+					ID:    ChunkID{g, u, c},
+					State: m.state,
+					WP:    m.wp,
+					Wear:  m.wear,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// stripeBytes is the size of one ws_opt stripe in bytes.
+func (d *Device) stripeBytes() int { return d.geo.WSOpt * d.geo.Chip.SectorSize }
+
+// programStripe writes one complete wordline stripe (ws_opt sectors,
+// already assembled in buf) to NAND and accounts its virtual timing.
+// The caller holds d.mu. It returns the virtual completion instant.
+func (d *Device) programStripe(at vclock.Time, id ChunkID, baseSector int, buf []byte) (vclock.Time, error) {
+	geo := d.geo
+	chip := d.chips[id.Group][id.PU]
+	bits := geo.Chip.Cell.BitsPerCell()
+	spp := geo.Chip.SectorsPerPage
+	pageBytes := geo.Chip.PageBytes()
+
+	// Timing: the whole stripe crosses the channel bus once, then the
+	// chip programs bits paired pages (planes program in parallel).
+	_, xferEnd := d.channels[id.Group].Acquire(at, vclock.DurationFor(int64(len(buf)), geo.ChannelMBps))
+	var progDur vclock.Duration
+	firstPage := geo.locate(baseSector).page
+	for b := 0; b < bits; b++ {
+		progDur += chip.ProgramTime(firstPage + b)
+	}
+	_, progEnd := d.chipRes[id.Group][id.PU].Acquire(xferEnd, progDur)
+
+	// State: program each (plane, paired) page of the stripe.
+	for p := 0; p < geo.Chip.Planes; p++ {
+		for b := 0; b < bits; b++ {
+			off := (p*bits + b) * spp * geo.Chip.SectorSize
+			page := firstPage + b
+			if err := chip.Program(p, id.Chunk, page, buf[off:off+pageBytes], nil); err != nil {
+				m := &d.chunks[id.Group][id.PU][id.Chunk]
+				m.state = ChunkOffline
+				d.statsMu.Lock()
+				d.stats.GrownBadChunks++
+				d.statsMu.Unlock()
+				d.notify(id, err)
+				return progEnd, fmt.Errorf("program %v: %w", id, err)
+			}
+		}
+	}
+	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	if progEnd > m.flushEnd {
+		m.flushEnd = progEnd
+	}
+	return progEnd, nil
+}
+
+// writeChunk appends n sectors of data to a chunk at its write pointer.
+// The caller holds d.mu. Returns the client-visible completion time.
+func (d *Device) writeChunk(now vclock.Time, id ChunkID, sector int, data []byte) (vclock.Time, error) {
+	geo := d.geo
+	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	n := len(data) / geo.Chip.SectorSize
+
+	switch m.state {
+	case ChunkOffline:
+		return now, fmt.Errorf("%w: %v", ErrOffline, id)
+	case ChunkClosed:
+		return now, fmt.Errorf("%w: write to closed %v", ErrChunkState, id)
+	case ChunkFree:
+		if d.open[id.Group][id.PU] >= geo.MaxOpenPerPU {
+			return now, fmt.Errorf("%w: %v", ErrOpenLimit, id)
+		}
+		m.state = ChunkOpen
+		m.buf = make([]byte, 0, d.stripeBytes())
+		m.bufBase = 0
+		d.open[id.Group][id.PU]++
+	}
+	if sector != m.wp {
+		return now, fmt.Errorf("%w: %v sector %d, wp %d", ErrWritePointer, id, sector, m.wp)
+	}
+	if m.wp+n > geo.SectorsPerChunk() {
+		return now, fmt.Errorf("%w: %v", ErrChunkFull, id)
+	}
+
+	// Client-visible cost: admission to the write-back cache (may wait
+	// for drain) plus the DRAM copy. Without a cache, the client also
+	// waits for every stripe program it completes.
+	completeAt := now
+	if d.cache.enabled() {
+		completeAt = d.cache.admit(now, int64(len(data)))
+	}
+	copyDur := vclock.DurationFor(int64(len(data)), geo.CacheMBps)
+	completeAt = completeAt.Add(copyDur)
+
+	stripe := d.stripeBytes()
+	var lastProg vclock.Time
+	for len(data) > 0 {
+		room := stripe - len(m.buf)
+		take := len(data)
+		if take > room {
+			take = room
+		}
+		m.buf = append(m.buf, data[:take]...)
+		data = data[take:]
+		m.wp += take / geo.Chip.SectorSize
+		if len(m.buf) == stripe {
+			progEnd, err := d.programStripe(completeAt, id, m.bufBase, m.buf)
+			if err != nil {
+				return completeAt, err
+			}
+			if d.cache.enabled() {
+				// Earlier contributions to this stripe released their
+				// holds when their own writes completed; only this
+				// write's portion is still held.
+				d.cache.occupy(progEnd, int64(take))
+			}
+			lastProg = progEnd
+			m.bufBase += geo.WSOpt
+			m.buf = m.buf[:0]
+		} else if d.cache.enabled() {
+			// Partial-stripe remainder: release the hold immediately;
+			// the stripe buffer is small, bounded controller state.
+			d.cache.occupy(completeAt, int64(take))
+		}
+	}
+	if !d.cache.enabled() && lastProg > completeAt {
+		completeAt = lastProg
+	}
+	if m.wp == geo.SectorsPerChunk() {
+		m.state = ChunkClosed
+		m.buf = nil
+		d.open[id.Group][id.PU]--
+	}
+	return completeAt, nil
+}
+
+// VectorWrite executes a scatter-gather write (§2.2). Every run of
+// sectors within a chunk must start at that chunk's write pointer and be
+// a multiple of ws_min. Data holds len(ppas) sectors, in ppas order.
+// Returns the client-visible virtual completion instant.
+func (d *Device) VectorWrite(now vclock.Time, ppas []PPA, data []byte) (vclock.Time, error) {
+	geo := d.geo
+	if len(data) != len(ppas)*geo.Chip.SectorSize {
+		return now, fmt.Errorf("%w: %d bytes for %d sectors", ErrDataSize, len(data), len(ppas))
+	}
+	if len(ppas) == 0 {
+		return now, nil
+	}
+	for _, p := range ppas {
+		if err := geo.CheckPPA(p); err != nil {
+			return now, err
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	end := now
+	i := 0
+	for i < len(ppas) {
+		// Coalesce the maximal contiguous run within one chunk.
+		j := i + 1
+		for j < len(ppas) && ppas[j].ChunkOf() == ppas[i].ChunkOf() && ppas[j].Sector == ppas[j-1].Sector+1 {
+			j++
+		}
+		run := j - i
+		if run%geo.WSMin != 0 {
+			return now, fmt.Errorf("%w: run of %d sectors at %v", ErrWriteSize, run, ppas[i])
+		}
+		sz := geo.Chip.SectorSize
+		t, err := d.writeChunk(now, ppas[i].ChunkOf(), ppas[i].Sector, data[i*sz:j*sz])
+		if err != nil {
+			return now, err
+		}
+		if t > end {
+			end = t
+		}
+		i = j
+	}
+	d.statsMu.Lock()
+	d.stats.VectorWrites++
+	d.stats.SectorsWritten += int64(len(ppas))
+	d.statsMu.Unlock()
+	return end, nil
+}
+
+// Append writes data at the chunk's current write pointer and returns
+// the starting sector that was assigned along with the completion time.
+func (d *Device) Append(now vclock.Time, id ChunkID, data []byte) (int, vclock.Time, error) {
+	geo := d.geo
+	if len(data) == 0 || len(data)%(geo.WSMin*geo.Chip.SectorSize) != 0 {
+		return 0, now, fmt.Errorf("%w: %d bytes", ErrWriteSize, len(data))
+	}
+	if err := geo.CheckPPA(id.PPAOf(0)); err != nil {
+		return 0, now, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start := d.chunks[id.Group][id.PU][id.Chunk].wp
+	end, err := d.writeChunk(now, id, start, data)
+	if err != nil {
+		return 0, now, err
+	}
+	d.statsMu.Lock()
+	d.stats.VectorWrites++
+	d.stats.SectorsWritten += int64(len(data) / geo.Chip.SectorSize)
+	d.statsMu.Unlock()
+	return start, end, nil
+}
+
+// Pad fills the open partial stripe of a chunk with zero sectors so that
+// everything appended so far becomes durable (programmed to NAND). It is
+// how a WAL achieves synchronous commit on an append-only device. The
+// padded sectors are wasted space accounted in Stats.PadSectors.
+func (d *Device) Pad(now vclock.Time, id ChunkID) (vclock.Time, error) {
+	geo := d.geo
+	if err := geo.CheckPPA(id.PPAOf(0)); err != nil {
+		return now, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	if m.state != ChunkOpen || len(m.buf) == 0 {
+		return now, nil // nothing buffered: already durable
+	}
+	padBytes := d.stripeBytes() - len(m.buf)
+	padSectors := padBytes / geo.Chip.SectorSize
+	end, err := d.writeChunk(now, id, m.wp, make([]byte, padBytes))
+	if err != nil {
+		return now, err
+	}
+	// Pad is the durability barrier (FUA/flush): even with the write-back
+	// cache on, the caller waits until the chunk's pending programs hit
+	// NAND.
+	if m.flushEnd > end {
+		end = m.flushEnd
+	}
+	d.statsMu.Lock()
+	d.stats.PadSectors += int64(padSectors)
+	d.statsMu.Unlock()
+	return end, nil
+}
+
+// VectorRead executes a scatter-gather read of logical blocks into dst
+// (len(ppas) sectors). Reads served from the controller buffer or the
+// write-back cache cost DRAM time; media reads cost tR per distinct page
+// plus the channel transfer. Returns the virtual completion instant.
+func (d *Device) VectorRead(now vclock.Time, ppas []PPA, dst []byte) (vclock.Time, error) {
+	geo := d.geo
+	if len(dst) != len(ppas)*geo.Chip.SectorSize {
+		return now, fmt.Errorf("%w: %d bytes for %d sectors", ErrDataSize, len(dst), len(ppas))
+	}
+	for _, p := range ppas {
+		if err := geo.CheckPPA(p); err != nil {
+			return now, err
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	sz := geo.Chip.SectorSize
+	end := now
+	var cacheHits, mediaReads int64
+	// Track distinct pages charged per chip so one page read serves all
+	// its sectors in this vector.
+	type pageKey struct {
+		id   ChunkID
+		page int
+	}
+	charged := make(map[pageKey]vclock.Time)
+
+	for i, p := range ppas {
+		m := &d.chunks[p.Group][p.PU][p.Chunk]
+		if m.state == ChunkOffline {
+			return now, fmt.Errorf("%w: %v", ErrOffline, p)
+		}
+		if p.Sector >= m.wp {
+			return now, fmt.Errorf("%w: %v (wp %d)", ErrUnwritten, p, m.wp)
+		}
+		out := dst[i*sz : (i+1)*sz]
+		// Still in the partial-stripe controller buffer?
+		if off := (p.Sector - m.bufBase) * sz; m.state == ChunkOpen && p.Sector >= m.bufBase && off+sz <= len(m.buf) {
+			copy(out, m.buf[off:off+sz])
+			t := now.Add(vclock.DurationFor(int64(sz), geo.CacheMBps))
+			if t > end {
+				end = t
+			}
+			cacheHits++
+			continue
+		}
+		loc := geo.locate(p.Sector)
+		data, _, err := d.chips[p.Group][p.PU].Read(loc.plane, p.Chunk, loc.page)
+		if err != nil {
+			return now, fmt.Errorf("read %v: %w", p, err)
+		}
+		copy(out, data[loc.sector*sz:(loc.sector+1)*sz])
+		// Write-back cache window: data not yet drained reads at DRAM speed.
+		if d.cache.enabled() && m.flushEnd > now {
+			t := now.Add(vclock.DurationFor(int64(sz), geo.CacheMBps))
+			if t > end {
+				end = t
+			}
+			cacheHits++
+			continue
+		}
+		key := pageKey{id: p.ChunkOf(), page: loc.page}
+		tREnd, ok := charged[key]
+		if !ok {
+			_, tREnd = d.chipRes[p.Group][p.PU].Acquire(now, d.chips[p.Group][p.PU].ReadTime())
+			charged[key] = tREnd
+		}
+		_, xferEnd := d.channels[p.Group].Acquire(tREnd, vclock.DurationFor(int64(sz), geo.ChannelMBps))
+		if xferEnd > end {
+			end = xferEnd
+		}
+		mediaReads++
+	}
+	d.statsMu.Lock()
+	d.stats.VectorReads++
+	d.stats.SectorsRead += int64(len(ppas))
+	d.stats.CacheHitReads += cacheHits
+	d.stats.MediaReads += mediaReads
+	d.statsMu.Unlock()
+	return end, nil
+}
+
+// Reset erases a chunk (§2.2: "A chunk must be reset before it is
+// written again"). The chunk returns to the free state with its write
+// pointer at zero; wear increases by one.
+func (d *Device) Reset(now vclock.Time, id ChunkID) (vclock.Time, error) {
+	geo := d.geo
+	if err := geo.CheckPPA(id.PPAOf(0)); err != nil {
+		return now, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	switch m.state {
+	case ChunkOffline:
+		return now, fmt.Errorf("%w: %v", ErrOffline, id)
+	case ChunkFree:
+		return now, fmt.Errorf("%w: reset of free %v", ErrChunkState, id)
+	case ChunkOpen:
+		d.open[id.Group][id.PU]--
+	}
+	// Multi-plane erase: planes erase in parallel, one erase duration.
+	chip := d.chips[id.Group][id.PU]
+	_, end := d.chipRes[id.Group][id.PU].Acquire(now, chip.EraseTime())
+	if err := chip.EraseMulti(id.Chunk); err != nil {
+		m.state = ChunkOffline
+		d.statsMu.Lock()
+		d.stats.GrownBadChunks++
+		d.statsMu.Unlock()
+		d.notify(id, err)
+		return end, fmt.Errorf("reset %v: %w", id, err)
+	}
+	m.state = ChunkFree
+	m.wp = 0
+	m.wear++
+	m.buf = nil
+	m.bufBase = 0
+	d.statsMu.Lock()
+	d.stats.Resets++
+	d.statsMu.Unlock()
+	return end, nil
+}
+
+// Copy moves logical blocks inside the device without host involvement
+// (§2.2: "copy of logical blocks (within the Open-Channel SSD, without
+// host involvement)"). Source sectors are appended to the destination
+// chunk at its write pointer. Returns the assigned destination sectors'
+// starting index and the completion instant.
+func (d *Device) Copy(now vclock.Time, src []PPA, dst ChunkID) (int, vclock.Time, error) {
+	geo := d.geo
+	if len(src) == 0 || len(src)%geo.WSMin != 0 {
+		return 0, now, fmt.Errorf("%w: %d source sectors", ErrWriteSize, len(src))
+	}
+	sz := geo.Chip.SectorSize
+	buf := make([]byte, len(src)*sz)
+	// Device-internal read of the sources (tR per page, no host channel).
+	end, err := d.VectorRead(now, src, buf)
+	if err != nil {
+		return 0, now, err
+	}
+	start, end2, err := d.Append(end, dst, buf)
+	if err != nil {
+		return 0, now, err
+	}
+	d.statsMu.Lock()
+	d.stats.Copies++
+	d.statsMu.Unlock()
+	return start, end2, nil
+}
+
+// FlushAll pads every open chunk so that all appended data is programmed
+// (used for clean shutdown). Returns the latest completion instant.
+func (d *Device) FlushAll(now vclock.Time) (vclock.Time, error) {
+	end := now
+	for g := 0; g < d.geo.Groups; g++ {
+		for u := 0; u < d.geo.PUsPerGroup; u++ {
+			for c := 0; c < d.geo.ChunksPerPU; c++ {
+				d.mu.Lock()
+				needs := d.chunks[g][u][c].state == ChunkOpen && len(d.chunks[g][u][c].buf) > 0
+				d.mu.Unlock()
+				if !needs {
+					continue
+				}
+				t, err := d.Pad(now, ChunkID{g, u, c})
+				if err != nil {
+					return end, err
+				}
+				if t > end {
+					end = t
+				}
+			}
+		}
+	}
+	return end, nil
+}
+
+// Crash simulates sudden power loss of the *controller DRAM*: partial
+// stripe buffers are lost unless the device is power-loss protected, and
+// the chunk write pointers retreat to the last programmed stripe. NAND
+// contents survive. Chunk states remain intact (they are reconstructed
+// from NAND in reality; the chunk report is the durable source of truth).
+func (d *Device) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for g := range d.chunks {
+		for u := range d.chunks[g] {
+			for c := range d.chunks[g][u] {
+				m := &d.chunks[g][u][c]
+				if m.state != ChunkOpen || len(m.buf) == 0 {
+					continue
+				}
+				if d.opts.PowerLossProtected {
+					// Capacitors flush the partial stripe with padding.
+					padBytes := d.stripeBytes() - len(m.buf)
+					buf := append(m.buf, make([]byte, padBytes)...)
+					if _, err := d.programStripe(0, ChunkID{g, u, c}, m.bufBase, buf); err == nil {
+						m.bufBase += d.geo.WSOpt
+						m.wp = m.bufBase
+					}
+					d.statsMu.Lock()
+					d.stats.PadSectors += int64(padBytes / d.geo.Chip.SectorSize)
+					d.statsMu.Unlock()
+				} else {
+					// Buffered sectors vanish: the write pointer retreats.
+					m.wp = m.bufBase
+				}
+				m.buf = nil
+			}
+		}
+	}
+}

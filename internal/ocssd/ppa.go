@@ -1,0 +1,61 @@
+package ocssd
+
+import "fmt"
+
+// PPA is a physical page address in the Open-Channel 2.0 hierarchy:
+// group / parallel unit / chunk / logical block (sector) within the chunk
+// (§2.2). Sector is the index of the logical block inside the chunk.
+type PPA struct {
+	Group  int
+	PU     int
+	Chunk  int
+	Sector int
+}
+
+// Pack encodes the PPA into 64 bits: 8 bits group, 8 bits PU, 24 bits
+// chunk, 24 bits sector. This is the on-log and in-map representation.
+func (p PPA) Pack() uint64 {
+	return uint64(p.Group)&0xff<<56 |
+		uint64(p.PU)&0xff<<48 |
+		uint64(p.Chunk)&0xffffff<<24 |
+		uint64(p.Sector)&0xffffff
+}
+
+// Unpack decodes a PPA packed with Pack.
+func Unpack(v uint64) PPA {
+	return PPA{
+		Group:  int(v >> 56 & 0xff),
+		PU:     int(v >> 48 & 0xff),
+		Chunk:  int(v >> 24 & 0xffffff),
+		Sector: int(v & 0xffffff),
+	}
+}
+
+func (p PPA) String() string {
+	return fmt.Sprintf("ppa(g%d u%d c%d s%d)", p.Group, p.PU, p.Chunk, p.Sector)
+}
+
+// Next returns the PPA of the following sector in the same chunk.
+func (p PPA) Next() PPA {
+	p.Sector++
+	return p
+}
+
+// ChunkID identifies one chunk on the device.
+type ChunkID struct {
+	Group int
+	PU    int
+	Chunk int
+}
+
+// ChunkOf returns the chunk the PPA belongs to.
+func (p PPA) ChunkOf() ChunkID { return ChunkID{p.Group, p.PU, p.Chunk} }
+
+func (c ChunkID) String() string {
+	return fmt.Sprintf("chunk(g%d u%d c%d)", c.Group, c.PU, c.Chunk)
+}
+
+// PPAOf returns the PPA of sector s within the chunk.
+func (c ChunkID) PPAOf(s int) PPA {
+	return PPA{Group: c.Group, PU: c.PU, Chunk: c.Chunk, Sector: s}
+}

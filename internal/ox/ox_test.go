@@ -1,0 +1,174 @@
+package ox
+
+import (
+	"testing"
+
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/vclock"
+)
+
+func testMedia(t *testing.T) Media {
+	t.Helper()
+	chip := nand.Geometry{
+		Planes: 2, BlocksPerPlane: 8, PagesPerBlock: 12,
+		SectorsPerPage: 4, SectorSize: 4096, Cell: nand.TLC,
+	}
+	geo := ocssd.Finish(ocssd.Geometry{
+		Groups: 2, PUsPerGroup: 2, ChunksPerPU: 8, Chip: chip,
+		ChannelMBps: 800, CacheMBps: 3200, CacheMB: 4, MaxOpenPerPU: 4,
+	})
+	d, err := ocssd.New(geo, ocssd.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	m := testMedia(t)
+	if _, err := NewController(DefaultConfig(), nil); err == nil {
+		t.Fatal("nil media should be rejected")
+	}
+	cfg := DefaultConfig()
+	cfg.Cores = 0
+	if _, err := NewController(cfg, m); err == nil {
+		t.Fatal("zero cores should be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.MemMBps = 0
+	if _, err := NewController(cfg, m); err == nil {
+		t.Fatal("zero bus bandwidth should be rejected")
+	}
+	c, err := NewController(DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Media() != m {
+		t.Fatal("Media accessor wrong")
+	}
+	if c.Config().Cores != 4 {
+		t.Fatal("Config accessor wrong")
+	}
+}
+
+func TestHostTransferTiming(t *testing.T) {
+	c, _ := NewController(Config{Cores: 1, MemMBps: 1000, HostMBps: 1000, HostLatency: 0}, testMedia(t))
+	// 1 MB at 1000 MB/s = 1 ms.
+	end := c.HostTransfer(0, 1<<20)
+	want := vclock.DurationFor(1<<20, 1000)
+	if end != vclock.Time(want) {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+	if c.Stats().BytesHost != 1<<20 || c.Stats().HostTransfers != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	// The host bus serializes transfers.
+	end2 := c.HostTransfer(0, 1<<20)
+	if end2 != vclock.Time(2*want) {
+		t.Fatalf("second transfer end = %v, want %v", end2, 2*want)
+	}
+}
+
+func TestCopiesShareTheMemoryBus(t *testing.T) {
+	c, _ := NewController(Config{Cores: 4, MemMBps: 1000, HostMBps: 5000}, testMedia(t))
+	d := vclock.DurationFor(1<<20, 1000)
+	e1 := c.CopyRX(0, 1<<20)
+	e2 := c.CopyToDevice(0, 1<<20)
+	// Both copies contend on one bus: the second ends at 2d even though
+	// four cores are idle.
+	if e1 != vclock.Time(d) || e2 != vclock.Time(2*d) {
+		t.Fatalf("ends = %v, %v; want %v, %v", e1, e2, d, 2*d)
+	}
+	s := c.Stats()
+	if s.BytesRX != 1<<20 || s.BytesToDevice != 1<<20 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestZeroCopyRXElidesCopy(t *testing.T) {
+	cfg := Config{Cores: 1, MemMBps: 1000, HostMBps: 5000, ZeroCopyRX: true}
+	c, _ := NewController(cfg, testMedia(t))
+	if end := c.CopyRX(42, 1<<20); end != 42 {
+		t.Fatalf("zero-copy RX should be free, end = %v", end)
+	}
+	if c.Stats().BytesRX != 0 {
+		t.Fatal("zero-copy RX should not count bytes")
+	}
+	if c.Utilization(vclock.Time(vclock.Second)) != 0 {
+		t.Fatal("bus should be idle")
+	}
+}
+
+func TestCPUWorkUsesCorePool(t *testing.T) {
+	c, _ := NewController(Config{Cores: 2, MemMBps: 1000, HostMBps: 5000}, testMedia(t))
+	e1 := c.CPUWork(0, 100)
+	e2 := c.CPUWork(0, 100)
+	e3 := c.CPUWork(0, 100)
+	if e1 != 100 || e2 != 100 {
+		t.Fatalf("two cores should run in parallel: %v, %v", e1, e2)
+	}
+	if e3 != 200 {
+		t.Fatalf("third task should queue: %v", e3)
+	}
+	if u := c.CoreUtilization(100); u != 1.0 {
+		t.Fatalf("core utilization = %v, want 1.0", u)
+	}
+}
+
+func TestUtilizationSaturates(t *testing.T) {
+	c, _ := NewController(Config{Cores: 1, MemMBps: 1000, HostMBps: 5000}, testMedia(t))
+	// Offer 2 seconds of copy work in a 1-second window.
+	c.CopyToDevice(0, 2000<<20) // 2000 MB at 1000 MB/s = 2 s
+	if u := c.Utilization(vclock.Time(vclock.Second)); u != 1.0 {
+		t.Fatalf("utilization = %v, want saturated", u)
+	}
+}
+
+func TestIOAccountingAndReset(t *testing.T) {
+	c, _ := NewController(DefaultConfig(), testMedia(t))
+	c.NoteUserIO()
+	c.NoteUserIO()
+	c.NoteControllerIO()
+	s := c.Stats()
+	if s.UserIOs != 2 || s.ControllerIOs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	c.CopyRX(0, 100)
+	c.ResetAccounting()
+	s = c.Stats()
+	if s.UserIOs != 0 || s.BytesRX != 0 {
+		t.Fatalf("reset left stats = %+v", s)
+	}
+	if c.Utilization(vclock.Time(vclock.Second)) != 0 {
+		t.Fatal("reset left bus busy")
+	}
+}
+
+func TestMediaPassThrough(t *testing.T) {
+	// The controller's media is the real device: a write through the
+	// media layer must round-trip.
+	m := testMedia(t)
+	c, _ := NewController(DefaultConfig(), m)
+	geo := c.Media().Geometry()
+	id := ocssd.ChunkID{Group: 0, PU: 0, Chunk: 0}
+	data := make([]byte, geo.WSMin*geo.Chip.SectorSize)
+	for i := range data {
+		data[i] = 0x3C
+	}
+	start, end, err := c.Media().Append(0, id, data)
+	if err != nil || start != 0 {
+		t.Fatalf("append: start=%d err=%v", start, err)
+	}
+	got := make([]byte, len(data))
+	ppas := make([]ocssd.PPA, geo.WSMin)
+	for i := range ppas {
+		ppas[i] = id.PPAOf(i)
+	}
+	if _, err := c.Media().VectorRead(end, ppas, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x3C {
+		t.Fatal("media round-trip failed")
+	}
+}

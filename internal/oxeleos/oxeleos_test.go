@@ -1,0 +1,260 @@
+package oxeleos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+	"repro/internal/vclock"
+)
+
+func testRig(t *testing.T) *ox.Controller {
+	t.Helper()
+	chip := nand.Geometry{
+		Planes: 2, BlocksPerPlane: 16, PagesPerBlock: 48,
+		SectorsPerPage: 4, SectorSize: 4096, Cell: nand.TLC,
+	}
+	geo := ocssd.Finish(ocssd.Geometry{
+		Groups: 4, PUsPerGroup: 2, ChunksPerPU: 16, Chip: chip,
+		ChannelMBps: 800, CacheMBps: 3200, CacheMB: 16, MaxOpenPerPU: 16,
+	})
+	dev, err := ocssd.New(geo, ocssd.Options{Seed: 1, PowerLossProtected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := ox.NewController(ox.DefaultConfig(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+func newStore(t *testing.T, bufBytes int) (*Store, *ox.Controller) {
+	t.Helper()
+	ctrl := testRig(t)
+	s, err := New(ctrl, Config{BufferBytes: bufBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ctrl
+}
+
+func TestFlushAndReadFixedPages(t *testing.T) {
+	s, _ := newStore(t, 1<<20)
+	// An LSS buffer of 16 fixed 4 KB pages.
+	buf := make([]byte, 16*4096)
+	var pages []PageDesc
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 4096; j++ {
+			buf[i*4096+j] = byte(i + 1)
+		}
+		pages = append(pages, PageDesc{ID: int64(i), Offset: i * 4096, Length: 4096})
+	}
+	end, err := s.Flush(0, buf, pages)
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for i := 0; i < 16; i++ {
+		got, _, err := s.ReadPage(end, int64(i))
+		if err != nil {
+			t.Fatalf("ReadPage %d: %v", i, err)
+		}
+		if len(got) != 4096 || got[0] != byte(i+1) || got[4095] != byte(i+1) {
+			t.Fatalf("page %d content wrong", i)
+		}
+	}
+	st := s.Stats()
+	if st.Flushes != 1 || st.PageReads != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVariableSizedPages(t *testing.T) {
+	// §4.2: variable-sized pages of an arbitrary number of bytes, mapped
+	// at a granularity smaller than the unit of read.
+	s, _ := newStore(t, 1<<20)
+	sizes := []int{100, 4096, 777, 9000, 1, 5000}
+	buf := make([]byte, 0, 32768)
+	var pages []PageDesc
+	for i, sz := range sizes {
+		start := len(buf)
+		pages = append(pages, PageDesc{ID: int64(i), Offset: start, Length: sz})
+		buf = append(buf, bytes.Repeat([]byte{byte(0x40 + i)}, sz)...)
+	}
+	end, err := s.Flush(0, buf, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sz := range sizes {
+		got, _, err := s.ReadPage(end, int64(i))
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if len(got) != sz {
+			t.Fatalf("page %d length = %d, want %d", i, len(got), sz)
+		}
+		if got[0] != byte(0x40+i) || got[len(got)-1] != byte(0x40+i) {
+			t.Fatalf("page %d content corrupted", i)
+		}
+	}
+	if s.Len() != len(sizes) {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestFlushValidation(t *testing.T) {
+	s, _ := newStore(t, 1<<20)
+	if _, err := s.Flush(0, make([]byte, 2<<20), nil); !errors.Is(err, ErrBufferSize) {
+		t.Fatalf("oversized flush: %v", err)
+	}
+	if _, err := s.Flush(0, nil, nil); !errors.Is(err, ErrBufferSize) {
+		t.Fatalf("empty flush: %v", err)
+	}
+	buf := make([]byte, 4096)
+	bad := []PageDesc{{ID: 1, Offset: 4000, Length: 200}}
+	if _, err := s.Flush(0, buf, bad); !errors.Is(err, ErrPageDesc) {
+		t.Fatalf("out-of-bounds page: %v", err)
+	}
+	if _, err := s.Flush(0, buf, []PageDesc{{ID: 1, Offset: 0, Length: 0}}); !errors.Is(err, ErrPageDesc) {
+		t.Fatalf("zero-length page: %v", err)
+	}
+}
+
+func TestSupersedeAndDelete(t *testing.T) {
+	s, _ := newStore(t, 1<<20)
+	buf1 := bytes.Repeat([]byte{0x01}, 4096)
+	end, err := s.Flush(0, buf1, []PageDesc{{ID: 9, Offset: 0, Length: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2 := bytes.Repeat([]byte{0x02}, 4096)
+	end, err = s.Flush(end, buf2, []PageDesc{{ID: 9, Offset: 0, Length: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, end, err := s.ReadPage(end, 9)
+	if err != nil || got[0] != 0x02 {
+		t.Fatalf("supersede: %x %v", got[0], err)
+	}
+	if _, err := s.Delete(end, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadPage(end, 9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read after delete: %v", err)
+	}
+	if _, err := s.Delete(end, 9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestWritePathCopiesCrossMemBus(t *testing.T) {
+	// Figure 7's mechanism: every flushed byte crosses the memory bus
+	// twice (network→FTL, FTL→device).
+	s, ctrl := newStore(t, 1<<20)
+	buf := make([]byte, 512*1024)
+	if _, err := s.Flush(0, buf, []PageDesc{{ID: 1, Offset: 0, Length: 1024}}); err != nil {
+		t.Fatal(err)
+	}
+	st := ctrl.Stats()
+	if st.BytesRX != int64(len(buf)) {
+		t.Fatalf("RX bytes = %d, want %d", st.BytesRX, len(buf))
+	}
+	if st.BytesToDevice != int64(len(buf)) {
+		t.Fatalf("to-device bytes = %d, want %d", st.BytesToDevice, len(buf))
+	}
+}
+
+func TestZeroCopyAblation(t *testing.T) {
+	// §4.4: zero-copy receive halves the bus traffic per flush.
+	mk := func(zeroCopy bool) vclock.Time {
+		chip := nand.Geometry{
+			Planes: 2, BlocksPerPlane: 16, PagesPerBlock: 48,
+			SectorsPerPage: 4, SectorSize: 4096, Cell: nand.TLC,
+		}
+		geo := ocssd.Finish(ocssd.Geometry{
+			Groups: 4, PUsPerGroup: 2, ChunksPerPU: 16, Chip: chip,
+			ChannelMBps: 800, CacheMBps: 3200, CacheMB: 16, MaxOpenPerPU: 16,
+		})
+		dev, err := ocssd.New(geo, ocssd.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ox.DefaultConfig()
+		cfg.ZeroCopyRX = zeroCopy
+		ctrl, err := ox.NewController(cfg, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(ctrl, Config{BufferBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := s.Flush(0, make([]byte, 1<<20), []PageDesc{{ID: 1, Offset: 0, Length: 4096}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	withCopy := mk(false)
+	without := mk(true)
+	if without >= withCopy {
+		t.Fatalf("zero-copy flush (%v) should beat copying flush (%v)", without, withCopy)
+	}
+}
+
+func TestCleanReclaimsDeadChunks(t *testing.T) {
+	// StripeWidth 1 so the log fills (and closes) chunks quickly.
+	ctrl := testRig(t)
+	s, err := New(ctrl, Config{BufferBytes: 1 << 20, StripeWidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := s.media.Geometry()
+	// Fill several chunks' worth of pages, then delete them all.
+	pageBytes := 64 * 1024
+	total := 3 * int(geo.ChunkBytes()) / pageBytes
+	end := vclock.Time(0)
+	for i := 0; i < total; i++ {
+		buf := bytes.Repeat([]byte{byte(i)}, pageBytes)
+		end, err = s.Flush(end, buf, []PageDesc{{ID: int64(i), Offset: 0, Length: pageBytes}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if end, err = s.Delete(end, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freed, _, err := s.Clean(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Fatal("clean reclaimed nothing after deleting everything")
+	}
+	if s.Stats().ChunksFreed != int64(freed) {
+		t.Fatal("stats mismatch")
+	}
+}
+
+func TestDefaultBufferIs8MB(t *testing.T) {
+	ctrl := testRig(t)
+	s, err := New(ctrl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BufferBytes() != 8<<20 {
+		t.Fatalf("default buffer = %d, want 8MB (§4.2)", s.BufferBytes())
+	}
+}
+
+func TestMisalignedBufferRejected(t *testing.T) {
+	ctrl := testRig(t)
+	if _, err := New(ctrl, Config{BufferBytes: 10000}); err == nil {
+		t.Fatal("non-ws_min buffer size should be rejected")
+	}
+}

@@ -1,0 +1,293 @@
+// Package vclock provides the virtual-time substrate used by the whole
+// simulator. Flash chips, channel buses and controller CPU cores are
+// contended devices; each is modeled as a Resource with a reservation
+// timeline. Actors (host threads, FTL background jobs) carry their own
+// virtual clock and advance it by acquiring resources. Interference,
+// queueing and saturation emerge from overlapping reservations, at
+// simulation speed and deterministically, without wall-clock sleeping.
+package vclock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Time is an instant in virtual time, in nanoseconds since device power-on.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units, mirroring package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports d as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// DurationFor returns the virtual time needed to move n bytes at rate
+// mbps megabytes per second (1 MB = 1e6 bytes).
+func DurationFor(n int64, mbps float64) Duration {
+	if mbps <= 0 || n <= 0 {
+		return 0
+	}
+	return Duration(float64(n) / (mbps * 1e6) * float64(Second))
+}
+
+// Max returns the later of two instants.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of two instants.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Resource is a serially-reusable device: at most one reservation holds it
+// at any virtual instant. Acquire serializes in call order, which for
+// single-threaded deterministic drivers means virtual-time order.
+type Resource struct {
+	mu       sync.Mutex
+	name     string
+	freeAt   Time
+	busy     Duration
+	acquires int64
+}
+
+// NewResource returns an idle resource with the given diagnostic name.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name reports the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire reserves the resource for dur starting no earlier than now.
+// It returns the reservation's start (max(now, free instant)) and end.
+// A zero-duration acquire still serializes after current reservations.
+func (r *Resource) Acquire(now Time, dur Duration) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start = Max(now, r.freeAt)
+	end = start.Add(dur)
+	r.freeAt = end
+	r.busy += dur
+	r.acquires++
+	return start, end
+}
+
+// FreeAt reports the earliest instant at which the resource is free.
+func (r *Resource) FreeAt() Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.freeAt
+}
+
+// Busy reports the cumulative reserved time.
+func (r *Resource) Busy() Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
+
+// Acquires reports how many reservations have been made.
+func (r *Resource) Acquires() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acquires
+}
+
+// Utilization reports the fraction of [0, now] the resource was reserved.
+// It is clamped to [0, 1]; a resource reserved into the future past now
+// counts only the portion up to now.
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	busy := r.busy
+	free := r.freeAt
+	r.mu.Unlock()
+	if free > now {
+		busy -= free.Sub(now)
+	}
+	u := float64(busy) / float64(now)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Reset returns the resource to idle at time zero, clearing statistics.
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.freeAt = 0
+	r.busy = 0
+	r.acquires = 0
+}
+
+// Pool is a set of interchangeable resources (e.g. the cores of a
+// controller CPU). Acquire picks the core that frees earliest.
+type Pool struct {
+	mu  sync.Mutex
+	res []*Resource
+}
+
+// NewPool creates a pool of n resources named name#i.
+func NewPool(name string, n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{res: make([]*Resource, n)}
+	for i := range p.res {
+		p.res[i] = NewResource(fmt.Sprintf("%s#%d", name, i))
+	}
+	return p
+}
+
+// Size reports the number of resources in the pool.
+func (p *Pool) Size() int { return len(p.res) }
+
+// NextFree reports the earliest instant at which any member is free.
+func (p *Pool) NextFree() Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := p.res[0].FreeAt()
+	for _, r := range p.res[1:] {
+		if f := r.FreeAt(); f < free {
+			free = f
+		}
+	}
+	return free
+}
+
+// Acquire reserves dur on the member that becomes free earliest.
+func (p *Pool) Acquire(now Time, dur Duration) (start, end Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best := p.res[0]
+	bestFree := best.FreeAt()
+	for _, r := range p.res[1:] {
+		if f := r.FreeAt(); f < bestFree {
+			best, bestFree = r, f
+		}
+	}
+	return best.Acquire(now, dur)
+}
+
+// Busy reports the cumulative reserved time summed over members.
+func (p *Pool) Busy() Duration {
+	var b Duration
+	for _, r := range p.res {
+		b += r.Busy()
+	}
+	return b
+}
+
+// Utilization reports aggregate utilization of the pool over [0, now].
+func (p *Pool) Utilization(now Time) float64 {
+	if now <= 0 || len(p.res) == 0 {
+		return 0
+	}
+	var u float64
+	for _, r := range p.res {
+		u += r.Utilization(now)
+	}
+	return u / float64(len(p.res))
+}
+
+// Reset returns every member to idle at time zero.
+func (p *Pool) Reset() {
+	for _, r := range p.res {
+		r.Reset()
+	}
+}
+
+// Actor is a process in virtual time: a host thread, a db_bench client,
+// an FTL background job. It carries a local clock that only moves forward.
+type Actor struct {
+	name string
+	now  Time
+}
+
+// NewActor returns an actor whose clock reads start.
+func NewActor(name string, start Time) *Actor {
+	return &Actor{name: name, now: start}
+}
+
+// Name reports the actor's diagnostic name.
+func (a *Actor) Name() string { return a.name }
+
+// Now reports the actor's current virtual time.
+func (a *Actor) Now() Time { return a.now }
+
+// AdvanceTo moves the clock forward to t; moving backwards is a no-op.
+func (a *Actor) AdvanceTo(t Time) {
+	if t > a.now {
+		a.now = t
+	}
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (a *Actor) Advance(d Duration) Time {
+	if d > 0 {
+		a.now = a.now.Add(d)
+	}
+	return a.now
+}
+
+// Use reserves dur on r at the actor's clock and advances the clock to
+// the end of the reservation. It returns the reservation window.
+func (a *Actor) Use(r *Resource, dur Duration) (start, end Time) {
+	start, end = r.Acquire(a.now, dur)
+	a.now = end
+	return start, end
+}

@@ -1,0 +1,351 @@
+// Package zns implements OX-ZNS: the Zoned-Namespaces target that §2.3
+// of the paper describes but that was never released ("It should be
+// straightforward to define a LightNVM target that exposes the ZNS
+// interface through a host-based FTL on top of Open-Channel SSDs, but
+// this has not - to the best of our knowledge - been released or even
+// announced"). It is the lighter-colored OX-ZNS quadrant of Figure 1.
+//
+// A zone is a fixed run of chunks confined to one group (so zone resets
+// and writes never interfere across zones in different groups — the
+// same isolation argument as vertical placement). The host sees the ZNS
+// abstraction of §2.3: zones "must be written sequentially and reset
+// before rewriting"; the FTL handles placement, the write pointer and
+// wear, while the device handles planes and paired pages underneath.
+package zns
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+	"repro/internal/vclock"
+)
+
+// ZoneState follows the NVMe ZNS state machine (reduced).
+type ZoneState uint8
+
+// Zone states.
+const (
+	ZoneEmpty ZoneState = iota
+	ZoneOpen
+	ZoneFull
+	ZoneOffline
+)
+
+func (s ZoneState) String() string {
+	switch s {
+	case ZoneEmpty:
+		return "empty"
+	case ZoneOpen:
+		return "open"
+	case ZoneFull:
+		return "full"
+	case ZoneOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("ZoneState(%d)", uint8(s))
+	}
+}
+
+// Errors returned by the target.
+var (
+	ErrZoneRange   = errors.New("zns: zone index out of range")
+	ErrZoneState   = errors.New("zns: invalid zone state for command")
+	ErrWritePointer = errors.New("zns: write not at the zone write pointer")
+	ErrZoneFull    = errors.New("zns: write exceeds zone capacity")
+	ErrAlignment   = errors.New("zns: length not a multiple of the block size")
+	ErrUnwritten   = errors.New("zns: read beyond the write pointer")
+)
+
+// Config sizes the target.
+type Config struct {
+	// ChunksPerZone is the number of chunks backing one zone (within a
+	// single group). Zero selects the PUs-per-group (one chunk per PU).
+	ChunksPerZone int
+}
+
+// ZoneInfo is one zone-report entry.
+type ZoneInfo struct {
+	Index    int
+	State    ZoneState
+	WP       int64 // next writable byte offset within the zone
+	Capacity int64 // usable bytes
+	Group    int   // the OCSSD group backing the zone
+}
+
+// Target is a ZNS namespace over an Open-Channel SSD.
+type Target struct {
+	ctrl  *ox.Controller
+	media ox.Media
+	geo   ocssd.Geometry
+	cfg   Config
+
+	mu    sync.Mutex
+	zones []zone
+}
+
+type zone struct {
+	state  ZoneState
+	wp     int64
+	chunks []ocssd.ChunkID
+	group  int
+}
+
+// New builds the target, carving every usable chunk into zones.
+func New(ctrl *ox.Controller, cfg Config) (*Target, error) {
+	geo := ctrl.Media().Geometry()
+	if cfg.ChunksPerZone <= 0 {
+		cfg.ChunksPerZone = geo.PUsPerGroup
+	}
+	t := &Target{ctrl: ctrl, media: ctrl.Media(), geo: geo, cfg: cfg}
+
+	// Group chunks by OCSSD group, skipping offline ones, and carve
+	// fixed-size zones out of each group (ZNS zones never span groups).
+	perGroup := make([][]ocssd.ChunkID, geo.Groups)
+	for _, ci := range t.media.Report() {
+		if ci.State == ocssd.ChunkOffline {
+			continue
+		}
+		perGroup[ci.ID.Group] = append(perGroup[ci.ID.Group], ci.ID)
+	}
+	for g, chunks := range perGroup {
+		for len(chunks) >= cfg.ChunksPerZone {
+			t.zones = append(t.zones, zone{
+				chunks: chunks[:cfg.ChunksPerZone],
+				group:  g,
+			})
+			chunks = chunks[cfg.ChunksPerZone:]
+		}
+	}
+	if len(t.zones) == 0 {
+		return nil, errors.New("zns: device too small for a single zone")
+	}
+	return t, nil
+}
+
+// BlockSize is the write granularity: the device's unit of write, so
+// the host never sees planes or paired pages (§2.3: ZNS "shields the
+// host from the complexities of the physical address space").
+func (t *Target) BlockSize() int { return t.geo.UnitOfWriteBytes() }
+
+// ZoneCapacity reports the usable bytes of one zone.
+func (t *Target) ZoneCapacity() int64 {
+	return int64(t.cfg.ChunksPerZone) * t.geo.ChunkBytes()
+}
+
+// Zones reports the number of zones.
+func (t *Target) Zones() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.zones)
+}
+
+// Report returns the zone report (the ZNS zone-management receive).
+func (t *Target) Report() []ZoneInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ZoneInfo, len(t.zones))
+	for i := range t.zones {
+		out[i] = t.infoLocked(i)
+	}
+	return out
+}
+
+// Zone reports one zone.
+func (t *Target) Zone(idx int) (ZoneInfo, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.zones) {
+		return ZoneInfo{}, fmt.Errorf("%w: %d", ErrZoneRange, idx)
+	}
+	return t.infoLocked(idx), nil
+}
+
+func (t *Target) infoLocked(idx int) ZoneInfo {
+	z := &t.zones[idx]
+	return ZoneInfo{
+		Index:    idx,
+		State:    z.state,
+		WP:       z.wp,
+		Capacity: t.ZoneCapacity(),
+		Group:    z.group,
+	}
+}
+
+// locate maps a zone byte offset to its chunk and chunk-local sector.
+// Blocks rotate across the zone's chunks so sequential zone writes use
+// the group's parallel units evenly.
+func (t *Target) locate(z *zone, off int64) (ocssd.ChunkID, int) {
+	blockBytes := int64(t.BlockSize())
+	blockIdx := off / blockBytes
+	chunk := z.chunks[blockIdx%int64(len(z.chunks))]
+	stripe := int(blockIdx / int64(len(z.chunks)))
+	return chunk, stripe * t.geo.WSOpt
+}
+
+// Write appends data at the zone's write pointer; offset must equal the
+// WP (ZNS sequential-write-required) and data must be whole blocks.
+func (t *Target) Write(now vclock.Time, idx int, offset int64, data []byte) (vclock.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.zones) {
+		return now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
+	}
+	z := &t.zones[idx]
+	if offset != z.wp {
+		return now, fmt.Errorf("%w: offset %d, wp %d", ErrWritePointer, offset, z.wp)
+	}
+	return t.appendLocked(now, idx, data)
+}
+
+// Append is the ZNS zone-append: data lands at the current WP, whose
+// value is returned (so concurrent appenders need no coordination).
+func (t *Target) Append(now vclock.Time, idx int, data []byte) (int64, vclock.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.zones) {
+		return 0, now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
+	}
+	at := t.zones[idx].wp
+	end, err := t.appendLocked(now, idx, data)
+	return at, end, err
+}
+
+func (t *Target) appendLocked(now vclock.Time, idx int, data []byte) (vclock.Time, error) {
+	z := &t.zones[idx]
+	switch z.state {
+	case ZoneOffline:
+		return now, fmt.Errorf("%w: zone %d offline", ErrZoneState, idx)
+	case ZoneFull:
+		return now, fmt.Errorf("%w: zone %d full", ErrZoneState, idx)
+	}
+	blockBytes := int64(t.BlockSize())
+	if len(data) == 0 || int64(len(data))%blockBytes != 0 {
+		return now, fmt.Errorf("%w: %d bytes", ErrAlignment, len(data))
+	}
+	if z.wp+int64(len(data)) > t.ZoneCapacity() {
+		return now, fmt.Errorf("%w: wp %d + %d > %d", ErrZoneFull, z.wp, len(data), t.ZoneCapacity())
+	}
+	z.state = ZoneOpen
+	end := now
+	for off := int64(0); off < int64(len(data)); off += blockBytes {
+		chunk, _ := t.locate(z, z.wp)
+		_, e, err := t.media.Append(end, chunk, data[off:off+blockBytes])
+		if err != nil {
+			z.state = ZoneOffline
+			return end, fmt.Errorf("zns: zone %d: %w", idx, err)
+		}
+		end = e
+		z.wp += blockBytes
+	}
+	t.ctrl.NoteUserIO()
+	if z.wp == t.ZoneCapacity() {
+		z.state = ZoneFull
+	}
+	return end, nil
+}
+
+// Read returns length bytes from the zone starting at offset; the range
+// must be block-aligned and below the write pointer.
+func (t *Target) Read(now vclock.Time, idx int, offset, length int64) ([]byte, vclock.Time, error) {
+	t.mu.Lock()
+	if idx < 0 || idx >= len(t.zones) {
+		t.mu.Unlock()
+		return nil, now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
+	}
+	z := &t.zones[idx]
+	blockBytes := int64(t.BlockSize())
+	if length <= 0 || offset < 0 || offset%blockBytes != 0 || length%blockBytes != 0 {
+		t.mu.Unlock()
+		return nil, now, fmt.Errorf("%w: [%d,+%d)", ErrAlignment, offset, length)
+	}
+	if offset+length > z.wp {
+		t.mu.Unlock()
+		return nil, now, fmt.Errorf("%w: [%d,+%d) past wp %d", ErrUnwritten, offset, length, z.wp)
+	}
+	type ext struct {
+		chunk ocssd.ChunkID
+		base  int
+	}
+	exts := make([]ext, 0, length/blockBytes)
+	for off := offset; off < offset+length; off += blockBytes {
+		c, base := t.locate(z, off)
+		exts = append(exts, ext{chunk: c, base: base})
+	}
+	t.mu.Unlock()
+
+	out := make([]byte, length)
+	end := now
+	for i, e := range exts {
+		ppas := make([]ocssd.PPA, t.geo.WSOpt)
+		for s := range ppas {
+			ppas[s] = e.chunk.PPAOf(e.base + s)
+		}
+		var err error
+		end, err = t.media.VectorRead(end, ppas, out[int64(i)*blockBytes:int64(i+1)*blockBytes])
+		if err != nil {
+			return nil, end, fmt.Errorf("zns: zone %d read: %w", idx, err)
+		}
+	}
+	t.ctrl.NoteUserIO()
+	return out, end, nil
+}
+
+// Reset returns the zone to empty (the ZNS reclaim primitive; chunk
+// resets only, like SSTable deletion in LightLSM).
+func (t *Target) Reset(now vclock.Time, idx int) (vclock.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.zones) {
+		return now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
+	}
+	z := &t.zones[idx]
+	if z.state == ZoneOffline {
+		return now, fmt.Errorf("%w: zone %d offline", ErrZoneState, idx)
+	}
+	end := now
+	for _, id := range z.chunks {
+		info, err := t.media.Chunk(id)
+		if err != nil {
+			return end, err
+		}
+		if info.State == ocssd.ChunkFree {
+			continue
+		}
+		e, err := t.media.Reset(end, id)
+		if err != nil {
+			z.state = ZoneOffline
+			return end, fmt.Errorf("zns: zone %d reset: %w", idx, err)
+		}
+		end = e
+	}
+	z.state = ZoneEmpty
+	z.wp = 0
+	return end, nil
+}
+
+// Finish transitions a partially written zone to full (no more writes),
+// padding the underlying chunks so everything is durable.
+func (t *Target) Finish(now vclock.Time, idx int) (vclock.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.zones) {
+		return now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
+	}
+	z := &t.zones[idx]
+	if z.state == ZoneOffline {
+		return now, fmt.Errorf("%w: zone %d offline", ErrZoneState, idx)
+	}
+	end := now
+	for _, id := range z.chunks {
+		e, err := t.media.Pad(end, id)
+		if err != nil {
+			return end, err
+		}
+		end = e
+	}
+	z.state = ZoneFull
+	return end, nil
+}

@@ -1,0 +1,277 @@
+package zns
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+	"repro/internal/vclock"
+)
+
+func newTarget(t *testing.T) *Target {
+	t.Helper()
+	chip := nand.Geometry{
+		Planes: 2, BlocksPerPlane: 8, PagesPerBlock: 12,
+		SectorsPerPage: 4, SectorSize: 4096, Cell: nand.TLC,
+	}
+	geo := ocssd.Finish(ocssd.Geometry{
+		Groups: 4, PUsPerGroup: 2, ChunksPerPU: 8, Chip: chip,
+		ChannelMBps: 800, CacheMBps: 3200, CacheMB: 4, MaxOpenPerPU: 8,
+	})
+	dev, err := ocssd.New(geo, ocssd.Options{Seed: 1, PowerLossProtected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := ox.NewController(ox.DefaultConfig(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := New(ctrl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+func blockOf(t *Target, fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, t.BlockSize())
+}
+
+func TestGeometryCarving(t *testing.T) {
+	tgt := newTarget(t)
+	// 4 groups × 2 PUs × 8 chunks, 2 chunks per zone → 8 zones per
+	// group, 32 zones total.
+	if tgt.Zones() != 32 {
+		t.Fatalf("zones = %d, want 32", tgt.Zones())
+	}
+	if tgt.BlockSize() != 96*1024 {
+		t.Fatalf("block = %d, want 96KB (unit of write)", tgt.BlockSize())
+	}
+	// Zones never span groups (the ZNS isolation property).
+	for _, zi := range tgt.Report() {
+		if zi.State != ZoneEmpty || zi.WP != 0 {
+			t.Fatalf("fresh zone %d: %+v", zi.Index, zi)
+		}
+	}
+}
+
+func TestSequentialWriteAndRead(t *testing.T) {
+	tgt := newTarget(t)
+	b := tgt.BlockSize()
+	end, err := tgt.Write(0, 0, 0, blockOf(tgt, 0x11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err = tgt.Write(end, 0, int64(b), blockOf(tgt, 0x22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zi, _ := tgt.Zone(0)
+	if zi.State != ZoneOpen || zi.WP != int64(2*b) {
+		t.Fatalf("zone = %+v", zi)
+	}
+	got, _, err := tgt.Read(end, 0, 0, int64(2*b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x11 || got[b] != 0x22 {
+		t.Fatal("zone data mismatch")
+	}
+}
+
+func TestSequentialWriteRequired(t *testing.T) {
+	tgt := newTarget(t)
+	// Writing anywhere but the WP violates ZNS semantics.
+	if _, err := tgt.Write(0, 0, int64(tgt.BlockSize()), blockOf(tgt, 1)); !errors.Is(err, ErrWritePointer) {
+		t.Fatalf("out-of-order write: %v", err)
+	}
+	if _, err := tgt.Write(0, 0, 0, make([]byte, 100)); !errors.Is(err, ErrAlignment) {
+		t.Fatalf("misaligned write: %v", err)
+	}
+}
+
+func TestZoneAppendReturnsOffsets(t *testing.T) {
+	tgt := newTarget(t)
+	b := int64(tgt.BlockSize())
+	var offs []int64
+	now := vclock.Time(0)
+	for i := 0; i < 4; i++ {
+		off, end, err := tgt.Append(now, 3, blockOf(tgt, byte(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+		now = end
+	}
+	// Appends land at strictly increasing, dense offsets.
+	for i, off := range offs {
+		if off != int64(i)*b {
+			t.Fatalf("append %d landed at %d, want %d", i, off, int64(i)*b)
+		}
+	}
+}
+
+func TestZoneFillsAndFinishes(t *testing.T) {
+	tgt := newTarget(t)
+	cap := tgt.ZoneCapacity()
+	b := int64(tgt.BlockSize())
+	now := vclock.Time(0)
+	for off := int64(0); off < cap; off += b {
+		var err error
+		if now, err = tgt.Write(now, 1, off, blockOf(tgt, byte(off/b))); err != nil {
+			t.Fatalf("write at %d: %v", off, err)
+		}
+	}
+	zi, _ := tgt.Zone(1)
+	if zi.State != ZoneFull {
+		t.Fatalf("state = %v, want full", zi.State)
+	}
+	if _, err := tgt.Write(now, 1, cap, blockOf(tgt, 1)); !errors.Is(err, ErrZoneState) {
+		t.Fatalf("write to full zone: %v", err)
+	}
+	// All data survives.
+	got, _, err := tgt.Read(now, 1, cap-b, b)
+	if err != nil || got[0] != byte((cap-b)/b) {
+		t.Fatalf("last block: %x %v", got[0], err)
+	}
+}
+
+func TestResetCycle(t *testing.T) {
+	tgt := newTarget(t)
+	now, err := tgt.Write(0, 2, 0, blockOf(tgt, 0x77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err = tgt.Reset(now, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zi, _ := tgt.Zone(2)
+	if zi.State != ZoneEmpty || zi.WP != 0 {
+		t.Fatalf("after reset: %+v", zi)
+	}
+	if _, _, err := tgt.Read(now, 2, 0, int64(tgt.BlockSize())); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("read after reset: %v", err)
+	}
+	// The zone accepts new writes from offset 0.
+	if _, err := tgt.Write(now, 2, 0, blockOf(tgt, 0x88)); err != nil {
+		t.Fatalf("write after reset: %v", err)
+	}
+}
+
+func TestFinishPartialZone(t *testing.T) {
+	tgt := newTarget(t)
+	now, err := tgt.Write(0, 4, 0, blockOf(tgt, 0x5A))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err = tgt.Finish(now, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zi, _ := tgt.Zone(4)
+	if zi.State != ZoneFull {
+		t.Fatalf("state = %v, want full", zi.State)
+	}
+	if _, err := tgt.Write(now, 4, zi.WP, blockOf(tgt, 1)); !errors.Is(err, ErrZoneState) {
+		t.Fatalf("write to finished zone: %v", err)
+	}
+	got, _, err := tgt.Read(now, 4, 0, int64(tgt.BlockSize()))
+	if err != nil || got[0] != 0x5A {
+		t.Fatalf("finished zone data: %x %v", got[0], err)
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	tgt := newTarget(t)
+	now, err := tgt.Write(0, 0, 0, blockOf(tgt, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := int64(tgt.BlockSize())
+	if _, _, err := tgt.Read(now, 0, 0, 2*b); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("read past wp: %v", err)
+	}
+	if _, _, err := tgt.Read(now, 0, 1, b); !errors.Is(err, ErrAlignment) {
+		t.Fatalf("misaligned read: %v", err)
+	}
+	if _, _, err := tgt.Read(now, 99, 0, b); !errors.Is(err, ErrZoneRange) {
+		t.Fatalf("bad zone: %v", err)
+	}
+}
+
+// Property: any sequence of appends then reads round-trips, and the WP
+// always equals the number of appended blocks times the block size.
+func TestZoneAppendProperty(t *testing.T) {
+	tgt := newTarget(t)
+	maxBlocks := int(tgt.ZoneCapacity()) / tgt.BlockSize()
+	f := func(fills []byte) bool {
+		idx := 7
+		if _, err := tgt.Reset(0, idx); err != nil {
+			return false
+		}
+		n := len(fills)
+		if n > maxBlocks {
+			n = maxBlocks
+		}
+		now := vclock.Time(0)
+		for i := 0; i < n; i++ {
+			off, end, err := tgt.Append(now, idx, blockOf(tgt, fills[i]))
+			if err != nil || off != int64(i)*int64(tgt.BlockSize()) {
+				return false
+			}
+			now = end
+		}
+		zi, _ := tgt.Zone(idx)
+		if zi.WP != int64(n)*int64(tgt.BlockSize()) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			got, end, err := tgt.Read(now, idx, int64(i)*int64(tgt.BlockSize()), int64(tgt.BlockSize()))
+			if err != nil || got[0] != fills[i] {
+				return false
+			}
+			now = end
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneIsolationAcrossGroups(t *testing.T) {
+	// Writes to zones in different groups proceed without interference
+	// (§2.3's isolation, inherited from the OCSSD group guarantee).
+	tgt := newTarget(t)
+	report := tgt.Report()
+	var zoneA, zoneB int = -1, -1
+	for _, zi := range report {
+		if zoneA < 0 {
+			zoneA = zi.Index
+		} else if zi.Group != report[zoneA].Group {
+			zoneB = zi.Index
+			break
+		}
+	}
+	if zoneB < 0 {
+		t.Fatal("no cross-group zone pair")
+	}
+	// Sequential on one zone vs split across two groups.
+	aloneEnd, err := tgt.Write(0, zoneA, 0, blockOf(tgt, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := tgt.Write(0, zoneB, 0, blockOf(tgt, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := vclock.Max(aloneEnd, e2)
+	if float64(both) > 1.1*float64(aloneEnd) {
+		t.Fatalf("cross-group zone writes interfered: %v vs %v", aloneEnd, both)
+	}
+}
