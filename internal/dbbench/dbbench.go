@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/lsm"
 	"repro/internal/metrics"
@@ -86,18 +87,20 @@ type Result struct {
 // Elapsed reports the run's virtual duration.
 func (r Result) Elapsed() vclock.Duration { return r.End.Sub(r.Start) }
 
-// Key renders key index i in db_bench style: a fixed-width decimal
-// padded to KeySize bytes.
+// Key renders key index i (non-negative) in db_bench style: a
+// fixed-width decimal padded to KeySize bytes. Digits are rendered into
+// a stack buffer so key generation costs one allocation, not three.
 func Key(i int64, size int) []byte {
 	k := make([]byte, size)
 	for j := range k {
 		k[j] = '0'
 	}
-	s := fmt.Sprintf("%016d", i)
-	if len(s) > size {
-		s = s[len(s)-size:]
+	var dbuf [20]byte
+	d := strconv.AppendInt(dbuf[:0], i, 10)
+	if len(d) > size {
+		d = d[len(d)-size:]
 	}
-	copy(k[size-len(s):], s)
+	copy(k[size-len(d):], d)
 	return k
 }
 

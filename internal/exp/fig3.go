@@ -117,9 +117,9 @@ func figure3Run(cfg Fig3Config, interval, failAt vclock.Duration) (Fig3Point, er
 		return Fig3Point{}, fmt.Errorf("recovery: %w", err)
 	}
 	p := Fig3Point{
-		Interval: interval,
-		FailAt:   failAt,
-		Txns:     txns,
+		Interval:    interval,
+		FailAt:      failAt,
+		Txns:        txns,
 		Checkpoints: ckpts,
 	}
 	if report != nil {

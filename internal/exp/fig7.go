@@ -13,10 +13,10 @@ import (
 // memory bus carries two copies per buffer (network→FTL, FTL→device)
 // and saturates at two threads.
 type Fig7Config struct {
-	ThreadCounts []int
+	ThreadCounts     []int
 	BuffersPerThread int
-	BufferBytes  int
-	Seed         int64
+	BufferBytes      int
+	Seed             int64
 	// ZeroCopyRX enables the §4.4 ablation (AF_XDP-style receive).
 	ZeroCopyRX bool
 }

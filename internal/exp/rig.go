@@ -13,25 +13,25 @@ import (
 // dual-plane TLC, 96 KB unit of write — at a chunk size scaled down
 // (1.5 MB instead of 24 MB) so whole experiments fit in memory.
 type RigConfig struct {
-	Groups      int
-	PUsPerGroup int
-	ChunksPerPU int
+	Groups        int
+	PUsPerGroup   int
+	ChunksPerPU   int
 	PagesPerBlock int
-	CacheMB     int
-	Seed        int64
-	PLP         bool
+	CacheMB       int
+	Seed          int64
+	PLP           bool
 }
 
 // DefaultRig returns the standard scaled testbed.
 func DefaultRig() RigConfig {
 	return RigConfig{
-		Groups:      8,
-		PUsPerGroup: 4,
-		ChunksPerPU: 48,
+		Groups:        8,
+		PUsPerGroup:   4,
+		ChunksPerPU:   48,
 		PagesPerBlock: 48, // 48 pages × 2 planes × 4 sectors = 1.5 MB chunks
-		CacheMB:     32,
-		Seed:        1,
-		PLP:         true,
+		CacheMB:       32,
+		Seed:          1,
+		PLP:           true,
 	}
 }
 
@@ -47,13 +47,13 @@ func (rc RigConfig) Build() (*ocssd.Device, *ox.Controller, error) {
 		Cell:           nand.TLC,
 	}
 	geo := ocssd.Finish(ocssd.Geometry{
-		Groups:      rc.Groups,
-		PUsPerGroup: rc.PUsPerGroup,
-		ChunksPerPU: rc.ChunksPerPU,
-		Chip:        chip,
-		ChannelMBps: 800,
-		CacheMBps:   3200,
-		CacheMB:     rc.CacheMB,
+		Groups:       rc.Groups,
+		PUsPerGroup:  rc.PUsPerGroup,
+		ChunksPerPU:  rc.ChunksPerPU,
+		Chip:         chip,
+		ChannelMBps:  800,
+		CacheMBps:    3200,
+		CacheMB:      rc.CacheMB,
 		MaxOpenPerPU: 64,
 	})
 	dev, err := ocssd.New(geo, ocssd.Options{Seed: rc.Seed, PowerLossProtected: rc.PLP})

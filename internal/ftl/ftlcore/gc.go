@@ -330,7 +330,10 @@ const minReclaimDenominator = 8 // 1/8 of the chunk
 // pickVictim selects the candidate with the fewest valid sectors, inside
 // the marked group (or device-wide with GlobalVictims). Chunks without
 // enough reclaimable space are never victims: moving a nearly-valid
-// chunk frees (almost) nothing and only amplifies writes.
+// chunk frees (almost) nothing and only amplifies writes. Ties break on
+// chunk identity so the pick never depends on map iteration order —
+// victim choice, and therefore every downstream virtual-time result, is
+// a pure function of the workload.
 func (g *GC) pickVictim(group int) (ocssd.ChunkID, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -346,7 +349,7 @@ func (g *GC) pickVictim(group int) (ocssd.ChunkID, bool) {
 		if v > floor {
 			continue
 		}
-		if bestValid < 0 || v < bestValid {
+		if bestValid < 0 || v < bestValid || (v == bestValid && lessChunkID(id, best)) {
 			best, bestValid = id, v
 		}
 	}
@@ -354,6 +357,17 @@ func (g *GC) pickVictim(group int) (ocssd.ChunkID, bool) {
 		return ocssd.ChunkID{}, false
 	}
 	return best, true
+}
+
+// lessChunkID orders chunks by (group, pu, chunk).
+func lessChunkID(a, b ocssd.ChunkID) bool {
+	if a.Group != b.Group {
+		return a.Group < b.Group
+	}
+	if a.PU != b.PU {
+		return a.PU < b.PU
+	}
+	return a.Chunk < b.Chunk
 }
 
 // collectChunk relocates the victim's live sectors into a destination

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"repro/internal/ocssd"
@@ -34,19 +35,33 @@ const MapPageBytes = MapPageEntries * 8
 type PageMap struct {
 	mu      sync.RWMutex
 	entries []uint64
-	dirty   map[int]struct{}
+	// dirty is a bitset over mapping-page indexes (bit p = mapping page
+	// p dirtied since the last ClearDirty). A bitset keeps the write
+	// hot path allocation-free and makes DirtyPages deterministic
+	// (ascending), unlike the map it replaces.
+	dirty  []uint64
+	ndirty int
 }
 
 // NewPageMap creates a mapping table for n logical pages.
 func NewPageMap(n int) *PageMap {
 	m := &PageMap{
 		entries: make([]uint64, n),
-		dirty:   make(map[int]struct{}),
 	}
+	m.dirty = make([]uint64, (m.Pages()+63)/64)
 	for i := range m.entries {
 		m.entries[i] = unmapped
 	}
 	return m
+}
+
+// markDirty sets the dirty bit of one mapping page. Caller holds m.mu.
+func (m *PageMap) markDirty(page int) {
+	w, b := page/64, uint(page%64)
+	if m.dirty[w]&(1<<b) == 0 {
+		m.dirty[w] |= 1 << b
+		m.ndirty++
+	}
 }
 
 // Len reports the number of logical pages.
@@ -79,7 +94,7 @@ func (m *PageMap) Update(lpn int64, ppa ocssd.PPA) (old ocssd.PPA, hadOld bool, 
 	}
 	v := m.entries[lpn]
 	m.entries[lpn] = ppa.Pack()
-	m.dirty[int(lpn/MapPageEntries)] = struct{}{}
+	m.markDirty(int(lpn / MapPageEntries))
 	if v == unmapped {
 		return ocssd.PPA{}, false, nil
 	}
@@ -96,21 +111,24 @@ func (m *PageMap) Unmap(lpn int64) (old ocssd.PPA, hadOld bool, err error) {
 	}
 	v := m.entries[lpn]
 	m.entries[lpn] = unmapped
-	m.dirty[int(lpn/MapPageEntries)] = struct{}{}
+	m.markDirty(int(lpn / MapPageEntries))
 	if v == unmapped {
 		return ocssd.PPA{}, false, nil
 	}
 	return ocssd.Unpack(v), true, nil
 }
 
-// DirtyPages returns the sorted-free list of mapping-page indexes dirtied
-// since the last ClearDirty.
+// DirtyPages returns the mapping-page indexes dirtied since the last
+// ClearDirty, in ascending order.
 func (m *PageMap) DirtyPages() []int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	out := make([]int, 0, len(m.dirty))
-	for p := range m.dirty {
-		out = append(out, p)
+	out := make([]int, 0, m.ndirty)
+	for w, word := range m.dirty {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
 	}
 	return out
 }
@@ -121,7 +139,14 @@ func (m *PageMap) ClearDirty(pages []int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, p := range pages {
-		delete(m.dirty, p)
+		if p < 0 || p >= len(m.dirty)*64 {
+			continue
+		}
+		w, b := p/64, uint(p%64)
+		if m.dirty[w]&(1<<b) != 0 {
+			m.dirty[w] &^= 1 << b
+			m.ndirty--
+		}
 	}
 }
 

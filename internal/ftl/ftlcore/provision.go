@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ocssd"
 	"repro/internal/ox"
@@ -31,18 +32,29 @@ func InGroup(g int) Target { return Target{Group: g, PU: -1} }
 // InPU allocates on one exact parallel unit.
 func InPU(g, u int) Target { return Target{Group: g, PU: u} }
 
+// allocGroup is the per-group shard of the free pool. FTL foreground
+// allocation (WAL rotation, stripe writers) and background jobs (GC
+// destinations, checkpoint slots) targeting different groups never
+// contend on a lock, mirroring the device's per-PU sharding.
+type allocGroup struct {
+	mu   sync.Mutex
+	free [][]int // [pu] -> stack of free chunk ids
+	rrPU int     // round-robin cursor within the group
+}
+
 // Allocator is the provisioning component of Figure 2: it owns the free
 // chunk pool, skips offline chunks (bad block management) and hands out
-// chunks according to placement targets.
+// chunks according to placement targets. The pool is sharded per group;
+// the aggregate count is a lock-free atomic.
 type Allocator struct {
 	media ox.Media
 	geo   ocssd.Geometry
 
-	mu      sync.Mutex
-	free    [][][]int // [group][pu] -> stack of free chunk ids
-	nfree   int
-	rrGroup int // round-robin cursors for AnyTarget
-	rrPU    []int
+	groups  []allocGroup
+	nfree   atomic.Int64
+	rrGroup atomic.Int64 // round-robin cursor for AnyTarget
+
+	offMu   sync.Mutex
 	offline map[ocssd.ChunkID]struct{}
 }
 
@@ -56,12 +68,11 @@ func NewAllocator(media ox.Media, reserved map[ocssd.ChunkID]bool) *Allocator {
 	a := &Allocator{
 		media:   media,
 		geo:     geo,
-		free:    make([][][]int, geo.Groups),
-		rrPU:    make([]int, geo.Groups),
+		groups:  make([]allocGroup, geo.Groups),
 		offline: make(map[ocssd.ChunkID]struct{}),
 	}
-	for g := range a.free {
-		a.free[g] = make([][]int, geo.PUsPerGroup)
+	for g := range a.groups {
+		a.groups[g].free = make([][]int, geo.PUsPerGroup)
 	}
 	for _, ci := range media.Report() {
 		switch {
@@ -70,29 +81,27 @@ func NewAllocator(media ox.Media, reserved map[ocssd.ChunkID]bool) *Allocator {
 		case reserved[ci.ID]:
 			// withheld
 		case ci.State == ocssd.ChunkFree:
-			a.free[ci.ID.Group][ci.ID.PU] = append(a.free[ci.ID.Group][ci.ID.PU], ci.ID.Chunk)
-			a.nfree++
+			grp := &a.groups[ci.ID.Group]
+			grp.free[ci.ID.PU] = append(grp.free[ci.ID.PU], ci.ID.Chunk)
+			a.nfree.Add(1)
 		}
 	}
 	return a
 }
 
 // FreeCount reports the number of chunks in the pool.
-func (a *Allocator) FreeCount() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.nfree
-}
+func (a *Allocator) FreeCount() int { return int(a.nfree.Load()) }
 
 // FreeInGroup reports the number of free chunks in one group.
 func (a *Allocator) FreeInGroup(g int) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if g < 0 || g >= a.geo.Groups {
 		return 0
 	}
+	grp := &a.groups[g]
+	grp.mu.Lock()
+	defer grp.mu.Unlock()
 	n := 0
-	for _, s := range a.free[g] {
+	for _, s := range grp.free {
 		n += len(s)
 	}
 	return n
@@ -100,20 +109,31 @@ func (a *Allocator) FreeInGroup(g int) int {
 
 // Alloc takes a free chunk matching the target out of the pool.
 func (a *Allocator) Alloc(t Target) (ocssd.ChunkID, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	switch {
 	case t.Group >= 0 && t.PU >= 0:
-		return a.popPU(t.Group, t.PU)
+		if err := a.checkGroup(t.Group); err != nil {
+			return ocssd.ChunkID{}, err
+		}
+		grp := &a.groups[t.Group]
+		grp.mu.Lock()
+		defer grp.mu.Unlock()
+		return a.popPU(grp, t.Group, t.PU)
 	case t.Group >= 0:
+		if err := a.checkGroup(t.Group); err != nil {
+			return ocssd.ChunkID{}, err
+		}
 		return a.popGroup(t.Group)
 	default:
 		// Round-robin across groups then PUs so consecutive allocations
-		// stripe over all parallel units.
+		// stripe over all parallel units. The cursor advances with a CAS
+		// so a concurrent allocator cannot lose the rotation (two racers
+		// collapsing onto one group); on CAS failure the racer's newer
+		// cursor wins. Single-threaded, this is the exact old rotation.
+		start := a.rrGroup.Load()
 		for i := 0; i < a.geo.Groups; i++ {
-			g := (a.rrGroup + i) % a.geo.Groups
+			g := (int(start) + i) % a.geo.Groups
 			if id, err := a.popGroup(g); err == nil {
-				a.rrGroup = (g + 1) % a.geo.Groups
+				a.rrGroup.CompareAndSwap(start, int64((g+1)%a.geo.Groups))
 				return id, nil
 			}
 		}
@@ -121,31 +141,39 @@ func (a *Allocator) Alloc(t Target) (ocssd.ChunkID, error) {
 	}
 }
 
-func (a *Allocator) popGroup(g int) (ocssd.ChunkID, error) {
+func (a *Allocator) checkGroup(g int) error {
 	if g < 0 || g >= a.geo.Groups {
-		return ocssd.ChunkID{}, fmt.Errorf("ftlcore: group %d out of range", g)
+		return fmt.Errorf("ftlcore: group %d out of range", g)
 	}
+	return nil
+}
+
+func (a *Allocator) popGroup(g int) (ocssd.ChunkID, error) {
+	grp := &a.groups[g]
+	grp.mu.Lock()
+	defer grp.mu.Unlock()
 	for i := 0; i < a.geo.PUsPerGroup; i++ {
-		u := (a.rrPU[g] + i) % a.geo.PUsPerGroup
-		if id, err := a.popPU(g, u); err == nil {
-			a.rrPU[g] = (u + 1) % a.geo.PUsPerGroup
+		u := (grp.rrPU + i) % a.geo.PUsPerGroup
+		if id, err := a.popPU(grp, g, u); err == nil {
+			grp.rrPU = (u + 1) % a.geo.PUsPerGroup
 			return id, nil
 		}
 	}
 	return ocssd.ChunkID{}, ErrNoFreeChunks
 }
 
-func (a *Allocator) popPU(g, u int) (ocssd.ChunkID, error) {
-	if g < 0 || g >= a.geo.Groups || u < 0 || u >= a.geo.PUsPerGroup {
+// popPU pops one chunk off a PU stack. Caller holds the group lock.
+func (a *Allocator) popPU(grp *allocGroup, g, u int) (ocssd.ChunkID, error) {
+	if u < 0 || u >= a.geo.PUsPerGroup {
 		return ocssd.ChunkID{}, fmt.Errorf("ftlcore: pu %d.%d out of range", g, u)
 	}
-	s := a.free[g][u]
+	s := grp.free[u]
 	if len(s) == 0 {
 		return ocssd.ChunkID{}, ErrNoFreeChunks
 	}
 	c := s[len(s)-1]
-	a.free[g][u] = s[:len(s)-1]
-	a.nfree--
+	grp.free[u] = s[:len(s)-1]
+	a.nfree.Add(-1)
 	return ocssd.ChunkID{Group: g, PU: u, Chunk: c}, nil
 }
 
@@ -157,33 +185,31 @@ func (a *Allocator) Release(now vclock.Time, id ocssd.ChunkID) (vclock.Time, err
 		a.Retire(id)
 		return end, err
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.free[id.Group][id.PU] = append(a.free[id.Group][id.PU], id.Chunk)
-	a.nfree++
+	a.ReturnFree(id)
 	return end, nil
 }
 
 // ReturnFree puts an already-free chunk back into the pool without a
 // reset (recovery uses this for chunks the report shows as free).
 func (a *Allocator) ReturnFree(id ocssd.ChunkID) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.free[id.Group][id.PU] = append(a.free[id.Group][id.PU], id.Chunk)
-	a.nfree++
+	grp := &a.groups[id.Group]
+	grp.mu.Lock()
+	grp.free[id.PU] = append(grp.free[id.PU], id.Chunk)
+	grp.mu.Unlock()
+	a.nfree.Add(1)
 }
 
 // Retire permanently removes a chunk from circulation (grown bad).
 func (a *Allocator) Retire(id ocssd.ChunkID) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.offMu.Lock()
+	defer a.offMu.Unlock()
 	a.offline[id] = struct{}{}
 }
 
 // RetiredCount reports the number of chunks withheld as bad.
 func (a *Allocator) RetiredCount() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.offMu.Lock()
+	defer a.offMu.Unlock()
 	return len(a.offline)
 }
 

@@ -93,7 +93,7 @@ type LSN int64
 
 // WAL errors.
 var (
-	ErrWALFull       = errors.New("ftlcore: WAL out of chunks")
+	ErrWALFull        = errors.New("ftlcore: WAL out of chunks")
 	ErrRecordTooLarge = errors.New("ftlcore: record larger than a log segment")
 )
 
@@ -128,6 +128,8 @@ type WAL struct {
 	mu       sync.Mutex
 	segments []walSegment // in log order; last is active
 	buf      []byte       // record bytes not yet appended to media
+	unitBuf  []byte       // reusable scratch for the padded sync unit
+	zeroUnit []byte       // one ws_min unit of zeros for segment fill
 	nextLSN  LSN
 	headLSN  LSN // smallest retained LSN
 	appended metrics64
@@ -152,6 +154,8 @@ func NewWAL(media ox.Media, ctrl *ox.Controller, alloc *Allocator, cfg WALConfig
 		cfg.CPUPerRecordReplay = 5 * vclock.Microsecond
 	}
 	w := &WAL{media: media, ctrl: ctrl, alloc: alloc, cfg: cfg, geo: media.Geometry()}
+	w.unitBuf = make([]byte, w.unitBytes())
+	w.zeroUnit = make([]byte, w.unitBytes())
 	id, err := alloc.Alloc(cfg.Target)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrWALFull, err)
@@ -165,15 +169,26 @@ func NewWAL(media ox.Media, ctrl *ox.Controller, alloc *Allocator, cfg WALConfig
 // buffer (it flushes with the next data). Caller holds w.mu (or the WAL
 // is not yet shared).
 func (w *WAL) bufferSegHeader() {
-	payload := make([]byte, segHeaderPayloadLen)
+	var payload [segHeaderPayloadLen]byte
 	binary.LittleEndian.PutUint64(payload[0:], segMagic)
 	binary.LittleEndian.PutUint64(payload[8:], w.cfg.Epoch)
 	binary.LittleEndian.PutUint64(payload[16:], uint64(w.nextLSN))
-	r := Record{Type: RecSegHeader, TxID: w.cfg.Epoch, Payload: payload}
-	enc := make([]byte, encodedLen(r))
-	encodeRecord(enc, r)
-	w.buf = append(w.buf, enc...)
-	w.nextLSN += LSN(len(enc))
+	w.bufferRecord(Record{Type: RecSegHeader, TxID: w.cfg.Epoch, Payload: payload[:]})
+}
+
+// bufferRecord encodes r directly into the RAM buffer, avoiding a
+// per-record staging allocation. Caller holds w.mu.
+func (w *WAL) bufferRecord(r Record) {
+	need := encodedLen(r)
+	off := len(w.buf)
+	if cap(w.buf)-off < need {
+		grown := make([]byte, off, cap(w.buf)+need+4096)
+		copy(grown, w.buf)
+		w.buf = grown
+	}
+	w.buf = w.buf[:off+need]
+	encodeRecord(w.buf[off:], r)
+	w.nextLSN += LSN(need)
 }
 
 func (w *WAL) unitBytes() int    { return w.geo.WSMin * w.geo.Chip.SectorSize }
@@ -210,20 +225,23 @@ func (w *WAL) Append(now vclock.Time, r Record, sync bool) (LSN, vclock.Time, er
 		}
 	}
 	lsn := w.nextLSN
-	enc := make([]byte, need)
-	encodeRecord(enc, r)
-	w.buf = append(w.buf, enc...)
-	w.nextLSN += LSN(need)
+	w.bufferRecord(r)
 	w.appended.records++
 
-	// Drain full ws_min units to media.
+	// Drain full ws_min units to media, then slide the remainder to the
+	// front so the buffer's backing array is reused forever.
 	unit := w.unitBytes()
-	for len(w.buf) >= unit {
-		end, err = w.appendUnit(end, w.buf[:unit])
+	drained := 0
+	for len(w.buf)-drained >= unit {
+		end, err = w.appendUnit(end, w.buf[drained:drained+unit])
 		if err != nil {
+			w.buf = w.buf[:copy(w.buf, w.buf[drained:])]
 			return lsn, end, err
 		}
-		w.buf = w.buf[unit:]
+		drained += unit
+	}
+	if drained > 0 {
+		w.buf = w.buf[:copy(w.buf, w.buf[drained:])]
 	}
 	if sync {
 		if end, err = w.syncLocked(end); err != nil {
@@ -251,8 +269,9 @@ func (w *WAL) appendUnit(now vclock.Time, unit []byte) (vclock.Time, error) {
 func (w *WAL) syncLocked(now vclock.Time) (vclock.Time, error) {
 	unit := w.unitBytes()
 	if len(w.buf) > 0 {
-		padded := make([]byte, unit)
-		copy(padded, w.buf)
+		padded := w.unitBuf
+		n := copy(padded, w.buf)
+		clear(padded[n:])
 		pad := unit - len(w.buf)
 		end, err := w.appendUnit(now, padded)
 		if err != nil {
@@ -289,7 +308,7 @@ func (w *WAL) rotateLocked(now vclock.Time) (vclock.Time, error) {
 		return end, err
 	}
 	seg := w.active()
-	zero := make([]byte, w.unitBytes())
+	zero := w.zeroUnit
 	for seg.written < w.geo.SectorsPerChunk() {
 		if end, err = w.appendUnit(end, zero); err != nil {
 			return end, err

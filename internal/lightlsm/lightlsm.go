@@ -53,8 +53,8 @@ func (p Placement) String() string {
 
 // Errors returned by the environment.
 var (
-	ErrTableFull   = errors.New("lightlsm: table is full")
-	ErrBlockRange  = errors.New("lightlsm: block index out of range")
+	ErrTableFull    = errors.New("lightlsm: table is full")
+	ErrBlockRange   = errors.New("lightlsm: block index out of range")
 	ErrUnknownTable = errors.New("lightlsm: unknown table")
 )
 
@@ -92,6 +92,8 @@ type Env struct {
 	nextID    lsm.TableID
 	nextGroup int
 	stats     Stats
+
+	ppaPool sync.Pool // recycled []ocssd.PPA stripes for block reads
 }
 
 type tableInfo struct {
@@ -345,13 +347,19 @@ func (e *Env) ReadBlock(now vclock.Time, h lsm.TableHandle, block int, dst []byt
 	}
 	chunk := t.chunks[block%len(t.chunks)]
 	stripe := block / len(t.chunks)
-	ppas := make([]ocssd.PPA, e.geo.WSOpt)
+	var ppas []ocssd.PPA
+	if v := e.ppaPool.Get(); v != nil {
+		ppas = *(v.(*[]ocssd.PPA))
+	} else {
+		ppas = make([]ocssd.PPA, e.geo.WSOpt)
+	}
 	base := stripe * e.geo.WSOpt
 	for i := range ppas {
 		ppas[i] = chunk.PPAOf(base + i)
 	}
 	end := e.dispatchIO(now)
 	end, err := e.media.VectorRead(end, ppas, dst[:e.BlockSize()])
+	e.ppaPool.Put(&ppas)
 	if err != nil {
 		return end, err
 	}

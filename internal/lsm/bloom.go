@@ -13,6 +13,26 @@ type bloom struct {
 
 // newBloomFromKeys builds a filter over the given keys.
 func newBloomFromKeys(keys [][]byte, bitsPerKey int) *bloom {
+	b := newBloomSized(len(keys), bitsPerKey)
+	for _, key := range keys {
+		b.add(key)
+	}
+	return b
+}
+
+// newBloomFromHashes builds a filter from pre-computed key hashes, so
+// table builds do not have to retain a copy of every key just to size
+// and fill the filter.
+func newBloomFromHashes(hashes []uint32, bitsPerKey int) *bloom {
+	b := newBloomSized(len(hashes), bitsPerKey)
+	for _, h := range hashes {
+		b.addHash(h)
+	}
+	return b
+}
+
+// newBloomSized returns an empty filter sized for n keys.
+func newBloomSized(n, bitsPerKey int) *bloom {
 	if bitsPerKey <= 0 {
 		bitsPerKey = 10
 	}
@@ -23,15 +43,11 @@ func newBloomFromKeys(keys [][]byte, bitsPerKey int) *bloom {
 	if k > 30 {
 		k = 30
 	}
-	nBits := len(keys) * bitsPerKey
+	nBits := n * bitsPerKey
 	if nBits < 64 {
 		nBits = 64
 	}
-	b := &bloom{bits: make([]byte, (nBits+7)/8), k: k}
-	for _, key := range keys {
-		b.add(key)
-	}
-	return b
+	return &bloom{bits: make([]byte, (nBits+7)/8), k: k}
 }
 
 func bloomHash(key []byte) uint32 {
@@ -44,8 +60,9 @@ func bloomHash(key []byte) uint32 {
 	return h
 }
 
-func (b *bloom) add(key []byte) {
-	h := bloomHash(key)
+func (b *bloom) add(key []byte) { b.addHash(bloomHash(key)) }
+
+func (b *bloom) addHash(h uint32) {
 	delta := h>>17 | h<<15
 	nBits := uint32(len(b.bits) * 8)
 	for i := uint32(0); i < b.k; i++ {

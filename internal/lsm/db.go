@@ -82,15 +82,15 @@ func (o *Options) fill() error {
 
 // Stats aggregates tree activity.
 type Stats struct {
-	Puts, Gets, Deletes int64
-	Flushes             int64
-	Compactions         int64
-	BytesFlushed        int64
-	BytesCompacted      int64
-	BlockReads          int64
-	BloomSkips          int64
-	TrivialMoves        int64
-	StallTime           vclock.Duration
+	Puts, Gets, Deletes          int64
+	Flushes                      int64
+	Compactions                  int64
+	BytesFlushed                 int64
+	BytesCompacted               int64
+	BlockReads                   int64
+	BloomSkips                   int64
+	TrivialMoves                 int64
+	StallTime                    vclock.Duration
 	TablesL0, TablesL1, TablesL2 int
 }
 
@@ -101,20 +101,21 @@ type DB struct {
 	opts Options
 	env  Env
 
-	mu         sync.Mutex
-	seq        uint64
-	mem        *skiplist
-	imms       []immEntry // flushing memtables, newest first
-	l0         []*TableMeta // newest first
-	l1         []*TableMeta // sorted, non-overlapping
-	l2         []*TableMeta // sorted, non-overlapping
-	flushPool  *vclock.Pool
-	compactPool *vclock.Pool
-	rate       *vclock.Resource
-	compactEnd vclock.Time
+	mu           sync.Mutex
+	seq          uint64
+	mem          *skiplist
+	imms         []immEntry   // flushing memtables, newest first
+	l0           []*TableMeta // newest first
+	l1           []*TableMeta // sorted, non-overlapping
+	l2           []*TableMeta // sorted, non-overlapping
+	flushPool    *vclock.Pool
+	compactPool  *vclock.Pool
+	rate         *vclock.Resource
+	compactEnd   vclock.Time
 	lastFlushEnd vclock.Time
-	l1Cursor   int
-	stats      Stats
+	l1Cursor     int
+	readBuf      []byte // reusable Get block buffer (guarded by mu)
+	stats        Stats
 }
 
 // immEntry is a memtable whose flush completes at end (virtual time).
@@ -522,7 +523,9 @@ func (db *DB) answer(v []byte, del bool, now vclock.Time) ([]byte, vclock.Time, 
 	return out, now, nil
 }
 
-// searchTable probes one table for key.
+// searchTable probes one table for key. The returned value aliases the
+// DB's reusable read buffer (valid until the next searchTable call);
+// answer copies it before it escapes.
 func (db *DB) searchTable(now vclock.Time, t *TableMeta, key []byte) (v []byte, del, found bool, end vclock.Time, err error) {
 	now = now.Add(200) // bloom probe CPU
 	if !t.Filter.mayContain(key) {
@@ -533,19 +536,17 @@ func (db *DB) searchTable(now vclock.Time, t *TableMeta, key []byte) (v []byte, 
 	if blockIdx < 0 {
 		return nil, false, false, now, nil
 	}
-	buf := make([]byte, db.env.BlockSize())
+	if len(db.readBuf) < db.env.BlockSize() {
+		db.readBuf = make([]byte, db.env.BlockSize())
+	}
+	buf := db.readBuf
 	now, err = db.env.ReadBlock(now, t.Handle, blockIdx, buf)
 	if err != nil {
 		return nil, false, false, now, err
 	}
 	db.stats.BlockReads++
-	for _, e := range decodeBlock(buf) {
-		if bytes.Equal(e.Key, key) {
-			// Entries are (key asc, seq desc): first hit is newest.
-			return e.Value, e.Del, true, now, nil
-		}
-	}
-	return nil, false, false, now, nil
+	v, del, found = searchBlock(buf, key)
+	return v, del, found, now, nil
 }
 
 // Iterator streams live keys in order, merging all levels. It snapshots
@@ -581,7 +582,9 @@ func (db *DB) NewIterator(clock *vclock.Time) *Iterator {
 	return &Iterator{db: db, merge: newDedupIterator(newMergeIterator(its)), clock: clock}
 }
 
-// Next returns the next live key/value; ok=false at the end.
+// Next returns the next live key/value; ok=false at the end. The
+// returned slices are zero-copy views into the iterator's buffers and
+// stay valid only until the next call — copy them to retain.
 func (it *Iterator) Next() (key, value []byte, ok bool) {
 	for {
 		e, more := it.merge.next()

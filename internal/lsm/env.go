@@ -59,9 +59,9 @@ type TableWriter interface {
 // MemEnv is a RAM-backed Env with a flat per-block latency, used by unit
 // tests and as the "POSIX file system" baseline.
 type MemEnv struct {
-	blockSize   int
-	tableBlocks int
-	ReadLatency vclock.Duration // per block
+	blockSize    int
+	tableBlocks  int
+	ReadLatency  vclock.Duration // per block
 	WriteLatency vclock.Duration
 
 	mu     sync.Mutex

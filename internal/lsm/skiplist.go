@@ -10,12 +10,53 @@ const maxHeight = 12
 // skiplist is an ordered map from internal keys to values. Internal
 // ordering: user key ascending, then sequence number descending, so the
 // newest version of a key comes first.
+//
+// Nodes and key/value bytes are carved out of chunked arenas owned by
+// the skiplist: memtables live briefly and die wholesale, so per-insert
+// allocations would only feed the garbage collector. Pointers into a
+// chunk stay valid because chunks are never grown in place — a full
+// chunk is abandoned (kept alive by the nodes pointing into it) and a
+// fresh one started.
 type skiplist struct {
 	head   *slNode
 	height int
 	rng    *rand.Rand
 	size   int64 // approximate bytes
 	count  int
+
+	nodes []slNode // current node arena chunk
+	bytes []byte   // current key/value arena chunk
+}
+
+const (
+	nodeChunk    = 512       // nodes per arena chunk
+	byteChunkMin = 64 * 1024 // minimum key/value arena chunk size
+)
+
+// newNode carves one node out of the arena.
+func (s *skiplist) newNode() *slNode {
+	if len(s.nodes) == cap(s.nodes) {
+		s.nodes = make([]slNode, 0, nodeChunk)
+	}
+	s.nodes = append(s.nodes, slNode{})
+	return &s.nodes[len(s.nodes)-1]
+}
+
+// copyBytes stores a copy of b in the arena and returns it.
+func (s *skiplist) copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if cap(s.bytes)-len(s.bytes) < len(b) {
+		n := byteChunkMin
+		if len(b) > n {
+			n = len(b)
+		}
+		s.bytes = make([]byte, 0, n)
+	}
+	off := len(s.bytes)
+	s.bytes = append(s.bytes, b...)
+	return s.bytes[off : off+len(b) : off+len(b)]
 }
 
 type slNode struct {
@@ -74,9 +115,12 @@ func (s *skiplist) insert(key []byte, seq uint64, value []byte, del bool) {
 		}
 		s.height = h
 	}
-	n := &slNode{key: append([]byte(nil), key...), seq: seq, del: del}
+	n := s.newNode()
+	n.key = s.copyBytes(key)
+	n.seq = seq
+	n.del = del
 	if !del {
-		n.value = append([]byte(nil), value...)
+		n.value = s.copyBytes(value)
 	}
 	for level := 0; level < h; level++ {
 		n.next[level] = prev[level].next[level]

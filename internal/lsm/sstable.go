@@ -51,9 +51,13 @@ func appendEntry(buf []byte, e Entry, blockSize int) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeBlock parses all entries of a block.
-func decodeBlock(block []byte) []Entry {
-	var out []Entry
+// decodeBlockInto appends all entries of a block to dst without copying
+// key or value bytes: the returned entries alias block and stay valid
+// only until block's backing buffer is overwritten. The write hot path
+// (compaction, scans) consumes entries before their buffer is reused,
+// so the alias never escapes — this is the "zero-copy where the caller
+// permits" contract of DESIGN.md.
+func decodeBlockInto(dst []Entry, block []byte) []Entry {
 	off := 0
 	for off+entryHeader <= len(block) {
 		keyLen := int(binary.LittleEndian.Uint16(block[off:]))
@@ -69,18 +73,59 @@ func decodeBlock(block []byte) []Entry {
 			break // torn block
 		}
 		e := Entry{
-			Key: append([]byte(nil), block[off:off+keyLen]...),
+			Key: block[off : off+keyLen : off+keyLen],
 			Seq: seq,
 			Del: del,
 		}
 		off += keyLen
 		if !del {
-			e.Value = append([]byte(nil), block[off:off+valLen]...)
+			e.Value = block[off : off+valLen : off+valLen]
 		}
 		off += valLen
-		out = append(out, e)
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// decodeBlock parses all entries of a block into freshly allocated
+// key/value buffers (callers that retain entries indefinitely).
+func decodeBlock(block []byte) []Entry {
+	out := decodeBlockInto(nil, block)
+	for i := range out {
+		out[i].Key = append([]byte(nil), out[i].Key...)
+		if out[i].Value != nil {
+			out[i].Value = append([]byte(nil), out[i].Value...)
+		}
 	}
 	return out
+}
+
+// searchBlock scans a block for key in place, with no decoding
+// allocations. Entries are (key asc, seq desc), so the first match is
+// the newest version. The returned value aliases block.
+func searchBlock(block, key []byte) (value []byte, del, found bool) {
+	off := 0
+	for off+entryHeader <= len(block) {
+		keyLen := int(binary.LittleEndian.Uint16(block[off:]))
+		if keyLen == 0 {
+			break
+		}
+		fv := binary.LittleEndian.Uint32(block[off+2:])
+		valLen := int(fv &^ delFlag)
+		off += entryHeader
+		if off+keyLen+valLen > len(block) {
+			break // torn block
+		}
+		if bytes.Equal(block[off:off+keyLen], key) {
+			off += keyLen
+			if fv&delFlag != 0 {
+				return nil, true, true
+			}
+			return block[off : off+valLen : off+valLen], false, true
+		}
+		off += keyLen + valLen
+	}
+	return nil, false, false
 }
 
 // TableMeta is the in-memory metadata of one SSTable: block index
@@ -143,19 +188,23 @@ func buildTables(env Env, now vclock.Time, iter entryIterator, bitsPerKey int, d
 	end := now
 
 	var (
-		w         TableWriter
-		meta      *TableMeta
-		keys      [][]byte
-		block     []byte
+		w          TableWriter
+		meta       *TableMeta
+		hashes     []uint32 // bloom hashes of the current table's keys
+		block      []byte
+		padded     []byte // reusable full-block staging buffer
 		blockFirst []byte
-		err       error
+		err        error
 	)
 	flushBlock := func() error {
 		if len(block) == 0 {
 			return nil
 		}
-		padded := make([]byte, blockSize)
-		copy(padded, block)
+		if padded == nil {
+			padded = make([]byte, blockSize)
+		}
+		n := copy(padded, block)
+		clear(padded[n:])
 		if end, err = w.Append(end, padded); err != nil {
 			return err
 		}
@@ -174,7 +223,8 @@ func buildTables(env Env, now vclock.Time, iter entryIterator, bitsPerKey int, d
 		}
 		if meta.Entries == 0 {
 			_, err := w.Abort(end)
-			w, meta, keys = nil, nil, nil
+			w, meta = nil, nil
+			hashes = hashes[:0]
 			return err
 		}
 		var h TableHandle
@@ -182,9 +232,10 @@ func buildTables(env Env, now vclock.Time, iter entryIterator, bitsPerKey int, d
 			return err
 		}
 		meta.Handle = h
-		meta.Filter = newBloomFromKeys(keys, bitsPerKey)
+		meta.Filter = newBloomFromHashes(hashes, bitsPerKey)
 		metas = append(metas, meta)
-		w, meta, keys = nil, nil, nil
+		w, meta = nil, nil
+		hashes = hashes[:0]
 		return nil
 	}
 
@@ -228,7 +279,7 @@ func buildTables(env Env, now vclock.Time, iter entryIterator, bitsPerKey int, d
 		}
 		meta.Entries++
 		meta.Largest = append(meta.Largest[:0], e.Key...)
-		keys = append(keys, append([]byte(nil), e.Key...))
+		hashes = append(hashes, bloomHash(e.Key))
 	}
 	if err := finishTable(); err != nil {
 		return metas, end, err
@@ -237,20 +288,26 @@ func buildTables(env Env, now vclock.Time, iter entryIterator, bitsPerKey int, d
 }
 
 // tableIterator streams a committed table's entries block by block.
+// Entries are decoded zero-copy: they alias the iterator's block
+// buffers. Two buffers alternate, so an entry handed out from one block
+// survives the read of the next block — exactly the lifetime a merge
+// heap needs when it refills a source's head after copying the previous
+// one out.
 type tableIterator struct {
-	env     Env
-	meta    *TableMeta
-	now     *vclock.Time // shared clock advanced by block reads
+	env      Env
+	meta     *TableMeta
+	now      *vclock.Time // shared clock advanced by block reads
 	blockIdx int
-	entries []Entry
-	pos     int
-	buf     []byte
+	entries  []Entry
+	pos      int
+	bufs     [2][]byte
+	cur      int
 }
 
 // newTableIterator creates an iterator over one table. Block read time
 // accrues to *now.
 func newTableIterator(env Env, meta *TableMeta, now *vclock.Time) *tableIterator {
-	return &tableIterator{env: env, meta: meta, now: now, buf: make([]byte, env.BlockSize())}
+	return &tableIterator{env: env, meta: meta, now: now}
 }
 
 func (it *tableIterator) next() (Entry, bool) {
@@ -258,12 +315,17 @@ func (it *tableIterator) next() (Entry, bool) {
 		if it.blockIdx >= it.meta.Handle.Blocks {
 			return Entry{}, false
 		}
-		end, err := it.env.ReadBlock(*it.now, it.meta.Handle, it.blockIdx, it.buf)
+		it.cur ^= 1
+		if it.bufs[it.cur] == nil {
+			it.bufs[it.cur] = make([]byte, it.env.BlockSize())
+		}
+		buf := it.bufs[it.cur]
+		end, err := it.env.ReadBlock(*it.now, it.meta.Handle, it.blockIdx, buf)
 		if err != nil {
 			return Entry{}, false
 		}
 		*it.now = end
-		it.entries = decodeBlock(it.buf)
+		it.entries = decodeBlockInto(it.entries[:0], buf)
 		it.pos = 0
 		it.blockIdx++
 	}
@@ -276,8 +338,8 @@ func (it *tableIterator) next() (Entry, bool) {
 // inputs must each be internally sorted. On ties (same key and seq),
 // earlier inputs win (callers order inputs newest-first).
 type mergeIterator struct {
-	its     []entryIterator
-	heads   []*Entry
+	its   []entryIterator
+	heads []*Entry
 }
 
 func newMergeIterator(its []entryIterator) *mergeIterator {

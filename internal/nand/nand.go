@@ -158,29 +158,36 @@ func DefaultReliability() Reliability {
 
 // Errors reported by chip operations.
 var (
-	ErrBadBlock       = errors.New("nand: bad block")
-	ErrNotErased      = errors.New("nand: program to non-erased page")
-	ErrOutOfOrder     = errors.New("nand: pages must be programmed sequentially within a block")
-	ErrUnwritten      = errors.New("nand: read of unwritten page")
+	ErrBadBlock         = errors.New("nand: bad block")
+	ErrNotErased        = errors.New("nand: program to non-erased page")
+	ErrOutOfOrder       = errors.New("nand: pages must be programmed sequentially within a block")
+	ErrUnwritten        = errors.New("nand: read of unwritten page")
 	ErrPairedIncomplete = errors.New("nand: read of page whose wordline is not fully programmed")
-	ErrAddress        = errors.New("nand: address out of range")
-	ErrWornOut        = errors.New("nand: block exceeded endurance")
-	ErrProgramFail    = errors.New("nand: program failure")
-	ErrDataSize       = errors.New("nand: payload size does not match page size")
+	ErrAddress          = errors.New("nand: address out of range")
+	ErrWornOut          = errors.New("nand: block exceeded endurance")
+	ErrProgramFail      = errors.New("nand: program failure")
+	ErrDataSize         = errors.New("nand: payload size does not match page size")
 )
 
 type page struct {
-	data []byte // nil until programmed (unless zero is set)
+	data []byte // empty until programmed (unless zero is set)
 	oob  []byte
 	zero bool // programmed with all-zero data; stored deduplicated
 }
 
+// programmed reports whether the page holds data. Erase truncates data
+// buffers instead of dropping them, so steady-state program/erase
+// cycles (GC, chunk resets) reuse page storage; the memory retained is
+// bounded by the pages that last held non-zero data (all-zero programs
+// release their buffer, see Program).
+func (p *page) programmed() bool { return len(p.data) > 0 || p.zero }
+
 type block struct {
-	next    int // index of the next page to program (write pointer)
-	erases  int
-	bad     bool
-	grown   bool // bad grew during use (vs factory)
-	pages   []page
+	next   int // index of the next page to program (write pointer)
+	erases int
+	bad    bool
+	grown  bool // bad grew during use (vs factory)
+	pages  []page
 }
 
 // Stats aggregates chip operation counts.
@@ -339,7 +346,8 @@ func (c *Chip) Program(plane, blk, pg int, data, oob []byte) error {
 	p := &b.pages[pg]
 	if isZero(data) {
 		// WAL padding and chunk pads program whole zero pages; dedup
-		// them so padding does not consume simulator memory.
+		// them so padding never consumes simulator memory — including
+		// any buffer retained from a previous program/erase cycle.
 		p.data = nil
 		p.zero = true
 	} else {
@@ -386,7 +394,7 @@ func (c *Chip) Read(plane, blk, pg int) (data, oob []byte, err error) {
 		return nil, nil, ErrBadBlock
 	}
 	p := &b.pages[pg]
-	if p.data == nil && !p.zero {
+	if !p.programmed() {
 		return nil, nil, ErrUnwritten
 	}
 	bits := c.geo.Cell.BitsPerCell()
@@ -434,8 +442,8 @@ func (c *Chip) Erase(plane, blk int) error {
 		return ErrWornOut
 	}
 	for i := range b.pages {
-		b.pages[i].data = nil
-		b.pages[i].oob = nil
+		b.pages[i].data = b.pages[i].data[:0]
+		b.pages[i].oob = b.pages[i].oob[:0]
 		b.pages[i].zero = false
 	}
 	b.next = 0

@@ -26,10 +26,10 @@ type cacheEntry struct {
 
 type entryHeap []cacheEntry
 
-func (h entryHeap) Len() int            { return len(h) }
-func (h entryHeap) Less(i, j int) bool  { return h[i].freeAt < h[j].freeAt }
-func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x any)         { *h = append(*h, x.(cacheEntry)) }
+func (h entryHeap) Len() int           { return len(h) }
+func (h entryHeap) Less(i, j int) bool { return h[i].freeAt < h[j].freeAt }
+func (h entryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)        { *h = append(*h, x.(cacheEntry)) }
 func (h *entryHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -11,12 +11,20 @@
 // resource and each PU a chip resource, so cross-group operations never
 // interfere while same-group operations queue — exactly the isolation
 // argument of §2.2 and §4.3.
+//
+// Concurrency mirrors the same isolation argument in wall-clock time:
+// chunk metadata, stripe buffers and open-chunk accounting are sharded
+// per parallel unit, so host threads driving disjoint PUs never contend
+// on a device-wide lock (see DESIGN.md, "Per-PU locking"). Statistics
+// are lock-free atomic counters. Virtual-time results are a pure
+// function of the operation sequence and are unchanged by the sharding.
 package ocssd
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/nand"
 	"repro/internal/vclock"
@@ -24,15 +32,15 @@ import (
 
 // Errors reported by device commands.
 var (
-	ErrAddress     = errors.New("ocssd: address out of range")
+	ErrAddress      = errors.New("ocssd: address out of range")
 	ErrWritePointer = errors.New("ocssd: write not at chunk write pointer")
-	ErrWriteSize   = errors.New("ocssd: write size not a multiple of ws_min")
-	ErrChunkState  = errors.New("ocssd: invalid chunk state for command")
-	ErrChunkFull   = errors.New("ocssd: write beyond chunk capacity")
-	ErrUnwritten   = errors.New("ocssd: read of unwritten sector")
-	ErrOffline     = errors.New("ocssd: chunk is offline")
-	ErrOpenLimit   = errors.New("ocssd: too many open chunks on parallel unit")
-	ErrDataSize    = errors.New("ocssd: data length does not match sector count")
+	ErrWriteSize    = errors.New("ocssd: write size not a multiple of ws_min")
+	ErrChunkState   = errors.New("ocssd: invalid chunk state for command")
+	ErrChunkFull    = errors.New("ocssd: write beyond chunk capacity")
+	ErrUnwritten    = errors.New("ocssd: read of unwritten sector")
+	ErrOffline      = errors.New("ocssd: chunk is offline")
+	ErrOpenLimit    = errors.New("ocssd: too many open chunks on parallel unit")
+	ErrDataSize     = errors.New("ocssd: data length does not match sector count")
 )
 
 // ChunkState is the state machine of §2.2 / OCSSD 2.0 chunk reports.
@@ -78,16 +86,45 @@ type AsyncError struct {
 
 // Stats aggregates device-level operation counters.
 type Stats struct {
-	VectorWrites  int64
-	VectorReads   int64
-	Resets        int64
-	Copies        int64
+	VectorWrites   int64
+	VectorReads    int64
+	Resets         int64
+	Copies         int64
 	SectorsWritten int64
-	SectorsRead   int64
-	CacheHitReads int64
-	MediaReads    int64
-	PadSectors    int64
+	SectorsRead    int64
+	CacheHitReads  int64
+	MediaReads     int64
+	PadSectors     int64
 	GrownBadChunks int64
+}
+
+// devStats is the lock-free internal representation of Stats.
+type devStats struct {
+	vectorWrites   atomic.Int64
+	vectorReads    atomic.Int64
+	resets         atomic.Int64
+	copies         atomic.Int64
+	sectorsWritten atomic.Int64
+	sectorsRead    atomic.Int64
+	cacheHitReads  atomic.Int64
+	mediaReads     atomic.Int64
+	padSectors     atomic.Int64
+	grownBadChunks atomic.Int64
+}
+
+func (s *devStats) snapshot() Stats {
+	return Stats{
+		VectorWrites:   s.vectorWrites.Load(),
+		VectorReads:    s.vectorReads.Load(),
+		Resets:         s.resets.Load(),
+		Copies:         s.copies.Load(),
+		SectorsWritten: s.sectorsWritten.Load(),
+		SectorsRead:    s.sectorsRead.Load(),
+		CacheHitReads:  s.cacheHitReads.Load(),
+		MediaReads:     s.mediaReads.Load(),
+		PadSectors:     s.padSectors.Load(),
+		GrownBadChunks: s.grownBadChunks.Load(),
+	}
 }
 
 // Options configures device construction.
@@ -111,6 +148,39 @@ type chunkMeta struct {
 	bufBase  int         // sector index where buf starts (stripe-aligned)
 }
 
+// puState is the per-parallel-unit shard of device state. Everything a
+// write, read or reset touches on one PU — chunk metadata, the open-
+// chunk count and the stripe-buffer free list — lives behind this one
+// mutex, so operations on distinct PUs never contend (§2.2: parallel
+// units do not interfere across groups; here they do not even share a
+// lock).
+type puState struct {
+	mu      sync.Mutex
+	chunks  []chunkMeta
+	open    int      // open chunk count on this PU
+	bufFree [][]byte // recycled stripe buffers (len 0, cap = stripe bytes)
+}
+
+// getBuf pops a recycled stripe buffer or allocates one. Caller holds
+// the PU lock.
+func (p *puState) getBuf(stripeBytes int) []byte {
+	if n := len(p.bufFree); n > 0 {
+		b := p.bufFree[n-1]
+		p.bufFree = p.bufFree[:n-1]
+		return b
+	}
+	return make([]byte, 0, stripeBytes)
+}
+
+// putBuf returns a stripe buffer to the free list. Caller holds the PU
+// lock.
+func (p *puState) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.bufFree = append(p.bufFree, b[:0])
+}
+
 // Device is one simulated Open-Channel SSD.
 type Device struct {
 	geo  Geometry
@@ -121,12 +191,16 @@ type Device struct {
 	chipRes  [][]*vclock.Resource // one resource per PU
 	cache    *cacheTracker
 
-	mu     sync.Mutex
-	chunks [][][]chunkMeta // [group][pu][chunk]
-	open   [][]int         // open chunk count per PU
+	pus []puState // flat [group*PUsPerGroup + pu]
 
-	statsMu sync.Mutex
-	stats   Stats
+	// zeroStripe is one stripe of zero bytes shared by every pad path;
+	// it is never written to.
+	zeroStripe []byte
+
+	// copyBufs recycles the staging buffers of device-side Copy.
+	copyBufs sync.Pool
+
+	stats devStats
 
 	asyncC chan AsyncError
 }
@@ -147,10 +221,10 @@ func New(geo Geometry, opts Options) (*Device, error) {
 		chips:    make([][]*nand.Chip, geo.Groups),
 		channels: make([]*vclock.Resource, geo.Groups),
 		chipRes:  make([][]*vclock.Resource, geo.Groups),
-		chunks:   make([][][]chunkMeta, geo.Groups),
-		open:     make([][]int, geo.Groups),
+		pus:      make([]puState, geo.Groups*geo.PUsPerGroup),
 		asyncC:   make(chan AsyncError, 1024),
 	}
+	d.zeroStripe = make([]byte, geo.WSOpt*geo.Chip.SectorSize)
 	var cacheBytes int64
 	if geo.CacheMB > 0 {
 		cacheBytes = int64(geo.CacheMB) << 20
@@ -160,8 +234,6 @@ func New(geo Geometry, opts Options) (*Device, error) {
 		d.channels[g] = vclock.NewResource(fmt.Sprintf("ch%d", g))
 		d.chips[g] = make([]*nand.Chip, geo.PUsPerGroup)
 		d.chipRes[g] = make([]*vclock.Resource, geo.PUsPerGroup)
-		d.chunks[g] = make([][]chunkMeta, geo.PUsPerGroup)
-		d.open[g] = make([]int, geo.PUsPerGroup)
 		for u := 0; u < geo.PUsPerGroup; u++ {
 			seed := opts.Seed*1000003 + int64(g)*257 + int64(u) + 1
 			chip, err := nand.New(geo.Chip, timing, opts.Reliability, seed)
@@ -170,13 +242,14 @@ func New(geo Geometry, opts Options) (*Device, error) {
 			}
 			d.chips[g][u] = chip
 			d.chipRes[g][u] = vclock.NewResource(fmt.Sprintf("chip%d.%d", g, u))
-			d.chunks[g][u] = make([]chunkMeta, geo.ChunksPerPU)
-			for c := range d.chunks[g][u] {
+			pu := d.pu(g, u)
+			pu.chunks = make([]chunkMeta, geo.ChunksPerPU)
+			for c := range pu.chunks {
 				// A chunk is offline if any of its per-plane blocks is
 				// factory bad (the chunk spans block c on every plane).
 				for p := 0; p < geo.Chip.Planes; p++ {
 					if chip.IsBad(p, c) {
-						d.chunks[g][u][c].state = ChunkOffline
+						pu.chunks[c].state = ChunkOffline
 						break
 					}
 				}
@@ -186,18 +259,21 @@ func New(geo Geometry, opts Options) (*Device, error) {
 	return d, nil
 }
 
+// pu returns the state shard of one parallel unit.
+func (d *Device) pu(g, u int) *puState { return &d.pus[g*d.geo.PUsPerGroup+u] }
+
 // Geometry reports the device geometry (the identify command of §2.2).
 func (d *Device) Geometry() Geometry { return d.geo }
 
 // Errors returns the asynchronous error notification channel.
 func (d *Device) Errors() <-chan AsyncError { return d.asyncC }
 
-// Stats returns a copy of the device counters.
-func (d *Device) Stats() Stats {
-	d.statsMu.Lock()
-	defer d.statsMu.Unlock()
-	return d.stats
-}
+// Stats returns a copy of the device counters. Each counter is read
+// atomically but the snapshot as a whole is not a single atomic cut:
+// under concurrent load, related counters (e.g. VectorWrites and
+// SectorsWritten) may be momentarily out of step. Quiesce the device
+// for exact cross-counter invariants.
+func (d *Device) Stats() Stats { return d.stats.snapshot() }
 
 // ChannelUtilization reports per-group channel utilization over [0, now].
 func (d *Device) ChannelUtilization(now vclock.Time) []float64 {
@@ -220,21 +296,22 @@ func (d *Device) Chunk(id ChunkID) (ChunkInfo, error) {
 	if err := d.geo.CheckPPA(id.PPAOf(0)); err != nil {
 		return ChunkInfo{}, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	pu := d.pu(id.Group, id.PU)
+	pu.mu.Lock()
+	defer pu.mu.Unlock()
+	m := &pu.chunks[id.Chunk]
 	return ChunkInfo{ID: id, State: m.state, WP: m.wp, Wear: m.wear}, nil
 }
 
 // Report returns the full chunk log (every chunk on the device).
 func (d *Device) Report() []ChunkInfo {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	out := make([]ChunkInfo, 0, d.geo.Groups*d.geo.PUsPerGroup*d.geo.ChunksPerPU)
-	for g := range d.chunks {
-		for u := range d.chunks[g] {
-			for c := range d.chunks[g][u] {
-				m := &d.chunks[g][u][c]
+	for g := 0; g < d.geo.Groups; g++ {
+		for u := 0; u < d.geo.PUsPerGroup; u++ {
+			pu := d.pu(g, u)
+			pu.mu.Lock()
+			for c := range pu.chunks {
+				m := &pu.chunks[c]
 				out = append(out, ChunkInfo{
 					ID:    ChunkID{g, u, c},
 					State: m.state,
@@ -242,6 +319,7 @@ func (d *Device) Report() []ChunkInfo {
 					Wear:  m.wear,
 				})
 			}
+			pu.mu.Unlock()
 		}
 	}
 	return out
@@ -252,8 +330,9 @@ func (d *Device) stripeBytes() int { return d.geo.WSOpt * d.geo.Chip.SectorSize 
 
 // programStripe writes one complete wordline stripe (ws_opt sectors,
 // already assembled in buf) to NAND and accounts its virtual timing.
-// The caller holds d.mu. It returns the virtual completion instant.
-func (d *Device) programStripe(at vclock.Time, id ChunkID, baseSector int, buf []byte) (vclock.Time, error) {
+// The caller holds the PU lock. It returns the virtual completion
+// instant.
+func (d *Device) programStripe(at vclock.Time, pu *puState, id ChunkID, baseSector int, buf []byte) (vclock.Time, error) {
 	geo := d.geo
 	chip := d.chips[id.Group][id.PU]
 	bits := geo.Chip.Cell.BitsPerCell()
@@ -276,17 +355,15 @@ func (d *Device) programStripe(at vclock.Time, id ChunkID, baseSector int, buf [
 			off := (p*bits + b) * spp * geo.Chip.SectorSize
 			page := firstPage + b
 			if err := chip.Program(p, id.Chunk, page, buf[off:off+pageBytes], nil); err != nil {
-				m := &d.chunks[id.Group][id.PU][id.Chunk]
+				m := &pu.chunks[id.Chunk]
 				m.state = ChunkOffline
-				d.statsMu.Lock()
-				d.stats.GrownBadChunks++
-				d.statsMu.Unlock()
+				d.stats.grownBadChunks.Add(1)
 				d.notify(id, err)
 				return progEnd, fmt.Errorf("program %v: %w", id, err)
 			}
 		}
 	}
-	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	m := &pu.chunks[id.Chunk]
 	if progEnd > m.flushEnd {
 		m.flushEnd = progEnd
 	}
@@ -294,10 +371,11 @@ func (d *Device) programStripe(at vclock.Time, id ChunkID, baseSector int, buf [
 }
 
 // writeChunk appends n sectors of data to a chunk at its write pointer.
-// The caller holds d.mu. Returns the client-visible completion time.
-func (d *Device) writeChunk(now vclock.Time, id ChunkID, sector int, data []byte) (vclock.Time, error) {
+// The caller holds the PU lock. Returns the client-visible completion
+// time.
+func (d *Device) writeChunk(now vclock.Time, pu *puState, id ChunkID, sector int, data []byte) (vclock.Time, error) {
 	geo := d.geo
-	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	m := &pu.chunks[id.Chunk]
 	n := len(data) / geo.Chip.SectorSize
 
 	switch m.state {
@@ -306,13 +384,13 @@ func (d *Device) writeChunk(now vclock.Time, id ChunkID, sector int, data []byte
 	case ChunkClosed:
 		return now, fmt.Errorf("%w: write to closed %v", ErrChunkState, id)
 	case ChunkFree:
-		if d.open[id.Group][id.PU] >= geo.MaxOpenPerPU {
+		if pu.open >= geo.MaxOpenPerPU {
 			return now, fmt.Errorf("%w: %v", ErrOpenLimit, id)
 		}
 		m.state = ChunkOpen
-		m.buf = make([]byte, 0, d.stripeBytes())
+		m.buf = pu.getBuf(d.stripeBytes())
 		m.bufBase = 0
-		d.open[id.Group][id.PU]++
+		pu.open++
 	}
 	if sector != m.wp {
 		return now, fmt.Errorf("%w: %v sector %d, wp %d", ErrWritePointer, id, sector, m.wp)
@@ -343,7 +421,7 @@ func (d *Device) writeChunk(now vclock.Time, id ChunkID, sector int, data []byte
 		data = data[take:]
 		m.wp += take / geo.Chip.SectorSize
 		if len(m.buf) == stripe {
-			progEnd, err := d.programStripe(completeAt, id, m.bufBase, m.buf)
+			progEnd, err := d.programStripe(completeAt, pu, id, m.bufBase, m.buf)
 			if err != nil {
 				return completeAt, err
 			}
@@ -367,8 +445,9 @@ func (d *Device) writeChunk(now vclock.Time, id ChunkID, sector int, data []byte
 	}
 	if m.wp == geo.SectorsPerChunk() {
 		m.state = ChunkClosed
+		pu.putBuf(m.buf)
 		m.buf = nil
-		d.open[id.Group][id.PU]--
+		pu.open--
 	}
 	return completeAt, nil
 }
@@ -390,8 +469,6 @@ func (d *Device) VectorWrite(now vclock.Time, ppas []PPA, data []byte) (vclock.T
 			return now, err
 		}
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 
 	end := now
 	i := 0
@@ -406,7 +483,10 @@ func (d *Device) VectorWrite(now vclock.Time, ppas []PPA, data []byte) (vclock.T
 			return now, fmt.Errorf("%w: run of %d sectors at %v", ErrWriteSize, run, ppas[i])
 		}
 		sz := geo.Chip.SectorSize
-		t, err := d.writeChunk(now, ppas[i].ChunkOf(), ppas[i].Sector, data[i*sz:j*sz])
+		pu := d.pu(ppas[i].Group, ppas[i].PU)
+		pu.mu.Lock()
+		t, err := d.writeChunk(now, pu, ppas[i].ChunkOf(), ppas[i].Sector, data[i*sz:j*sz])
+		pu.mu.Unlock()
 		if err != nil {
 			return now, err
 		}
@@ -415,10 +495,8 @@ func (d *Device) VectorWrite(now vclock.Time, ppas []PPA, data []byte) (vclock.T
 		}
 		i = j
 	}
-	d.statsMu.Lock()
-	d.stats.VectorWrites++
-	d.stats.SectorsWritten += int64(len(ppas))
-	d.statsMu.Unlock()
+	d.stats.vectorWrites.Add(1)
+	d.stats.sectorsWritten.Add(int64(len(ppas)))
 	return end, nil
 }
 
@@ -432,17 +510,16 @@ func (d *Device) Append(now vclock.Time, id ChunkID, data []byte) (int, vclock.T
 	if err := geo.CheckPPA(id.PPAOf(0)); err != nil {
 		return 0, now, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	start := d.chunks[id.Group][id.PU][id.Chunk].wp
-	end, err := d.writeChunk(now, id, start, data)
+	pu := d.pu(id.Group, id.PU)
+	pu.mu.Lock()
+	start := pu.chunks[id.Chunk].wp
+	end, err := d.writeChunk(now, pu, id, start, data)
+	pu.mu.Unlock()
 	if err != nil {
 		return 0, now, err
 	}
-	d.statsMu.Lock()
-	d.stats.VectorWrites++
-	d.stats.SectorsWritten += int64(len(data) / geo.Chip.SectorSize)
-	d.statsMu.Unlock()
+	d.stats.vectorWrites.Add(1)
+	d.stats.sectorsWritten.Add(int64(len(data) / geo.Chip.SectorSize))
 	return start, end, nil
 }
 
@@ -455,15 +532,16 @@ func (d *Device) Pad(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	if err := geo.CheckPPA(id.PPAOf(0)); err != nil {
 		return now, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	pu := d.pu(id.Group, id.PU)
+	pu.mu.Lock()
+	defer pu.mu.Unlock()
+	m := &pu.chunks[id.Chunk]
 	if m.state != ChunkOpen || len(m.buf) == 0 {
 		return now, nil // nothing buffered: already durable
 	}
 	padBytes := d.stripeBytes() - len(m.buf)
 	padSectors := padBytes / geo.Chip.SectorSize
-	end, err := d.writeChunk(now, id, m.wp, make([]byte, padBytes))
+	end, err := d.writeChunk(now, pu, id, m.wp, d.zeroStripe[:padBytes])
 	if err != nil {
 		return now, err
 	}
@@ -473,10 +551,17 @@ func (d *Device) Pad(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	if m.flushEnd > end {
 		end = m.flushEnd
 	}
-	d.statsMu.Lock()
-	d.stats.PadSectors += int64(padSectors)
-	d.statsMu.Unlock()
+	d.stats.padSectors.Add(int64(padSectors))
 	return end, nil
+}
+
+// chargedPage records one distinct page already charged tR within a
+// vector read. Vectors are short (a block read is one stripe, a handful
+// of pages), so a linear scan beats a map and stays off the heap.
+type chargedPage struct {
+	id   ChunkID
+	page int
+	end  vclock.Time
 }
 
 // VectorRead executes a scatter-gather read of logical blocks into dst
@@ -493,72 +578,91 @@ func (d *Device) VectorRead(now vclock.Time, ppas []PPA, dst []byte) (vclock.Tim
 			return now, err
 		}
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 
 	sz := geo.Chip.SectorSize
 	end := now
 	var cacheHits, mediaReads int64
 	// Track distinct pages charged per chip so one page read serves all
-	// its sectors in this vector.
-	type pageKey struct {
-		id   ChunkID
-		page int
-	}
-	charged := make(map[pageKey]vclock.Time)
+	// its sectors in this vector. The slice stays on the stack for
+	// typical vector sizes.
+	charged := make([]chargedPage, 0, 16)
 
-	for i, p := range ppas {
-		m := &d.chunks[p.Group][p.PU][p.Chunk]
-		if m.state == ChunkOffline {
-			return now, fmt.Errorf("%w: %v", ErrOffline, p)
+	i := 0
+	for i < len(ppas) {
+		// Process the maximal run of sectors on one parallel unit under
+		// that PU's lock; distinct PUs never contend.
+		g, u := ppas[i].Group, ppas[i].PU
+		j := i + 1
+		for j < len(ppas) && ppas[j].Group == g && ppas[j].PU == u {
+			j++
 		}
-		if p.Sector >= m.wp {
-			return now, fmt.Errorf("%w: %v (wp %d)", ErrUnwritten, p, m.wp)
-		}
-		out := dst[i*sz : (i+1)*sz]
-		// Still in the partial-stripe controller buffer?
-		if off := (p.Sector - m.bufBase) * sz; m.state == ChunkOpen && p.Sector >= m.bufBase && off+sz <= len(m.buf) {
-			copy(out, m.buf[off:off+sz])
-			t := now.Add(vclock.DurationFor(int64(sz), geo.CacheMBps))
-			if t > end {
-				end = t
+		pu := d.pu(g, u)
+		pu.mu.Lock()
+		for k := i; k < j; k++ {
+			p := ppas[k]
+			m := &pu.chunks[p.Chunk]
+			if m.state == ChunkOffline {
+				pu.mu.Unlock()
+				return now, fmt.Errorf("%w: %v", ErrOffline, p)
 			}
-			cacheHits++
-			continue
-		}
-		loc := geo.locate(p.Sector)
-		data, _, err := d.chips[p.Group][p.PU].Read(loc.plane, p.Chunk, loc.page)
-		if err != nil {
-			return now, fmt.Errorf("read %v: %w", p, err)
-		}
-		copy(out, data[loc.sector*sz:(loc.sector+1)*sz])
-		// Write-back cache window: data not yet drained reads at DRAM speed.
-		if d.cache.enabled() && m.flushEnd > now {
-			t := now.Add(vclock.DurationFor(int64(sz), geo.CacheMBps))
-			if t > end {
-				end = t
+			if p.Sector >= m.wp {
+				pu.mu.Unlock()
+				return now, fmt.Errorf("%w: %v (wp %d)", ErrUnwritten, p, m.wp)
 			}
-			cacheHits++
-			continue
+			out := dst[k*sz : (k+1)*sz]
+			// Still in the partial-stripe controller buffer?
+			if off := (p.Sector - m.bufBase) * sz; m.state == ChunkOpen && p.Sector >= m.bufBase && off+sz <= len(m.buf) {
+				copy(out, m.buf[off:off+sz])
+				t := now.Add(vclock.DurationFor(int64(sz), geo.CacheMBps))
+				if t > end {
+					end = t
+				}
+				cacheHits++
+				continue
+			}
+			loc := geo.locate(p.Sector)
+			data, _, err := d.chips[g][u].Read(loc.plane, p.Chunk, loc.page)
+			if err != nil {
+				pu.mu.Unlock()
+				return now, fmt.Errorf("read %v: %w", p, err)
+			}
+			copy(out, data[loc.sector*sz:(loc.sector+1)*sz])
+			// Write-back cache window: data not yet drained reads at DRAM speed.
+			if d.cache.enabled() && m.flushEnd > now {
+				t := now.Add(vclock.DurationFor(int64(sz), geo.CacheMBps))
+				if t > end {
+					end = t
+				}
+				cacheHits++
+				continue
+			}
+			id := p.ChunkOf()
+			var tREnd vclock.Time
+			found := false
+			for ci := range charged {
+				if charged[ci].id == id && charged[ci].page == loc.page {
+					tREnd = charged[ci].end
+					found = true
+					break
+				}
+			}
+			if !found {
+				_, tREnd = d.chipRes[g][u].Acquire(now, d.chips[g][u].ReadTime())
+				charged = append(charged, chargedPage{id: id, page: loc.page, end: tREnd})
+			}
+			_, xferEnd := d.channels[g].Acquire(tREnd, vclock.DurationFor(int64(sz), geo.ChannelMBps))
+			if xferEnd > end {
+				end = xferEnd
+			}
+			mediaReads++
 		}
-		key := pageKey{id: p.ChunkOf(), page: loc.page}
-		tREnd, ok := charged[key]
-		if !ok {
-			_, tREnd = d.chipRes[p.Group][p.PU].Acquire(now, d.chips[p.Group][p.PU].ReadTime())
-			charged[key] = tREnd
-		}
-		_, xferEnd := d.channels[p.Group].Acquire(tREnd, vclock.DurationFor(int64(sz), geo.ChannelMBps))
-		if xferEnd > end {
-			end = xferEnd
-		}
-		mediaReads++
+		pu.mu.Unlock()
+		i = j
 	}
-	d.statsMu.Lock()
-	d.stats.VectorReads++
-	d.stats.SectorsRead += int64(len(ppas))
-	d.stats.CacheHitReads += cacheHits
-	d.stats.MediaReads += mediaReads
-	d.statsMu.Unlock()
+	d.stats.vectorReads.Add(1)
+	d.stats.sectorsRead.Add(int64(len(ppas)))
+	d.stats.cacheHitReads.Add(cacheHits)
+	d.stats.mediaReads.Add(mediaReads)
 	return end, nil
 }
 
@@ -570,36 +674,34 @@ func (d *Device) Reset(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	if err := geo.CheckPPA(id.PPAOf(0)); err != nil {
 		return now, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	m := &d.chunks[id.Group][id.PU][id.Chunk]
+	pu := d.pu(id.Group, id.PU)
+	pu.mu.Lock()
+	defer pu.mu.Unlock()
+	m := &pu.chunks[id.Chunk]
 	switch m.state {
 	case ChunkOffline:
 		return now, fmt.Errorf("%w: %v", ErrOffline, id)
 	case ChunkFree:
 		return now, fmt.Errorf("%w: reset of free %v", ErrChunkState, id)
 	case ChunkOpen:
-		d.open[id.Group][id.PU]--
+		pu.open--
 	}
 	// Multi-plane erase: planes erase in parallel, one erase duration.
 	chip := d.chips[id.Group][id.PU]
 	_, end := d.chipRes[id.Group][id.PU].Acquire(now, chip.EraseTime())
 	if err := chip.EraseMulti(id.Chunk); err != nil {
 		m.state = ChunkOffline
-		d.statsMu.Lock()
-		d.stats.GrownBadChunks++
-		d.statsMu.Unlock()
+		d.stats.grownBadChunks.Add(1)
 		d.notify(id, err)
 		return end, fmt.Errorf("reset %v: %w", id, err)
 	}
 	m.state = ChunkFree
 	m.wp = 0
 	m.wear++
+	pu.putBuf(m.buf)
 	m.buf = nil
 	m.bufBase = 0
-	d.statsMu.Lock()
-	d.stats.Resets++
-	d.statsMu.Unlock()
+	d.stats.resets.Add(1)
 	return end, nil
 }
 
@@ -614,7 +716,18 @@ func (d *Device) Copy(now vclock.Time, src []PPA, dst ChunkID) (int, vclock.Time
 		return 0, now, fmt.Errorf("%w: %d source sectors", ErrWriteSize, len(src))
 	}
 	sz := geo.Chip.SectorSize
-	buf := make([]byte, len(src)*sz)
+	need := len(src) * sz
+	var buf []byte
+	if v := d.copyBufs.Get(); v != nil {
+		buf = *(v.(*[]byte))
+	}
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	defer func() {
+		d.copyBufs.Put(&buf)
+	}()
 	// Device-internal read of the sources (tR per page, no host channel).
 	end, err := d.VectorRead(now, src, buf)
 	if err != nil {
@@ -624,9 +737,7 @@ func (d *Device) Copy(now vclock.Time, src []PPA, dst ChunkID) (int, vclock.Time
 	if err != nil {
 		return 0, now, err
 	}
-	d.statsMu.Lock()
-	d.stats.Copies++
-	d.statsMu.Unlock()
+	d.stats.copies.Add(1)
 	return start, end2, nil
 }
 
@@ -636,10 +747,11 @@ func (d *Device) FlushAll(now vclock.Time) (vclock.Time, error) {
 	end := now
 	for g := 0; g < d.geo.Groups; g++ {
 		for u := 0; u < d.geo.PUsPerGroup; u++ {
+			pu := d.pu(g, u)
 			for c := 0; c < d.geo.ChunksPerPU; c++ {
-				d.mu.Lock()
-				needs := d.chunks[g][u][c].state == ChunkOpen && len(d.chunks[g][u][c].buf) > 0
-				d.mu.Unlock()
+				pu.mu.Lock()
+				needs := pu.chunks[c].state == ChunkOpen && len(pu.chunks[c].buf) > 0
+				pu.mu.Unlock()
 				if !needs {
 					continue
 				}
@@ -662,32 +774,32 @@ func (d *Device) FlushAll(now vclock.Time) (vclock.Time, error) {
 // contents survive. Chunk states remain intact (they are reconstructed
 // from NAND in reality; the chunk report is the durable source of truth).
 func (d *Device) Crash() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for g := range d.chunks {
-		for u := range d.chunks[g] {
-			for c := range d.chunks[g][u] {
-				m := &d.chunks[g][u][c]
+	for g := 0; g < d.geo.Groups; g++ {
+		for u := 0; u < d.geo.PUsPerGroup; u++ {
+			pu := d.pu(g, u)
+			pu.mu.Lock()
+			for c := range pu.chunks {
+				m := &pu.chunks[c]
 				if m.state != ChunkOpen || len(m.buf) == 0 {
 					continue
 				}
 				if d.opts.PowerLossProtected {
 					// Capacitors flush the partial stripe with padding.
 					padBytes := d.stripeBytes() - len(m.buf)
-					buf := append(m.buf, make([]byte, padBytes)...)
-					if _, err := d.programStripe(0, ChunkID{g, u, c}, m.bufBase, buf); err == nil {
+					buf := append(m.buf, d.zeroStripe[:padBytes]...)
+					if _, err := d.programStripe(0, pu, ChunkID{g, u, c}, m.bufBase, buf); err == nil {
 						m.bufBase += d.geo.WSOpt
 						m.wp = m.bufBase
 					}
-					d.statsMu.Lock()
-					d.stats.PadSectors += int64(padBytes / d.geo.Chip.SectorSize)
-					d.statsMu.Unlock()
+					d.stats.padSectors.Add(int64(padBytes / d.geo.Chip.SectorSize))
 				} else {
 					// Buffered sectors vanish: the write pointer retreats.
 					m.wp = m.bufBase
 				}
+				pu.putBuf(m.buf)
 				m.buf = nil
 			}
+			pu.mu.Unlock()
 		}
 	}
 }

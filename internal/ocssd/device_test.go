@@ -23,13 +23,13 @@ func smallGeo() Geometry {
 		Cell:           nand.TLC,
 	}
 	return Finish(Geometry{
-		Groups:      2,
-		PUsPerGroup: 2,
-		ChunksPerPU: 8,
-		Chip:        chip,
-		ChannelMBps: 800,
-		CacheMBps:   3200,
-		CacheMB:     4,
+		Groups:       2,
+		PUsPerGroup:  2,
+		ChunksPerPU:  8,
+		Chip:         chip,
+		ChannelMBps:  800,
+		CacheMBps:    3200,
+		CacheMB:      4,
 		MaxOpenPerPU: 4,
 	})
 }

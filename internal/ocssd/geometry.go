@@ -26,10 +26,10 @@ type Geometry struct {
 	// write" (24 sectors = 96 KB on a dual-plane TLC drive).
 	WSOpt int
 
-	ChannelMBps float64 // NAND channel bus bandwidth per group
-	CacheMBps   float64 // controller DRAM copy bandwidth
-	CacheMB     int     // write-back cache size; 0 disables write-back
-	MaxOpenPerPU int    // open chunk limit per PU
+	ChannelMBps  float64 // NAND channel bus bandwidth per group
+	CacheMBps    float64 // controller DRAM copy bandwidth
+	CacheMB      int     // write-back cache size; 0 disables write-back
+	MaxOpenPerPU int     // open chunk limit per PU
 }
 
 // DefaultGeometry returns a scaled-down dual-plane TLC device with the
@@ -46,13 +46,13 @@ func DefaultGeometry() Geometry {
 		Cell:           nand.TLC,
 	}
 	return Finish(Geometry{
-		Groups:      8,
-		PUsPerGroup: 4,
-		ChunksPerPU: 64,
-		Chip:        chip,
-		ChannelMBps: 800,
-		CacheMBps:   3200,
-		CacheMB:     64,
+		Groups:       8,
+		PUsPerGroup:  4,
+		ChunksPerPU:  64,
+		Chip:         chip,
+		ChannelMBps:  800,
+		CacheMBps:    3200,
+		CacheMB:      64,
 		MaxOpenPerPU: 8,
 	})
 }
@@ -72,13 +72,13 @@ func PaperGeometry() Geometry {
 		Cell:           nand.TLC,
 	}
 	return Finish(Geometry{
-		Groups:      8,
-		PUsPerGroup: 4,
-		ChunksPerPU: 1474,
-		Chip:        chip,
-		ChannelMBps: 800,
-		CacheMBps:   3200,
-		CacheMB:     512,
+		Groups:       8,
+		PUsPerGroup:  4,
+		ChunksPerPU:  1474,
+		Chip:         chip,
+		ChannelMBps:  800,
+		CacheMBps:    3200,
+		CacheMB:      512,
 		MaxOpenPerPU: 8,
 	})
 }
@@ -167,9 +167,9 @@ func (g Geometry) String() string {
 // plane-major then paired-page then sector-in-page — so that sequential
 // chunk writes program pages strictly sequentially on every plane.
 type sectorLoc struct {
-	plane   int
-	page    int // page index within the block
-	sector  int // sector within the page
+	plane  int
+	page   int // page index within the block
+	sector int // sector within the page
 }
 
 func (g Geometry) locate(sector int) sectorLoc {

@@ -74,21 +74,21 @@ func DefaultConfig() Config {
 
 // Stats aggregates controller accounting.
 type Stats struct {
-	BytesRX         int64 // bytes copied network→FTL
-	BytesToDevice   int64 // bytes copied FTL→device
-	BytesHost       int64 // bytes moved over the host link
-	HostTransfers   int64
-	UserIOs         int64
-	ControllerIOs   int64
+	BytesRX       int64 // bytes copied network→FTL
+	BytesToDevice int64 // bytes copied FTL→device
+	BytesHost     int64 // bytes moved over the host link
+	HostTransfers int64
+	UserIOs       int64
+	ControllerIOs int64
 }
 
 // Controller is the OX runtime: resource accounting plus the media layer.
 type Controller struct {
-	cfg   Config
-	cores *vclock.Pool
-	memBus *vclock.Resource
+	cfg     Config
+	cores   *vclock.Pool
+	memBus  *vclock.Resource
 	hostBus *vclock.Resource
-	media Media
+	media   Media
 
 	bytesRX       metrics.Counter
 	bytesToDevice metrics.Counter

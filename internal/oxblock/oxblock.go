@@ -104,11 +104,11 @@ func (c *Config) fill(geo ocssd.Geometry) error {
 
 // Stats aggregates block-device activity.
 type Stats struct {
-	Txns        int64
+	Txns         int64
 	PagesWritten int64
-	PagesRead   int64
-	Checkpoints int64
-	Recoveries  int64
+	PagesRead    int64
+	Checkpoints  int64
+	Recoveries   int64
 }
 
 // RecoveryReport describes one recovery run (the quantity of Figure 3).

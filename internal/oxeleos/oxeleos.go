@@ -51,11 +51,11 @@ type Config struct {
 
 // Stats aggregates store activity.
 type Stats struct {
-	Flushes     int64
+	Flushes      int64
 	BytesFlushed int64
-	PageReads   int64
-	Deletes     int64
-	ChunksFreed int64
+	PageReads    int64
+	Deletes      int64
+	ChunksFreed  int64
 }
 
 // Store is an OX-ELEOS log-structured store over an Open-Channel SSD.

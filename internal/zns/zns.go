@@ -51,12 +51,12 @@ func (s ZoneState) String() string {
 
 // Errors returned by the target.
 var (
-	ErrZoneRange   = errors.New("zns: zone index out of range")
-	ErrZoneState   = errors.New("zns: invalid zone state for command")
+	ErrZoneRange    = errors.New("zns: zone index out of range")
+	ErrZoneState    = errors.New("zns: invalid zone state for command")
 	ErrWritePointer = errors.New("zns: write not at the zone write pointer")
-	ErrZoneFull    = errors.New("zns: write exceeds zone capacity")
-	ErrAlignment   = errors.New("zns: length not a multiple of the block size")
-	ErrUnwritten   = errors.New("zns: read beyond the write pointer")
+	ErrZoneFull     = errors.New("zns: write exceeds zone capacity")
+	ErrAlignment    = errors.New("zns: length not a multiple of the block size")
+	ErrUnwritten    = errors.New("zns: read beyond the write pointer")
 )
 
 // Config sizes the target.
