@@ -140,6 +140,37 @@ func BenchmarkFigure1Landscape(b *testing.B) {
 	}
 }
 
+// BenchmarkQDSweep regenerates the queue-depth sweep: throughput and
+// per-command-type latency percentiles through one host-interface
+// queue pair.
+func BenchmarkQDSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.QDSweep(exp.DefaultQDSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].KIOPS, "qd1_kIOPS")
+		b.ReportMetric(points[len(points)-1].KIOPS, "qd32_kIOPS")
+		if i == 0 {
+			b.Log("\n" + exp.QDSweepTable(points).Render())
+		}
+	}
+}
+
+// BenchmarkTenants regenerates the multi-tenant namespace scenario.
+func BenchmarkTenants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Tenants(exp.DefaultTenants())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].KIOPS, "tenant0_kIOPS")
+		if i == 0 {
+			b.Log("\n" + exp.TenantsTable(points).Render())
+		}
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationGlobalGC disables group marking: interference spreads

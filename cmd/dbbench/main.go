@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dbbench"
 	"repro/internal/exp"
+	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/lsm"
 	"repro/internal/metrics"
@@ -38,8 +39,10 @@ func main() {
 	fail(err)
 	env, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
 	fail(err)
+	// The database reaches the FTL through host-interface queue pairs.
+	host := hostif.NewHost(ctrl, hostif.HostConfig{})
 	db, err := lsm.Open(lsm.Options{
-		Env:           env,
+		Env:           hostif.AttachLSM(host, env),
 		MemtableBytes: 8 << 20,
 		MaxImmutables: 6,
 		FlushWorkers:  4,

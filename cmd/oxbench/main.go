@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,all")
+	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,tenants,all")
 	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
 	flag.Parse()
 
@@ -83,6 +83,20 @@ func main() {
 			fatal(err)
 		}
 		emit("gc_locality", exp.GCLocalityTable(points))
+	}
+	if all || want["qd"] {
+		points, err := exp.QDSweep(exp.DefaultQDSweep())
+		if err != nil {
+			fatal(err)
+		}
+		emit("qd_sweep", exp.QDSweepTable(points))
+	}
+	if all || want["tenants"] {
+		points, err := exp.Tenants(exp.DefaultTenants())
+		if err != nil {
+			fatal(err)
+		}
+		emit("tenants", exp.TenantsTable(points))
 	}
 }
 

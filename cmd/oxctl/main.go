@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/ocssd"
 )
@@ -61,9 +62,12 @@ func main() {
 		}
 		env, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
 		fail(err)
-		w, err := env.CreateTable(0)
+		// Flush one SSTable through the host interface: create, append
+		// one block, commit — all as queue-pair commands.
+		cli := hostif.AttachLSM(hostif.NewHost(ctrl, hostif.HostConfig{}), env)
+		w, err := cli.CreateTable(0)
 		fail(err)
-		block := make([]byte, env.BlockSize())
+		block := make([]byte, cli.BlockSize())
 		now, err := w.Append(0, block)
 		fail(err)
 		h, _, err := w.Commit(now)

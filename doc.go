@@ -16,6 +16,10 @@
 //   - internal/oxblock  — OX-Block, the generic block-device FTL
 //   - internal/oxeleos  — OX-ELEOS, the log-structured FTL for LLAMA
 //   - internal/lightlsm — LightLSM, the RocksDB-environment FTL
+//   - internal/zns      — OX-ZNS, the Zoned-Namespaces FTL of §2.3
+//   - internal/hostif   — the NVMe-style host interface: typed commands
+//     over submission/completion queue pairs, deterministic round-robin
+//     arbitration, one namespace adapter per FTL
 //   - internal/lsm      — a miniature RocksDB (memtable, SSTables,
 //     bloom filters, leveled compaction, rate limiter)
 //   - internal/dbbench  — the db_bench workloads of §4.3
@@ -23,6 +27,5 @@
 //   - internal/exp      — one driver per table/figure of the evaluation
 //
 // The benchmarks in bench_test.go regenerate every figure; cmd/oxbench
-// prints them as paper-style tables. See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// prints them as paper-style tables. See README.md and DESIGN.md.
 package repro

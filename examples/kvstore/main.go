@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"repro/internal/exp"
+	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/lsm"
 	"repro/internal/vclock"
@@ -35,7 +36,10 @@ func main() {
 	fmt.Printf("LightLSM: %s placement, %d KB blocks, %d MB SSTables\n",
 		env.Placement(), env.BlockSize()/1024, env.TableBytes()>>20)
 
-	db, err := lsm.Open(lsm.Options{Env: env, MemtableBytes: 1 << 20, Seed: 1})
+	// The database reaches the FTL through host-interface queue pairs:
+	// every SSTable flush block and block read is a typed command.
+	host := hostif.NewHost(ctrl, hostif.HostConfig{})
+	db, err := lsm.Open(lsm.Options{Env: hostif.AttachLSM(host, env), MemtableBytes: 1 << 20, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 // logstructured: OX-ELEOS as a log-structured store — 8 MB LSS I/O
 // buffers in, variable-size page reads out (§4.2), with the two
-// controller copies of Figure 7 accounted.
+// controller copies of Figure 7 accounted. The store is driven as a
+// host-interface namespace: flushes and page reads are queue-pair
+// commands, and the host link is charged per command.
 package main
 
 import (
@@ -8,6 +10,7 @@ import (
 	"log"
 
 	"repro/internal/exp"
+	"repro/internal/hostif"
 	"repro/internal/oxeleos"
 )
 
@@ -22,32 +25,43 @@ func main() {
 	}
 	fmt.Printf("OX-ELEOS: %d MB LSS I/O buffers\n", store.BufferBytes()>>20)
 
+	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	nsid := host.AddNamespace(hostif.NewEleosNamespace(store))
+	qp := host.OpenQueuePair(1)
+
 	// Build one LSS buffer holding variable-sized pages (LLAMA delta
 	// pages are "an arbitrary number of bytes").
 	sizes := []int{500, 4096, 12000, 333, 64 * 1024}
 	buf := make([]byte, 0, 1<<20)
-	var pages []oxeleos.PageDesc
+	var pages []hostif.PageDesc
 	for i, sz := range sizes {
-		desc := oxeleos.PageDesc{ID: int64(i + 1), Offset: len(buf), Length: sz}
+		desc := hostif.PageDesc{ID: int64(i + 1), Offset: len(buf), Length: sz}
 		pages = append(pages, desc)
 		for j := 0; j < sz; j++ {
 			buf = append(buf, byte(i+1))
 		}
 	}
-	end, err := store.Flush(0, buf, pages)
-	if err != nil {
+	if err := qp.Push(0, &hostif.Command{Op: hostif.OpFlush, NSID: nsid, Data: buf, Descs: pages}); err != nil {
 		log.Fatal(err)
 	}
+	fc := qp.MustReap()
+	if fc.Err != nil {
+		log.Fatal(fc.Err)
+	}
+	end := fc.Done
 	fmt.Printf("flushed %d bytes holding %d pages at %v\n", len(buf), len(pages), end)
 
 	// Page-granular reads: mapping is finer than the 4 KB unit of read.
 	for _, d := range pages {
-		data, e, err := store.ReadPage(end, d.ID)
-		if err != nil {
+		if err := qp.Push(end, &hostif.Command{Op: hostif.OpRead, NSID: nsid, LPN: d.ID}); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  page %d: %5d bytes (read finished %v)\n", d.ID, len(data), e)
-		end = e
+		rc := qp.MustReap()
+		if rc.Err != nil {
+			log.Fatal(rc.Err)
+		}
+		fmt.Printf("  page %d: %5d bytes (read finished %v)\n", d.ID, len(rc.Data), rc.Done)
+		end = rc.Done
 	}
 
 	// The Figure 7 story: every byte crossed the memory bus twice.

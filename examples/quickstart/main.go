@@ -1,5 +1,6 @@
 // Quickstart: build a simulated Open-Channel SSD, mount the OX-Block
-// FTL on the OX controller, and use it as a transactional block device.
+// FTL on the OX controller, and drive it as an NVMe-style namespace
+// through a host-interface queue pair.
 package main
 
 import (
@@ -7,6 +8,7 @@ import (
 	"log"
 
 	"repro/internal/exp"
+	"repro/internal/hostif"
 	"repro/internal/oxblock"
 )
 
@@ -20,38 +22,58 @@ func main() {
 	fmt.Println("device:", dev.Geometry())
 
 	// Mount OX-Block: a 4 KB block device with WAL + checkpoint
-	// transactions and group-marked garbage collection.
+	// transactions and group-marked garbage collection — then attach it
+	// to the host interface as a namespace and open a queue pair.
 	blk, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 16384}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
+	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	nsid := host.AddNamespace(hostif.NewBlockNamespace(blk))
+	qp := host.OpenQueuePair(4)
 
-	// Every write of up to 1 MB is one atomic, durable transaction.
+	// Every write of up to 1 MB is one atomic, durable transaction: a
+	// Write command submitted to the queue and reaped as a completion.
 	payload := make([]byte, 8*4096)
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	now, err = blk.Write(now, 100, payload)
-	if err != nil {
+	if err := qp.Push(now, &hostif.Command{Op: hostif.OpWrite, NSID: nsid, LPN: 100, Data: payload}); err != nil {
 		log.Fatal(err)
 	}
-	got, now, err := blk.Read(now, 100, 8)
-	if err != nil {
+	wc := qp.MustReap()
+	if wc.Err != nil {
+		log.Fatal(wc.Err)
+	}
+	if err := qp.Push(wc.Done, &hostif.Command{Op: hostif.OpRead, NSID: nsid, LPN: 100, Pages: 8}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote+read 8 pages at lpn 100: first byte %#x, virtual time %v\n", got[0], now)
+	rc := qp.MustReap()
+	if rc.Err != nil {
+		log.Fatal(rc.Err)
+	}
+	fmt.Printf("wrote+read 8 pages at lpn 100: first byte %#x, latency %v, virtual time %v\n",
+		rc.Data[0], rc.Latency(), rc.Done)
 
 	// Crash the controller and recover: the committed write survives.
+	// Recovery is the admin path — it rebuilds the FTL, after which a
+	// fresh namespace serves the same data.
 	dev.Crash()
-	blk2, report, end, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 16384}, now)
+	blk2, report, end, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 16384}, rc.Done)
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, _, err = blk2.Read(end, 100, 1)
-	if err != nil {
+	host2 := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	nsid2 := host2.AddNamespace(hostif.NewBlockNamespace(blk2))
+	qp2 := host2.OpenQueuePair(1)
+	if err := qp2.Push(end, &hostif.Command{Op: hostif.OpRead, NSID: nsid2, LPN: 100, Pages: 1}); err != nil {
 		log.Fatal(err)
+	}
+	rc2 := qp2.MustReap()
+	if rc2.Err != nil {
+		log.Fatal(rc2.Err)
 	}
 	fmt.Printf("after crash: replayed %d records in %v; data intact: %v\n",
-		report.ReplayedRecords, report.Duration, got[0] == 0)
+		report.ReplayedRecords, report.Duration, rc2.Data[0] == 0)
 	fmt.Printf("device stats: %+v\n", dev.Stats())
 }

@@ -1,6 +1,7 @@
 // zns: OX-ZNS — the Zoned-Namespaces target of §2.3 implemented as an
 // application-specific FTL over the Open-Channel SSD (the paper notes
-// this "should be straightforward" but was never released).
+// this "should be straightforward" but was never released), driven with
+// the NVMe ZNS command set over a host-interface queue pair.
 package main
 
 import (
@@ -8,6 +9,7 @@ import (
 	"log"
 
 	"repro/internal/exp"
+	"repro/internal/hostif"
 	"repro/internal/zns"
 )
 
@@ -23,35 +25,55 @@ func main() {
 	fmt.Printf("OX-ZNS: %d zones of %d MB, %d KB blocks\n",
 		tgt.Zones(), tgt.ZoneCapacity()>>20, tgt.BlockSize()/1024)
 
-	// Zone append: concurrent writers need no write-pointer coordination.
+	host := hostif.NewHost(ctrl, hostif.HostConfig{})
+	nsid := host.AddNamespace(hostif.NewZoneNamespace(tgt))
+	qp := host.OpenQueuePair(2)
+
+	// Zone append: concurrent writers need no write-pointer
+	// coordination — two appends batched behind one doorbell ring.
 	block := make([]byte, tgt.BlockSize())
 	for i := range block {
 		block[i] = 0xAB
 	}
-	off1, now, err := tgt.Append(0, 0, block)
-	if err != nil {
-		log.Fatal(err)
+	for i := 0; i < 2; i++ {
+		if _, err := qp.Submit(&hostif.Command{Op: hostif.OpZoneAppend, NSID: nsid, Zone: 0, Data: block}); err != nil {
+			log.Fatal(err)
+		}
 	}
-	off2, now, err := tgt.Append(now, 0, block)
-	if err != nil {
-		log.Fatal(err)
+	qp.Ring(0)
+	a1, a2 := qp.MustReap(), qp.MustReap()
+	if a1.Err != nil || a2.Err != nil {
+		log.Fatal(a1.Err, a2.Err)
 	}
-	fmt.Printf("appends landed at offsets %d and %d\n", off1, off2)
+	fmt.Printf("appends landed at offsets %d and %d\n", a1.Offset, a2.Offset)
+	now := a2.Done
 
 	// Sequential-write-required: writing anywhere else fails.
-	if _, err := tgt.Write(now, 0, 0, block); err != nil {
-		fmt.Println("rewrite without reset correctly refused:", err)
+	if err := qp.Push(now, &hostif.Command{Op: hostif.OpWrite, NSID: nsid, Zone: 0, LPN: 0, Data: block}); err != nil {
+		log.Fatal(err)
+	}
+	if wc := qp.MustReap(); wc.Err != nil {
+		fmt.Println("rewrite without reset correctly refused:", wc.Err)
 	}
 
 	// Read back, then reclaim the zone with a reset.
-	got, now, err := tgt.Read(now, 0, 0, int64(tgt.BlockSize()))
-	if err != nil {
+	if err := qp.Push(now, &hostif.Command{
+		Op: hostif.OpRead, NSID: nsid, Zone: 0, LPN: 0, Length: int64(tgt.BlockSize()),
+	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("read back %d bytes, first %#x\n", len(got), got[0])
-	if now, err = tgt.Reset(now, 0); err != nil {
+	rc := qp.MustReap()
+	if rc.Err != nil {
+		log.Fatal(rc.Err)
+	}
+	fmt.Printf("read back %d bytes, first %#x\n", len(rc.Data), rc.Data[0])
+	if err := qp.Push(rc.Done, &hostif.Command{Op: hostif.OpZoneReset, NSID: nsid, Zone: 0}); err != nil {
 		log.Fatal(err)
+	}
+	rst := qp.MustReap()
+	if rst.Err != nil {
+		log.Fatal(rst.Err)
 	}
 	zi, _ := tgt.Zone(0)
-	fmt.Printf("after reset: state=%v wp=%d (virtual time %v)\n", zi.State, zi.WP, now)
+	fmt.Printf("after reset: state=%v wp=%d (virtual time %v)\n", zi.State, zi.WP, rst.Done)
 }

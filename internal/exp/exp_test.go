@@ -243,6 +243,96 @@ func TestUnitOfWriteMatchesPaper(t *testing.T) {
 	}
 }
 
+func smallQD() QDSweepConfig {
+	return QDSweepConfig{
+		Depths:       []int{1, 4, 16},
+		Ops:          400,
+		TxnPages:     32,
+		ReadPages:    32,
+		LogicalPages: 4096,
+		Seed:         17,
+	}
+}
+
+func TestQDSweepShape(t *testing.T) {
+	points, err := QDSweep(smallQD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Deeper queues never lose throughput at this scale...
+	if points[2].KIOPS < points[0].KIOPS {
+		t.Errorf("QD16 throughput (%.2f) below QD1 (%.2f)", points[2].KIOPS, points[0].KIOPS)
+	}
+	// ...and pay for it in queueing latency.
+	if points[2].WriteLat.Percentile(99) < points[0].WriteLat.Percentile(99) {
+		t.Errorf("QD16 write p99 (%v) below QD1 (%v)",
+			points[2].WriteLat.Percentile(99), points[0].WriteLat.Percentile(99))
+	}
+	for _, p := range points {
+		if p.WriteLat.Count()+p.ReadLat.Count() != int64(p.Ops) {
+			t.Errorf("QD%d: %d latencies recorded for %d ops",
+				p.Depth, p.WriteLat.Count()+p.ReadLat.Count(), p.Ops)
+		}
+	}
+	out := QDSweepTable(points).Render()
+	if !strings.Contains(out, "wr p99") || !strings.Contains(out, "rd p50") {
+		t.Fatalf("table missing latency columns:\n%s", out)
+	}
+}
+
+// TestQDSweepDeterministic pins the queue-pair determinism contract at
+// the scenario level: two runs with the same seed render byte-identical
+// tables.
+func TestQDSweepDeterministic(t *testing.T) {
+	cfg := smallQD()
+	cfg.Depths = []int{4}
+	a, err := QDSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QDSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := QDSweepTable(a).Render(), QDSweepTable(b).Render()
+	if ta != tb {
+		t.Fatalf("tables differ across identical runs:\n%s\nvs\n%s", ta, tb)
+	}
+}
+
+func TestTenantsFairness(t *testing.T) {
+	cfg := DefaultTenants()
+	cfg.OpsPerTenant = 300
+	cfg.PagesPerTenant = 2048
+	points, err := Tenants(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != cfg.Tenants {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Symmetric tenants behind round-robin arbitration finish with
+	// near-identical throughput.
+	minK, maxK := points[0].KIOPS, points[0].KIOPS
+	for _, p := range points {
+		if p.KIOPS < minK {
+			minK = p.KIOPS
+		}
+		if p.KIOPS > maxK {
+			maxK = p.KIOPS
+		}
+	}
+	if minK <= 0 || maxK/minK > 1.10 {
+		t.Errorf("tenant throughput unfair: min %.2f max %.2f kIOPS", minK, maxK)
+	}
+	if len(TenantsTable(points).Rows) != cfg.Tenants {
+		t.Error("tenants table broken")
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{Title: "T", Headers: []string{"a", "b"}}
 	tab.Add("x", 1.5)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/hostif"
 	"repro/internal/oxblock"
 	"repro/internal/vclock"
 )
@@ -92,21 +93,32 @@ func figure3Run(cfg Fig3Config, interval, failAt vclock.Duration) (Fig3Point, er
 		return Fig3Point{}, err
 	}
 
+	// The paced writer is one host actor on one queue pair (depth 1):
+	// each transaction is a Write command submitted with a doorbell ring
+	// at the writer's clock and reaped before the next is issued.
+	host := hostif.NewHost(ctrl, hostif.HostConfig{})
+	nsid := host.AddNamespace(hostif.NewBlockNamespace(d))
+	qp := host.OpenQueuePair(1)
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	data := make([]byte, cfg.TxnPages*4096) // zero payload: content-free
 	deadline := vclock.Time(failAt)
 	txns := 0
 	next := now
+	cmd := &hostif.Command{Op: hostif.OpWrite, NSID: nsid, Data: data}
 	for next < deadline {
-		lpn := rng.Int63n(logicalPages - int64(cfg.TxnPages))
-		end, err := d.Write(next, lpn, data)
-		if err != nil {
+		cmd.LPN = rng.Int63n(logicalPages - int64(cfg.TxnPages))
+		if err := qp.Push(next, cmd); err != nil {
 			return Fig3Point{}, fmt.Errorf("txn %d: %w", txns, err)
+		}
+		comp := qp.MustReap()
+		if comp.Err != nil {
+			return Fig3Point{}, fmt.Errorf("txn %d: %w", txns, comp.Err)
 		}
 		txns++
 		// Paced submission: the next transaction starts one period after
 		// the previous submission, or when the previous one finished.
-		next = vclock.Max(end, next.Add(cfg.TxnEvery))
+		next = vclock.Max(comp.Done, next.Add(cfg.TxnEvery))
 	}
 
 	// Kill -9: all volatile state is lost.

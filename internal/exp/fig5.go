@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbbench"
+	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/lsm"
 	"repro/internal/metrics"
@@ -90,12 +91,16 @@ func figure5Run(cfg Fig5Config, placement lightlsm.Placement, clients int) ([]Fi
 	if err != nil {
 		return nil, err
 	}
+	// The database drives the FTL through the host interface: every
+	// SSTable command (create/append/commit/read/delete) crosses a
+	// queue pair instead of calling LightLSM directly.
+	host := hostif.NewHost(ctrl, hostif.HostConfig{})
 	memtable := int64(cfg.MemtableMB)
 	if memtable <= 0 {
 		memtable = 32
 	}
 	db, err := lsm.Open(lsm.Options{
-		Env:           env,
+		Env:           hostif.AttachLSM(host, env),
 		MemtableBytes: memtable << 20,
 		// Flush pipelining grows with client pressure: a deeper write-
 		// buffer queue over four background flushes lets vertical

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/hostif"
 	"repro/internal/ox"
 	"repro/internal/oxeleos"
 	"repro/internal/vclock"
@@ -75,42 +76,59 @@ func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
 		return Fig7Point{}, err
 	}
 
-	// Each host thread streams buffers back to back; the DES loop always
-	// advances the thread with the smallest clock.
-	clocks := make([]vclock.Time, threads)
-	done := make([]int, threads)
+	// Each host thread is one queue pair at depth 1 streaming buffers
+	// back to back: a Flush command rings the doorbell at the thread's
+	// clock, the host charges the host-link transfer, and the namespace
+	// adapter performs both controller copies. The closed loop always
+	// resumes the thread whose command completes first (ReapAny) — the
+	// queue-pair incarnation of the old smallest-clock DES loop.
+	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	nsid := host.AddNamespace(hostif.NewEleosNamespace(store))
+	qps := make([]*hostif.QueuePair, threads)
+	for i := range qps {
+		qps[i] = host.OpenQueuePair(1)
+	}
 	buf := make([]byte, cfg.BufferBytes) // zero payload (content-free)
 	pageBytes := 32 * 1024
-	var end vclock.Time
-	remaining := threads * cfg.BuffersPerThread
 	bufIdx := 0
-	for remaining > 0 {
-		ti := 0
-		for i := 1; i < threads; i++ {
-			if done[i] < cfg.BuffersPerThread && (done[ti] >= cfg.BuffersPerThread || clocks[i] < clocks[ti]) {
-				ti = i
-			}
-		}
-		// Host link transfer, then the OX-ELEOS flush (both copies).
-		t := ctrl.HostTransfer(clocks[ti], int64(cfg.BufferBytes))
-		pages := make([]oxeleos.PageDesc, 0, cfg.BufferBytes/pageBytes)
+	submit := func(ti int, at vclock.Time) error {
+		pages := make([]hostif.PageDesc, 0, cfg.BufferBytes/pageBytes)
 		for off := 0; off+pageBytes <= cfg.BufferBytes; off += pageBytes {
-			pages = append(pages, oxeleos.PageDesc{
+			pages = append(pages, hostif.PageDesc{
 				ID:     int64(bufIdx*1_000_000 + off),
 				Offset: off,
 				Length: pageBytes,
 			})
 		}
-		t, err := store.Flush(t, buf, pages)
-		if err != nil {
+		bufIdx++
+		return qps[ti].Push(at, &hostif.Command{
+			Op: hostif.OpFlush, NSID: nsid, Data: buf, Descs: pages,
+		})
+	}
+	var end vclock.Time
+	issued := make([]int, threads)
+	for i := range qps {
+		if err := submit(i, 0); err != nil {
 			return Fig7Point{}, err
 		}
-		clocks[ti] = t
-		done[ti]++
-		remaining--
-		bufIdx++
-		if t > end {
-			end = t
+		issued[i]++
+	}
+	for remaining := threads * cfg.BuffersPerThread; remaining > 0; remaining-- {
+		comp, ok := host.ReapAny()
+		if !ok {
+			return Fig7Point{}, fmt.Errorf("fig7: completion queue ran dry")
+		}
+		if comp.Err != nil {
+			return Fig7Point{}, comp.Err
+		}
+		if comp.Done > end {
+			end = comp.Done
+		}
+		if ti := comp.QueueID; issued[ti] < cfg.BuffersPerThread {
+			if err := submit(ti, comp.Done); err != nil {
+				return Fig7Point{}, err
+			}
+			issued[ti]++
 		}
 	}
 	totalBytes := int64(threads) * int64(cfg.BuffersPerThread) * int64(cfg.BufferBytes)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/hostif"
 	"repro/internal/oxblock"
 	"repro/internal/vclock"
 )
@@ -84,30 +85,47 @@ func gcLocalityRun(cfg GCLocalityConfig, channels int) (GCLocalityPoint, error) 
 	}
 
 	// N writers overwrite a small working set uniformly: churn feeds the
-	// collector while concurrent traffic samples every group.
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// collector while concurrent traffic samples every group. Each
+	// writer is one queue pair at depth 1 driven closed-loop: the writer
+	// whose command completes first (ReapAny) draws the next LPN and
+	// rings its doorbell at the completion instant, so the shared random
+	// stream is consumed in deterministic completion order.
 	data := make([]byte, cfg.TxnPages*4096)
-	clocks := make([]vclock.Time, cfg.Writers)
-	for i := range clocks {
-		clocks[i] = now
+	host := hostif.NewHost(ctrl, hostif.HostConfig{})
+	nsid := host.AddNamespace(hostif.NewBlockNamespace(d))
+	qps := make([]*hostif.QueuePair, cfg.Writers)
+	cmds := make([]hostif.Command, cfg.Writers)
+	for i := range qps {
+		qps[i] = host.OpenQueuePair(1)
+		cmds[i] = hostif.Command{Op: hostif.OpWrite, NSID: nsid, Data: data}
 	}
-	done := make([]int, cfg.Writers)
-	remaining := cfg.Writers * cfg.TxnsPerWriter
-	for remaining > 0 {
-		w := 0
-		for i := 1; i < cfg.Writers; i++ {
-			if done[i] < cfg.TxnsPerWriter && (done[w] >= cfg.TxnsPerWriter || clocks[i] < clocks[w]) {
-				w = i
-			}
-		}
-		lpn := rng.Int63n(d.LogicalPages() - int64(cfg.TxnPages))
-		end, err := d.Write(clocks[w], lpn, data)
-		if err != nil {
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	submit := func(w int, at vclock.Time) error {
+		cmds[w].LPN = rng.Int63n(d.LogicalPages() - int64(cfg.TxnPages))
+		return qps[w].Push(at, &cmds[w])
+	}
+	issued := make([]int, cfg.Writers)
+	for w := 0; w < cfg.Writers; w++ {
+		if err := submit(w, now); err != nil {
 			return GCLocalityPoint{}, err
 		}
-		clocks[w] = end
-		done[w]++
-		remaining--
+		issued[w]++
+	}
+	for remaining := cfg.Writers * cfg.TxnsPerWriter; remaining > 0; remaining-- {
+		comp, ok := host.ReapAny()
+		if !ok {
+			return GCLocalityPoint{}, fmt.Errorf("gc locality: completion queue ran dry")
+		}
+		if comp.Err != nil {
+			return GCLocalityPoint{}, comp.Err
+		}
+		if w := comp.QueueID; issued[w] < cfg.TxnsPerWriter {
+			if err := submit(w, comp.Done); err != nil {
+				return GCLocalityPoint{}, err
+			}
+			issued[w]++
+		}
 	}
 	gs := d.GCStats()
 	return GCLocalityPoint{

@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hostif"
+	"repro/internal/metrics"
+	"repro/internal/oxblock"
+	"repro/internal/vclock"
+)
+
+// QDSweepConfig parameterizes the queue-depth sweep — a scenario the
+// host-interface layer opens up beyond the paper's figures: one host
+// actor keeps QD commands in flight on a single queue pair against
+// OX-Block (doorbell-batched initial burst, then one resubmission per
+// completion), mixing transactional writes with reads. Throughput and
+// per-command-type latency percentiles show the classic trade: deeper
+// queues buy throughput until the device saturates, then only buy
+// latency.
+type QDSweepConfig struct {
+	// Depths are the queue depths to sweep.
+	Depths []int
+	// Ops is the number of measured commands per depth point.
+	Ops int
+	// TxnPages is the size of each write transaction in 4 KB pages.
+	TxnPages int
+	// ReadPages is the size of each read in 4 KB pages.
+	ReadPages int
+	// LogicalPages sizes the OX-Block namespace (prefilled before
+	// measuring so reads hit mapped pages).
+	LogicalPages int64
+	Seed         int64
+}
+
+// DefaultQDSweep returns the default sweep.
+func DefaultQDSweep() QDSweepConfig {
+	return QDSweepConfig{
+		Depths:       []int{1, 2, 4, 8, 16, 32},
+		Ops:          2000,
+		TxnPages:     32,
+		ReadPages:    32,
+		LogicalPages: 16384,
+		Seed:         17,
+	}
+}
+
+// QDPoint is one row of the sweep.
+type QDPoint struct {
+	Depth    int
+	Ops      int
+	WriteKB  int // bytes per write command, in KB
+	ReadKB   int // bytes per read command, in KB
+	KIOPS    float64
+	MBps     float64
+	Elapsed  vclock.Duration
+	WriteLat *metrics.Histogram
+	ReadLat  *metrics.Histogram
+}
+
+// prefillBlock writes the namespace's pages sequentially through qp
+// (depth-1 submissions) so later reads hit mapped media.
+func prefillBlock(qp *hostif.QueuePair, nsid int, pages int64, txnPages int, data []byte, now vclock.Time) (vclock.Time, error) {
+	cmd := &hostif.Command{Op: hostif.OpWrite, NSID: nsid, Data: data}
+	for lpn := int64(0); lpn+int64(txnPages) <= pages; lpn += int64(txnPages) {
+		cmd.LPN = lpn
+		if err := qp.Push(now, cmd); err != nil {
+			return now, err
+		}
+		comp := qp.MustReap()
+		if comp.Err != nil {
+			return now, comp.Err
+		}
+		now = comp.Done
+	}
+	return now, nil
+}
+
+// mixedDraw returns a generator for a 50/50 read/write command mix at
+// random aligned extents within the namespace.
+func mixedDraw(rng *rand.Rand, nsid int, span int64, txnPages, readPages int, data []byte) func(*hostif.Command) {
+	writeSpan := span - int64(txnPages)
+	readSpan := span - int64(readPages)
+	return func(cmd *hostif.Command) {
+		if rng.Intn(2) == 0 {
+			*cmd = hostif.Command{Op: hostif.OpWrite, NSID: nsid,
+				LPN: rng.Int63n(writeSpan) / int64(txnPages) * int64(txnPages), Data: data}
+		} else {
+			*cmd = hostif.Command{Op: hostif.OpRead, NSID: nsid,
+				LPN: rng.Int63n(readSpan) / int64(readPages) * int64(readPages), Pages: readPages}
+		}
+	}
+}
+
+// QDSweep runs the sweep, one fresh rig per depth point.
+func QDSweep(cfg QDSweepConfig) ([]QDPoint, error) {
+	var out []QDPoint
+	for _, depth := range cfg.Depths {
+		p, err := qdRun(cfg, depth)
+		if err != nil {
+			return out, fmt.Errorf("qd sweep depth %d: %w", depth, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
+	rigCfg := DefaultRig()
+	rigCfg.Seed = cfg.Seed
+	_, ctrl, err := rigCfg.Build()
+	if err != nil {
+		return QDPoint{}, err
+	}
+	d, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: cfg.LogicalPages}, 0)
+	if err != nil {
+		return QDPoint{}, err
+	}
+	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	nsid := host.AddNamespace(hostif.NewBlockNamespace(d))
+	qp := host.OpenQueuePair(depth)
+
+	// Prefill the namespace sequentially (depth 1) so reads hit media.
+	data := make([]byte, cfg.TxnPages*4096)
+	now, err = prefillBlock(qp, nsid, cfg.LogicalPages, cfg.TxnPages, data, now)
+	if err != nil {
+		return QDPoint{}, err
+	}
+
+	// Measured phase: a 50/50 read/write mix at random aligned extents.
+	// The initial QD commands are staged and made visible with a single
+	// doorbell ring — batched submission — then the loop keeps the
+	// queue full by resubmitting at each completion. The seed does not
+	// vary with depth: every depth point replays the identical command
+	// sequence, so queue depth is the sweep's only variable.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cmds := make([]hostif.Command, depth)
+	draw := mixedDraw(rng, nsid, cfg.LogicalPages, cfg.TxnPages, cfg.ReadPages, data)
+	issued := 0
+	for i := 0; i < depth && issued < cfg.Ops; i++ {
+		draw(&cmds[i])
+		if _, err := qp.Submit(&cmds[i]); err != nil {
+			return QDPoint{}, err
+		}
+		issued++
+	}
+	start := now
+	qp.Ring(start)
+
+	p := QDPoint{
+		Depth:    depth,
+		Ops:      cfg.Ops,
+		WriteKB:  cfg.TxnPages * 4,
+		ReadKB:   cfg.ReadPages * 4,
+		WriteLat: metrics.NewHistogram(),
+		ReadLat:  metrics.NewHistogram(),
+	}
+	var bytes int64
+	end := start
+	for reaped := 0; reaped < cfg.Ops; reaped++ {
+		comp, ok := host.ReapAny()
+		if !ok {
+			return QDPoint{}, fmt.Errorf("completion queue ran dry after %d ops", reaped)
+		}
+		if comp.Err != nil {
+			return QDPoint{}, comp.Err
+		}
+		switch comp.Op {
+		case hostif.OpWrite:
+			p.WriteLat.Observe(comp.Latency())
+			bytes += int64(cfg.TxnPages) * 4096
+		case hostif.OpRead:
+			p.ReadLat.Observe(comp.Latency())
+			bytes += int64(cfg.ReadPages) * 4096
+		}
+		if comp.Done > end {
+			end = comp.Done
+		}
+		if issued < cfg.Ops {
+			// Reuse the completed command's slot storage.
+			cmd := &cmds[int(comp.Slot)%depth]
+			draw(cmd)
+			if err := qp.Push(comp.Done, cmd); err != nil {
+				return QDPoint{}, err
+			}
+			issued++
+		}
+	}
+	p.Elapsed = end.Sub(start)
+	if p.Elapsed > 0 {
+		p.KIOPS = float64(cfg.Ops) / p.Elapsed.Seconds() / 1000
+		p.MBps = float64(bytes) / 1e6 / p.Elapsed.Seconds()
+	}
+	return p, nil
+}
+
+// QDSweepTable renders the sweep: throughput plus p50/p95/p99 latency
+// per command type at each queue depth.
+func QDSweepTable(points []QDPoint) *Table {
+	title := "Queue-depth sweep: OX-Block 50/50 read/write through one queue pair"
+	if len(points) > 0 {
+		title += fmt.Sprintf(" (%d KB writes, %d KB reads)", points[0].WriteKB, points[0].ReadKB)
+	}
+	t := &Table{
+		Title: title,
+		Headers: []string{"QD", "kIOPS", "MB/s",
+			"wr p50", "wr p95", "wr p99",
+			"rd p50", "rd p95", "rd p99"},
+	}
+	for _, p := range points {
+		cells := []any{p.Depth, fmt.Sprintf("%.1f", p.KIOPS), fmt.Sprintf("%.0f", p.MBps)}
+		for _, s := range metrics.LatencyRow(p.WriteLat) {
+			cells = append(cells, s)
+		}
+		for _, s := range metrics.LatencyRow(p.ReadLat) {
+			cells = append(cells, s)
+		}
+		t.Add(cells...)
+	}
+	return t
+}

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hostif"
+	"repro/internal/metrics"
+	"repro/internal/oxblock"
+	"repro/internal/vclock"
+)
+
+// TenantsConfig parameterizes the multi-tenant scenario: one OX-Block
+// device is carved into per-tenant NVMe-style namespaces (disjoint LPN
+// partitions), and every tenant drives its own queue pair closed-loop
+// at a fixed depth. Deterministic round-robin arbitration should hand
+// symmetric tenants near-identical throughput and tail latency — the
+// "millions of users" sharing story in miniature.
+type TenantsConfig struct {
+	// Tenants is the number of namespaces/queue pairs.
+	Tenants int
+	// Depth is each tenant's queue depth.
+	Depth int
+	// OpsPerTenant is the measured command count per tenant.
+	OpsPerTenant int
+	// TxnPages sizes each command in 4 KB pages.
+	TxnPages int
+	// PagesPerTenant sizes each tenant's partition.
+	PagesPerTenant int64
+	Seed           int64
+}
+
+// DefaultTenants returns the default scenario.
+func DefaultTenants() TenantsConfig {
+	return TenantsConfig{
+		Tenants:        4,
+		Depth:          4,
+		OpsPerTenant:   1200,
+		TxnPages:       32,
+		PagesPerTenant: 8192,
+		Seed:           23,
+	}
+}
+
+// TenantPoint is one tenant's results.
+type TenantPoint struct {
+	Tenant  int
+	Ops     int
+	KIOPS   float64
+	Lat     *metrics.Histogram
+	Elapsed vclock.Duration
+}
+
+// Tenants runs the scenario and returns one point per tenant.
+func Tenants(cfg TenantsConfig) ([]TenantPoint, error) {
+	rigCfg := DefaultRig()
+	rigCfg.Seed = cfg.Seed
+	_, ctrl, err := rigCfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	logical := int64(cfg.Tenants) * cfg.PagesPerTenant
+	d, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: logical}, 0)
+	if err != nil {
+		return nil, err
+	}
+	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+
+	type tenant struct {
+		nsid   int
+		qp     *hostif.QueuePair
+		draw   func(*hostif.Command)
+		cmds   []hostif.Command
+		issued int
+		point  TenantPoint
+	}
+	data := make([]byte, cfg.TxnPages*4096)
+	tenants := make([]*tenant, cfg.Tenants)
+	for i := range tenants {
+		ns, err := hostif.NewBlockPartition(d, int64(i)*cfg.PagesPerTenant, cfg.PagesPerTenant)
+		if err != nil {
+			return nil, err
+		}
+		nsid := host.AddNamespace(ns)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*101))
+		tenants[i] = &tenant{
+			nsid: nsid,
+			qp:   host.OpenQueuePair(cfg.Depth),
+			draw: mixedDraw(rng, nsid, cfg.PagesPerTenant, cfg.TxnPages, cfg.TxnPages, data),
+			cmds: make([]hostif.Command, cfg.Depth),
+			point: TenantPoint{
+				Tenant: i,
+				Ops:    cfg.OpsPerTenant,
+				Lat:    metrics.NewHistogram(),
+			},
+		}
+	}
+
+	// Prefill every partition sequentially so reads hit mapped pages.
+	for _, tn := range tenants {
+		if now, err = prefillBlock(tn.qp, tn.nsid, cfg.PagesPerTenant, cfg.TxnPages, data, now); err != nil {
+			return nil, err
+		}
+	}
+
+	// Measured phase: all tenants start together; each keeps Depth
+	// mixed read/write commands in flight inside its own namespace.
+	start := now
+	for _, tn := range tenants {
+		for i := 0; i < cfg.Depth && tn.issued < cfg.OpsPerTenant; i++ {
+			tn.draw(&tn.cmds[i])
+			if _, err := tn.qp.Submit(&tn.cmds[i]); err != nil {
+				return nil, err
+			}
+			tn.issued++
+		}
+		tn.qp.Ring(start)
+	}
+	for remaining := cfg.Tenants * cfg.OpsPerTenant; remaining > 0; remaining-- {
+		comp, ok := host.ReapAny()
+		if !ok {
+			return nil, fmt.Errorf("tenants: completion queue ran dry")
+		}
+		if comp.Err != nil {
+			return nil, comp.Err
+		}
+		tn := tenants[comp.QueueID]
+		tn.point.Lat.Observe(comp.Latency())
+		if end := comp.Done.Sub(start); end > tn.point.Elapsed {
+			tn.point.Elapsed = end
+		}
+		if tn.issued < cfg.OpsPerTenant {
+			cmd := &tn.cmds[int(comp.Slot)%cfg.Depth]
+			tn.draw(cmd)
+			if err := tn.qp.Push(comp.Done, cmd); err != nil {
+				return nil, err
+			}
+			tn.issued++
+		}
+	}
+	out := make([]TenantPoint, cfg.Tenants)
+	for i, tn := range tenants {
+		if tn.point.Elapsed > 0 {
+			tn.point.KIOPS = float64(cfg.OpsPerTenant) / tn.point.Elapsed.Seconds() / 1000
+		}
+		out[i] = tn.point
+	}
+	return out, nil
+}
+
+// TenantsTable renders per-tenant throughput and latency percentiles.
+func TenantsTable(points []TenantPoint) *Table {
+	t := &Table{
+		Title:   "Multi-tenant namespaces: per-tenant throughput and latency (shared OX-Block device)",
+		Headers: []string{"tenant", "ops", "kIOPS", "p50", "p95", "p99"},
+	}
+	for _, p := range points {
+		cells := []any{p.Tenant, p.Ops, fmt.Sprintf("%.1f", p.KIOPS)}
+		for _, s := range metrics.LatencyRow(p.Lat) {
+			cells = append(cells, s)
+		}
+		t.Add(cells...)
+	}
+	return t
+}

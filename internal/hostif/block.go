@@ -1,0 +1,80 @@
+package hostif
+
+import (
+	"fmt"
+
+	"repro/internal/oxblock"
+	"repro/internal/vclock"
+)
+
+// BlockNamespace serves an OX-Block device — or an LPN partition of one
+// — as a host-interface namespace. Partitions let several NVMe-style
+// namespaces (tenants) share one device: each namespace addresses pages
+// [0, pages) and the adapter rebases onto [base, base+pages).
+type BlockNamespace struct {
+	dev   *oxblock.Device
+	base  int64
+	pages int64
+}
+
+// NewBlockNamespace exposes the whole device as one namespace.
+func NewBlockNamespace(dev *oxblock.Device) *BlockNamespace {
+	return &BlockNamespace{dev: dev, pages: dev.LogicalPages()}
+}
+
+// NewBlockPartition exposes pages [base, base+pages) of dev as an
+// isolated namespace.
+func NewBlockPartition(dev *oxblock.Device, base, pages int64) (*BlockNamespace, error) {
+	if base < 0 || pages <= 0 || base+pages > dev.LogicalPages() {
+		return nil, fmt.Errorf("hostif: partition [%d,+%d) exceeds device capacity %d",
+			base, pages, dev.LogicalPages())
+	}
+	return &BlockNamespace{dev: dev, base: base, pages: pages}, nil
+}
+
+// Name implements Namespace.
+func (n *BlockNamespace) Name() string { return "oxblock" }
+
+// Capacity reports the namespace size in 4 KB pages.
+func (n *BlockNamespace) Capacity() int64 { return n.pages }
+
+// Device exposes the underlying FTL (admin/diagnostics path only; data
+// I/O goes through queue pairs).
+func (n *BlockNamespace) Device() *oxblock.Device { return n.dev }
+
+func (n *BlockNamespace) checkRange(lpn int64, pages int) error {
+	if lpn < 0 || pages <= 0 || lpn+int64(pages) > n.pages {
+		return fmt.Errorf("%w: [%d,+%d) of %d", oxblock.ErrRange, lpn, pages, n.pages)
+	}
+	return nil
+}
+
+// Execute implements Namespace.
+func (n *BlockNamespace) Execute(now vclock.Time, cmd *Command) Result {
+	switch cmd.Op {
+	case OpWrite:
+		pages := len(cmd.Data) / 4096
+		if err := n.checkRange(cmd.LPN, pages); err != nil {
+			return Result{End: now, Err: err}
+		}
+		end, err := n.dev.Write(now, n.base+cmd.LPN, cmd.Data)
+		return Result{End: end, Err: err}
+	case OpRead:
+		if err := n.checkRange(cmd.LPN, cmd.Pages); err != nil {
+			return Result{End: now, Err: err}
+		}
+		data, end, err := n.dev.Read(now, n.base+cmd.LPN, cmd.Pages)
+		return Result{End: end, Err: err, Data: data}
+	case OpTrim:
+		if err := n.checkRange(cmd.LPN, cmd.Pages); err != nil {
+			return Result{End: now, Err: err}
+		}
+		end, err := n.dev.Trim(now, n.base+cmd.LPN, cmd.Pages)
+		return Result{End: end, Err: err}
+	case OpFlush:
+		end, err := n.dev.Checkpoint(now)
+		return Result{End: end, Err: err}
+	default:
+		return Result{End: now, Err: fmt.Errorf("%w: %v on %s", ErrUnsupported, cmd.Op, n.Name())}
+	}
+}

@@ -1,0 +1,49 @@
+package hostif
+
+import (
+	"fmt"
+
+	"repro/internal/oxeleos"
+	"repro/internal/vclock"
+)
+
+// PageDesc describes one logical page inside an OX-ELEOS LSS I/O
+// buffer (aliased so drivers build descriptor slices once and hand
+// them through the command layer without conversion).
+type PageDesc = oxeleos.PageDesc
+
+// EleosNamespace serves an OX-ELEOS log-structured store as a
+// host-interface namespace: OpFlush writes one LSS I/O buffer (the
+// Figure 7 path — both controller copies included), OpRead returns one
+// logical page, OpTrim deletes one.
+type EleosNamespace struct {
+	store *oxeleos.Store
+}
+
+// NewEleosNamespace wraps store.
+func NewEleosNamespace(store *oxeleos.Store) *EleosNamespace {
+	return &EleosNamespace{store: store}
+}
+
+// Name implements Namespace.
+func (n *EleosNamespace) Name() string { return "oxeleos" }
+
+// Store exposes the underlying FTL (admin/diagnostics path only).
+func (n *EleosNamespace) Store() *oxeleos.Store { return n.store }
+
+// Execute implements Namespace.
+func (n *EleosNamespace) Execute(now vclock.Time, cmd *Command) Result {
+	switch cmd.Op {
+	case OpFlush:
+		end, err := n.store.Flush(now, cmd.Data, cmd.Descs)
+		return Result{End: end, Err: err}
+	case OpRead:
+		data, end, err := n.store.ReadPage(now, cmd.LPN)
+		return Result{End: end, Err: err, Data: data}
+	case OpTrim:
+		end, err := n.store.Delete(now, cmd.LPN)
+		return Result{End: end, Err: err}
+	default:
+		return Result{End: now, Err: fmt.Errorf("%w: %v on %s", ErrUnsupported, cmd.Op, n.Name())}
+	}
+}

@@ -1,0 +1,126 @@
+package hostif
+
+import (
+	"repro/internal/lightlsm"
+	"repro/internal/lsm"
+	"repro/internal/vclock"
+)
+
+// EnvClient implements lsm.Env by issuing host-interface commands over
+// a queue pair — the mini-RocksDB then drives the LightLSM FTL the way
+// RocksDB drives an NVMe device: every SSTable flush block, block read
+// and table delete is a typed command through the submission queue.
+// Calls are synchronous (submit, ring, reap), so the adapter adds no
+// virtual time of its own and preserves the FTL's exact accounting.
+//
+// EnvClient is driven by one actor at a time, matching the LSM's
+// single-dispatch design (§4.3).
+type EnvClient struct {
+	qp        *QueuePair
+	nsid      int
+	blockSize int
+	maxBlocks int
+	// cmd is the reused submission entry: the client is single-actor
+	// and fully synchronous, so each call overwrites it after the
+	// previous command has executed — keeping the block read/append
+	// hot path allocation-free.
+	cmd Command
+}
+
+// Statically assert EnvClient implements lsm.Env.
+var _ lsm.Env = (*EnvClient)(nil)
+
+// NewEnvClient builds a client for ns (already attached to qp's host
+// under nsid). Block geometry is read once over the admin path.
+func NewEnvClient(qp *QueuePair, nsid int, ns *LSMNamespace) *EnvClient {
+	return &EnvClient{
+		qp:        qp,
+		nsid:      nsid,
+		blockSize: ns.BlockSize(),
+		maxBlocks: ns.MaxTableBlocks(),
+	}
+}
+
+// AttachLSM wraps env as a namespace on h, opens a queue pair and
+// returns the lsm.Env client — the one-call setup for running the
+// mini-RocksDB over queue pairs.
+func AttachLSM(h *Host, env *lightlsm.Env) *EnvClient {
+	ns := NewLSMNamespace(env)
+	nsid := h.AddNamespace(ns)
+	return NewEnvClient(h.OpenQueuePair(1), nsid, ns)
+}
+
+// do issues one command synchronously.
+func (c *EnvClient) do(now vclock.Time, cmd Command) (Completion, error) {
+	cmd.NSID = c.nsid
+	c.cmd = cmd
+	if err := c.qp.Push(now, &c.cmd); err != nil {
+		return Completion{}, err
+	}
+	comp := c.qp.MustReap()
+	return comp, comp.Err
+}
+
+// BlockSize implements lsm.Env.
+func (c *EnvClient) BlockSize() int { return c.blockSize }
+
+// MaxTableBlocks implements lsm.Env.
+func (c *EnvClient) MaxTableBlocks() int { return c.maxBlocks }
+
+// CreateTable implements lsm.Env.
+func (c *EnvClient) CreateTable(now vclock.Time) (lsm.TableWriter, error) {
+	comp, err := c.do(now, Command{Op: OpTableCreate})
+	if err != nil {
+		return nil, err
+	}
+	return &writerClient{env: c, handle: comp.Handle}, nil
+}
+
+// ReadBlock implements lsm.Env.
+func (c *EnvClient) ReadBlock(now vclock.Time, h lsm.TableHandle, block int, dst []byte) (vclock.Time, error) {
+	comp, err := c.do(now, Command{
+		Op:     OpTableRead,
+		Handle: uint64(h.ID),
+		Length: int64(h.Blocks),
+		LPN:    int64(block),
+		Dst:    dst,
+	})
+	return comp.Done, err
+}
+
+// DeleteTable implements lsm.Env.
+func (c *EnvClient) DeleteTable(now vclock.Time, h lsm.TableHandle) (vclock.Time, error) {
+	comp, err := c.do(now, Command{
+		Op:     OpTableDelete,
+		Handle: uint64(h.ID),
+		Length: int64(h.Blocks),
+	})
+	return comp.Done, err
+}
+
+// writerClient implements lsm.TableWriter over the queue pair.
+type writerClient struct {
+	env    *EnvClient
+	handle uint64
+}
+
+// Append implements lsm.TableWriter.
+func (w *writerClient) Append(now vclock.Time, block []byte) (vclock.Time, error) {
+	comp, err := w.env.do(now, Command{Op: OpTableAppend, Handle: w.handle, Data: block})
+	return comp.Done, err
+}
+
+// Commit implements lsm.TableWriter.
+func (w *writerClient) Commit(now vclock.Time) (lsm.TableHandle, vclock.Time, error) {
+	comp, err := w.env.do(now, Command{Op: OpTableCommit, Handle: w.handle})
+	if err != nil {
+		return lsm.TableHandle{}, comp.Done, err
+	}
+	return lsm.TableHandle{ID: lsm.TableID(comp.Handle), Blocks: comp.Blocks}, comp.Done, nil
+}
+
+// Abort implements lsm.TableWriter.
+func (w *writerClient) Abort(now vclock.Time) (vclock.Time, error) {
+	comp, err := w.env.do(now, Command{Op: OpTableAbort, Handle: w.handle})
+	return comp.Done, err
+}

@@ -1,0 +1,209 @@
+package hostif
+
+import (
+	"sync"
+
+	"repro/internal/ox"
+)
+
+// HostConfig tunes the host interface.
+type HostConfig struct {
+	// ChargeHostLink charges the controller host link (PCIe/40GE) for
+	// each command's payload before dispatch and for returned read data
+	// after completion — the host hop of a user I/O. Drivers that model
+	// the host link themselves leave it off.
+	ChargeHostLink bool
+}
+
+// Host is the host-interface runtime: it owns the attached namespaces
+// and queue pairs, and executes visible commands in deterministic
+// arbitration order. One Host fronts one ox.Controller.
+type Host struct {
+	ctrl *ox.Controller
+	cfg  HostConfig
+
+	mu         sync.Mutex
+	namespaces []Namespace
+	qps        []*QueuePair
+	executed   int64
+}
+
+// NewHost builds a host interface over the controller.
+func NewHost(ctrl *ox.Controller, cfg HostConfig) *Host {
+	if ctrl == nil {
+		panic("hostif: nil controller")
+	}
+	return &Host{ctrl: ctrl, cfg: cfg}
+}
+
+// Controller exposes the underlying controller (admin/diagnostics).
+func (h *Host) Controller() *ox.Controller { return h.ctrl }
+
+// AddNamespace attaches ns and returns its NSID (1-based).
+func (h *Host) AddNamespace(ns Namespace) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.namespaces = append(h.namespaces, ns)
+	return len(h.namespaces)
+}
+
+// Namespace returns the namespace with the given NSID (0 = namespace 1).
+func (h *Host) Namespace(nsid int) (Namespace, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkNSID(nsid); err != nil {
+		return nil, err
+	}
+	if nsid == 0 {
+		nsid = 1
+	}
+	return h.namespaces[nsid-1], nil
+}
+
+// checkNSID validates a command's namespace id. Caller holds h.mu.
+func (h *Host) checkNSID(nsid int) error {
+	if nsid == 0 && len(h.namespaces) > 0 {
+		return nil
+	}
+	if nsid < 1 || nsid > len(h.namespaces) {
+		return ErrBadNSID
+	}
+	return nil
+}
+
+// OpenQueuePair creates a queue pair with the given depth (minimum 1).
+func (h *Host) OpenQueuePair(depth int) *QueuePair {
+	if depth < 1 {
+		depth = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	qp := &QueuePair{host: h, id: len(h.qps), depth: depth}
+	h.qps = append(h.qps, qp)
+	return qp
+}
+
+// Executed reports the total number of commands executed (diagnostics).
+func (h *Host) Executed() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.executed
+}
+
+// Drain executes every visible command across all queue pairs in
+// arbitration order, filling the completion queues.
+func (h *Host) Drain() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.drainLocked()
+}
+
+// drainLocked is the arbitration loop: while any submission queue has a
+// visible command, scan queues in ascending ID (round-robin order),
+// serve the earliest-ready head, and break exact ready-time ties on
+// (queueID, slot). Within a queue, commands execute in slot (FIFO)
+// order. The order is a pure function of the submission history, which
+// is what keeps figure tables bit-identical across runs.
+func (h *Host) drainLocked() {
+	for {
+		var best *QueuePair
+		for _, qp := range h.qps {
+			head := qp.sqHead()
+			if head == nil {
+				continue
+			}
+			if best == nil || head.ready < best.sqHead().ready {
+				best = qp
+			}
+			// Equal ready times fall through: the earlier queue ID
+			// (scanned first) keeps the grant.
+		}
+		if best == nil {
+			return
+		}
+		e := best.popSQ()
+		best.cq = append(best.cq, h.execLocked(best, e))
+		h.executed++
+	}
+}
+
+// execLocked runs one command: optional host-link transfer in, the
+// namespace adapter (which routes through the FTL's own controller and
+// media accounting), optional host-link transfer of returned data out.
+func (h *Host) execLocked(qp *QueuePair, e sqe) Completion {
+	cmd := e.cmd
+	start := e.ready
+	if h.cfg.ChargeHostLink && len(cmd.Data) > 0 {
+		start = h.ctrl.HostTransfer(start, int64(len(cmd.Data)))
+	}
+	var res Result
+	if err := h.checkNSID(cmd.NSID); err != nil {
+		res = Result{End: start, Err: err}
+	} else {
+		nsid := cmd.NSID
+		if nsid == 0 {
+			nsid = 1
+		}
+		res = h.namespaces[nsid-1].Execute(start, cmd)
+	}
+	if h.cfg.ChargeHostLink && res.Err == nil {
+		if n := len(res.Data); n > 0 {
+			res.End = h.ctrl.HostTransfer(res.End, int64(n))
+		} else if cmd.Op == OpTableRead && len(cmd.Dst) > 0 {
+			res.End = h.ctrl.HostTransfer(res.End, int64(len(cmd.Dst)))
+		}
+	}
+	return Completion{
+		QueueID:   qp.id,
+		Slot:      e.slot,
+		Op:        cmd.Op,
+		NSID:      cmd.NSID,
+		Submitted: e.ready,
+		Done:      res.End,
+		Result:    res,
+	}
+}
+
+// ReapAny executes every visible command, then pops the globally
+// earliest completion across all queue pairs — ordered by
+// (Done, queueID, slot). Closed-loop drivers use it to advance the host
+// actor whose command finishes first. It reports false when every
+// completion queue is empty.
+func (h *Host) ReapAny() (Completion, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.drainLocked()
+	var bestQP *QueuePair
+	bestIdx := -1
+	for _, qp := range h.qps {
+		for i := qp.cqHead; i < len(qp.cq); i++ {
+			c := &qp.cq[i]
+			if bestQP == nil || earlier(c, &bestQP.cq[bestIdx]) {
+				bestQP, bestIdx = qp, i
+			}
+		}
+	}
+	if bestQP == nil {
+		return Completion{}, false
+	}
+	c := bestQP.cq[bestIdx]
+	copy(bestQP.cq[bestIdx:], bestQP.cq[bestIdx+1:])
+	bestQP.cq[len(bestQP.cq)-1] = Completion{}
+	bestQP.cq = bestQP.cq[:len(bestQP.cq)-1]
+	if bestQP.cqHead == len(bestQP.cq) {
+		bestQP.cq = bestQP.cq[:0]
+		bestQP.cqHead = 0
+	}
+	return c, true
+}
+
+// earlier orders completions by (Done, queueID, slot).
+func earlier(a, b *Completion) bool {
+	if a.Done != b.Done {
+		return a.Done < b.Done
+	}
+	if a.QueueID != b.QueueID {
+		return a.QueueID < b.QueueID
+	}
+	return a.Slot < b.Slot
+}

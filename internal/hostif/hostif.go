@@ -1,0 +1,181 @@
+// Package hostif is the host-interface layer of the OX controller —
+// the third layer of §4.1's design that parses NVMe/LightNVM commands
+// arriving over queue pairs. The repo's FTL portfolio (OX-Block,
+// OX-ELEOS, LightLSM, OX-ZNS) exposes bespoke blocking methods; this
+// package unifies them behind one command surface so experiment
+// drivers, db_bench and the cmd/ tools all speak the same protocol:
+//
+//   - typed Commands (Read, Write, Trim, Flush, ZoneAppend, TableRead,
+//     ...) are placed in submission-queue slots and made visible with a
+//     doorbell ring (batched submission = several Submits, one Ring),
+//   - the Host arbitrates across submission queues deterministically:
+//     queues are scanned in ascending ID each round (round-robin), the
+//     earliest-ready command wins, and exact ties break on
+//     (queueID, slot) — so the determinism contract of DESIGN.md holds
+//     bit for bit,
+//   - each command completes at a virtual instant computed by the
+//     namespace adapter, which routes through the FTL's existing
+//     ox.Controller accounting (controller CPU, memory-bus copies,
+//     media reservations); the host link is charged per command when
+//     the Host is configured with ChargeHostLink.
+//
+// A Namespace is one FTL attached to the host; adapters for all four
+// FTLs live in this package (block.go, eleos.go, zone.go, lsmns.go).
+// Multiple namespaces can share one controller — NewBlockPartition
+// carves disjoint LPN ranges of a single OX-Block device into
+// NVMe-style namespaces for multi-tenant scenarios.
+package hostif
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Op is a typed host-interface command opcode.
+type Op uint8
+
+// The command set: the union of the FTL portfolio's data-path
+// operations. Adapters return ErrUnsupported for ops outside their
+// namespace's repertoire.
+const (
+	// OpRead reads data: a page extent (OX-Block), one logical page
+	// (OX-ELEOS) or a zone byte range (OX-ZNS).
+	OpRead Op = iota + 1
+	// OpWrite writes data: a transactional page extent (OX-Block) or a
+	// sequential write at the zone write pointer (OX-ZNS).
+	OpWrite
+	// OpTrim unmaps: a page extent (OX-Block) or one page (OX-ELEOS).
+	OpTrim
+	// OpFlush persists volatile state: an LSS I/O buffer flush
+	// (OX-ELEOS) or a forced checkpoint (OX-Block).
+	OpFlush
+	// OpZoneAppend appends at the zone write pointer, returning where
+	// the data landed (OX-ZNS).
+	OpZoneAppend
+	// OpZoneReset returns a zone to empty (OX-ZNS).
+	OpZoneReset
+	// OpZoneFinish transitions a zone to full (OX-ZNS).
+	OpZoneFinish
+	// OpTableCreate provisions a new SSTable writer (LightLSM).
+	OpTableCreate
+	// OpTableAppend appends one block to an open SSTable writer.
+	OpTableAppend
+	// OpTableCommit atomically publishes an SSTable.
+	OpTableCommit
+	// OpTableAbort discards an open SSTable writer.
+	OpTableAbort
+	// OpTableRead reads one block of a committed SSTable into Dst.
+	OpTableRead
+	// OpTableDelete releases a committed SSTable (chunk resets).
+	OpTableDelete
+)
+
+var opNames = map[Op]string{
+	OpRead:        "read",
+	OpWrite:       "write",
+	OpTrim:        "trim",
+	OpFlush:       "flush",
+	OpZoneAppend:  "zone-append",
+	OpZoneReset:   "zone-reset",
+	OpZoneFinish:  "zone-finish",
+	OpTableCreate: "table-create",
+	OpTableAppend: "table-append",
+	OpTableCommit: "table-commit",
+	OpTableAbort:  "table-abort",
+	OpTableRead:   "table-read",
+	OpTableDelete: "table-delete",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Errors returned by the host interface.
+var (
+	ErrQueueFull   = errors.New("hostif: submission queue full")
+	ErrBadNSID     = errors.New("hostif: unknown namespace")
+	ErrUnsupported = errors.New("hostif: op not supported by namespace")
+	ErrBadHandle   = errors.New("hostif: unknown handle")
+)
+
+// Command is one submission-queue entry. Fields are interpreted per
+// opcode and namespace; unused fields are ignored.
+type Command struct {
+	// Op selects the operation.
+	Op Op
+	// NSID routes the command to a namespace (1-based). Zero targets
+	// namespace 1, the common single-namespace case.
+	NSID int
+	// LPN addresses the command: first logical page (OX-Block), logical
+	// page ID (OX-ELEOS), zone byte offset (OX-ZNS) or SSTable block
+	// index (OpTableRead).
+	LPN int64
+	// Pages is the extent length in 4 KB pages (OX-Block reads/trims).
+	Pages int
+	// Zone is the zone index (OX-ZNS).
+	Zone int
+	// Length is the byte length of an OX-ZNS read.
+	Length int64
+	// Handle names an open SSTable writer (OpTableAppend/Commit/Abort)
+	// or a committed table (OpTableRead/Delete).
+	Handle uint64
+	// Data is the payload of writes, appends and flushes.
+	Data []byte
+	// Dst receives OpTableRead data (the lsm.Env contract reads into a
+	// caller-owned buffer).
+	Dst []byte
+	// Descs are the page descriptors of an OX-ELEOS buffer flush.
+	Descs []PageDesc
+}
+
+// Result is what a namespace adapter reports for one executed command.
+type Result struct {
+	// End is the virtual completion instant.
+	End vclock.Time
+	// Err is the command status (nil on success).
+	Err error
+	// Data holds read results (OpRead).
+	Data []byte
+	// Offset is where an OpZoneAppend landed.
+	Offset int64
+	// Handle is a created writer (OpTableCreate) or committed table
+	// (OpTableCommit).
+	Handle uint64
+	// Blocks is a committed table's block count (OpTableCommit).
+	Blocks int
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	// QueueID and Slot identify the submission (slot is the queue-local
+	// command sequence number).
+	QueueID int
+	Slot    uint64
+	// Op and NSID echo the command.
+	Op   Op
+	NSID int
+	// Submitted is the doorbell instant; Done is the completion instant.
+	Submitted vclock.Time
+	Done      vclock.Time
+	Result
+}
+
+// Latency is the command's queue-to-completion virtual latency.
+func (c Completion) Latency() vclock.Duration { return c.Done.Sub(c.Submitted) }
+
+// Namespace is one FTL attached to the host interface. Execute runs a
+// single command starting at virtual instant now and reports its
+// completion; adapters translate opcodes into the FTL's native calls,
+// so all controller and media accounting is the FTL's own.
+type Namespace interface {
+	// Name identifies the namespace (diagnostics).
+	Name() string
+	// Execute runs cmd at now. Implementations must be deterministic:
+	// equal (state, now, cmd) sequences yield equal results.
+	Execute(now vclock.Time, cmd *Command) Result
+}

@@ -1,0 +1,233 @@
+package hostif
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// fakeNS is a Namespace whose commands serialize on one resource with a
+// fixed duration, recording execution order.
+type fakeNS struct {
+	res *vclock.Resource
+	dur vclock.Duration
+
+	mu    sync.Mutex
+	order []int64 // cmd.LPN of each executed command, in order
+}
+
+func newFakeNS(dur vclock.Duration) *fakeNS {
+	return &fakeNS{res: vclock.NewResource("fake"), dur: dur}
+}
+
+func (f *fakeNS) Name() string { return "fake" }
+
+func (f *fakeNS) Execute(now vclock.Time, cmd *Command) Result {
+	_, end := f.res.Acquire(now, f.dur)
+	f.mu.Lock()
+	f.order = append(f.order, cmd.LPN)
+	f.mu.Unlock()
+	return Result{End: end}
+}
+
+func (f *fakeNS) executed() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int64(nil), f.order...)
+}
+
+func testHost(t *testing.T, dur vclock.Duration) (*Host, *fakeNS) {
+	t.Helper()
+	ctrl := testController(t)
+	ns := newFakeNS(dur)
+	h := NewHost(ctrl, HostConfig{})
+	h.AddNamespace(ns)
+	return h, ns
+}
+
+func TestArbitrationEarliestReadyThenQueueID(t *testing.T) {
+	h, ns := testHost(t, 10*vclock.Microsecond)
+	q0 := h.OpenQueuePair(4)
+	q1 := h.OpenQueuePair(4)
+
+	// q1 rings earlier than q0; within q0, slots stay FIFO; an exact
+	// ready tie (q0 vs q1 at 50µs) goes to the lower queue ID.
+	push := func(qp *QueuePair, at vclock.Time, id int64) {
+		t.Helper()
+		if err := qp.Push(at, &Command{Op: OpWrite, LPN: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(q0, vclock.Time(50*vclock.Microsecond), 1)
+	push(q0, vclock.Time(50*vclock.Microsecond), 2)
+	push(q1, vclock.Time(20*vclock.Microsecond), 3)
+	push(q1, vclock.Time(50*vclock.Microsecond), 4)
+	h.Drain()
+	want := []int64{3, 1, 2, 4}
+	got := ns.executed()
+	if len(got) != len(want) {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("executed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDoorbellBatching(t *testing.T) {
+	h, ns := testHost(t, 10*vclock.Microsecond)
+	qp := h.OpenQueuePair(8)
+
+	for i := int64(0); i < 3; i++ {
+		if _, err := qp.Submit(&Command{Op: OpWrite, LPN: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Staged commands are invisible until the doorbell rings.
+	h.Drain()
+	if n := len(ns.executed()); n != 0 {
+		t.Fatalf("executed %d commands before doorbell", n)
+	}
+	if _, ok := qp.Reap(); ok {
+		t.Fatal("completion before doorbell")
+	}
+	if n := qp.Ring(vclock.Time(5 * vclock.Microsecond)); n != 3 {
+		t.Fatalf("Ring made %d visible, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		c, ok := qp.Reap()
+		if !ok {
+			t.Fatalf("missing completion %d", i)
+		}
+		if c.Submitted != vclock.Time(5*vclock.Microsecond) {
+			t.Fatalf("completion %d submitted at %v, want the doorbell instant", i, c.Submitted)
+		}
+		// Serialized on one resource: latency grows with queue position.
+		if want := vclock.Duration(i+1) * 10 * vclock.Microsecond; c.Latency() != want {
+			t.Fatalf("completion %d latency %v, want %v", i, c.Latency(), want)
+		}
+	}
+}
+
+func TestQueueDepthEnforced(t *testing.T) {
+	h, _ := testHost(t, vclock.Microsecond)
+	qp := h.OpenQueuePair(2)
+	if err := qp.Push(0, &Command{Op: OpWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.Push(0, &Command{Op: OpWrite}); err != nil {
+		t.Fatal(err)
+	}
+	// Slots stay held until completions are reaped.
+	if _, err := qp.Submit(&Command{Op: OpWrite}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	if _, ok := qp.Reap(); !ok {
+		t.Fatal("no completion")
+	}
+	if _, err := qp.Submit(&Command{Op: OpWrite}); err != nil {
+		t.Fatalf("submit after reap: %v", err)
+	}
+}
+
+func TestFairnessAcrossQueuePairs(t *testing.T) {
+	h, _ := testHost(t, 10*vclock.Microsecond)
+	const queues, perQueue = 4, 8
+	qps := make([]*QueuePair, queues)
+	issued := make([]int, queues)
+	for i := range qps {
+		qps[i] = h.OpenQueuePair(1)
+		if err := qps[i].Push(0, &Command{Op: OpWrite, LPN: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		issued[i]++
+	}
+	// Closed loop: symmetric tenants resubmit at each completion. With
+	// identical command costs, round-robin arbitration must serve them
+	// in a perfect cycle and finish them with equal service counts.
+	var sequence []int
+	served := make([]int, queues)
+	for reaped := 0; reaped < queues*perQueue; reaped++ {
+		c, ok := h.ReapAny()
+		if !ok {
+			t.Fatal("completion queue ran dry")
+		}
+		sequence = append(sequence, c.QueueID)
+		served[c.QueueID]++
+		if q := c.QueueID; issued[q] < perQueue {
+			if err := qps[q].Push(c.Done, &Command{Op: OpWrite, LPN: int64(q)}); err != nil {
+				t.Fatal(err)
+			}
+			issued[q]++
+		}
+	}
+	for q, n := range served {
+		if n != perQueue {
+			t.Fatalf("queue %d served %d, want %d (sequence %v)", q, n, perQueue, sequence)
+		}
+	}
+	for i, q := range sequence {
+		if q != i%queues {
+			t.Fatalf("service order not round-robin at %d: %v", i, sequence)
+		}
+	}
+}
+
+// TestConcurrentSubmittersDeterministic pins the determinism contract
+// under -race: goroutines race to stage and ring commands on their own
+// queue pairs, yet the completion order is a pure function of the
+// (fixed) ready times — identical across runs.
+func TestConcurrentSubmittersDeterministic(t *testing.T) {
+	run := func() []Completion {
+		h, _ := testHost(t, 7*vclock.Microsecond)
+		const queues, perQueue = 4, 6
+		qps := make([]*QueuePair, queues)
+		for i := range qps {
+			qps[i] = h.OpenQueuePair(perQueue)
+		}
+		var wg sync.WaitGroup
+		for i := range qps {
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				for j := 0; j < perQueue; j++ {
+					at := vclock.Time(q*3+j*11) * vclock.Time(vclock.Microsecond)
+					if err := qps[q].Push(at, &Command{Op: OpWrite, LPN: int64(q*100 + j)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		var out []Completion
+		for {
+			c, ok := h.ReapAny()
+			if !ok {
+				break
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != 24 || len(b) != 24 {
+		t.Fatalf("completions %d/%d, want 24", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].QueueID != b[i].QueueID || a[i].Slot != b[i].Slot || a[i].Done != b[i].Done {
+			t.Fatalf("run divergence at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBadNamespaceRejectedAtSubmit(t *testing.T) {
+	h, _ := testHost(t, vclock.Microsecond)
+	qp := h.OpenQueuePair(1)
+	if _, err := qp.Submit(&Command{Op: OpWrite, NSID: 9}); !errors.Is(err, ErrBadNSID) {
+		t.Fatalf("submit to nsid 9: %v, want ErrBadNSID", err)
+	}
+}

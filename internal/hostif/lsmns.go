@@ -1,0 +1,96 @@
+package hostif
+
+import (
+	"fmt"
+
+	"repro/internal/lightlsm"
+	"repro/internal/lsm"
+	"repro/internal/vclock"
+)
+
+// LSMNamespace serves a LightLSM environment as a host-interface
+// namespace. SSTable writers are NVMe-stream-like open resources: an
+// OpTableCreate returns a writer handle, OpTableAppend/Commit/Abort
+// address it, and OpTableCommit exchanges it for a committed table
+// handle usable with OpTableRead/Delete.
+type LSMNamespace struct {
+	env        *lightlsm.Env
+	writers    map[uint64]lsm.TableWriter
+	nextWriter uint64
+}
+
+// NewLSMNamespace wraps env.
+func NewLSMNamespace(env *lightlsm.Env) *LSMNamespace {
+	return &LSMNamespace{env: env, writers: make(map[uint64]lsm.TableWriter)}
+}
+
+// Name implements Namespace.
+func (n *LSMNamespace) Name() string { return "lightlsm" }
+
+// Env exposes the underlying FTL (admin/diagnostics path only:
+// placement inspection, stats).
+func (n *LSMNamespace) Env() *lightlsm.Env { return n.env }
+
+// BlockSize reports the environment's unit of transfer (admin).
+func (n *LSMNamespace) BlockSize() int { return n.env.BlockSize() }
+
+// MaxTableBlocks reports the SSTable capacity in blocks (admin).
+func (n *LSMNamespace) MaxTableBlocks() int { return n.env.MaxTableBlocks() }
+
+func (n *LSMNamespace) writer(h uint64) (lsm.TableWriter, error) {
+	w, ok := n.writers[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: writer %d", ErrBadHandle, h)
+	}
+	return w, nil
+}
+
+// Execute implements Namespace.
+func (n *LSMNamespace) Execute(now vclock.Time, cmd *Command) Result {
+	switch cmd.Op {
+	case OpTableCreate:
+		w, err := n.env.CreateTable(now)
+		if err != nil {
+			return Result{End: now, Err: err}
+		}
+		n.nextWriter++
+		n.writers[n.nextWriter] = w
+		return Result{End: now, Handle: n.nextWriter}
+	case OpTableAppend:
+		w, err := n.writer(cmd.Handle)
+		if err != nil {
+			return Result{End: now, Err: err}
+		}
+		end, err := w.Append(now, cmd.Data)
+		return Result{End: end, Err: err}
+	case OpTableCommit:
+		w, err := n.writer(cmd.Handle)
+		if err != nil {
+			return Result{End: now, Err: err}
+		}
+		h, end, err := w.Commit(now)
+		if err != nil {
+			return Result{End: end, Err: err}
+		}
+		delete(n.writers, cmd.Handle)
+		return Result{End: end, Handle: uint64(h.ID), Blocks: h.Blocks}
+	case OpTableAbort:
+		w, err := n.writer(cmd.Handle)
+		if err != nil {
+			return Result{End: now, Err: err}
+		}
+		end, err := w.Abort(now)
+		delete(n.writers, cmd.Handle)
+		return Result{End: end, Err: err}
+	case OpTableRead:
+		h := lsm.TableHandle{ID: lsm.TableID(cmd.Handle), Blocks: int(cmd.Length)}
+		end, err := n.env.ReadBlock(now, h, int(cmd.LPN), cmd.Dst)
+		return Result{End: end, Err: err}
+	case OpTableDelete:
+		h := lsm.TableHandle{ID: lsm.TableID(cmd.Handle), Blocks: int(cmd.Length)}
+		end, err := n.env.DeleteTable(now, h)
+		return Result{End: end, Err: err}
+	default:
+		return Result{End: now, Err: fmt.Errorf("%w: %v on %s", ErrUnsupported, cmd.Op, n.Name())}
+	}
+}

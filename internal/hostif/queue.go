@@ -1,0 +1,154 @@
+package hostif
+
+import (
+	"repro/internal/vclock"
+)
+
+// sqe is one submission-queue entry.
+type sqe struct {
+	cmd   *Command
+	slot  uint64
+	ready vclock.Time // doorbell instant (valid once rung)
+}
+
+// QueuePair is one submission/completion queue pair. A host actor owns
+// a queue pair and drives it in three steps: Submit stages commands in
+// submission-queue slots, Ring makes every staged entry visible to the
+// controller at one doorbell instant (batched submission), and Reap
+// consumes completion-queue entries. Push is the depth-1 convenience
+// (Submit + Ring).
+//
+// Depth bounds the commands in flight: staged, visible and completed-
+// but-unreaped entries all hold their slot until reaped, exactly like
+// an NVMe queue pair whose CQ entries must be consumed before their SQ
+// slots recycle.
+//
+// Methods are safe for concurrent use with other queue pairs of the
+// same Host; a single queue pair is driven by one actor at a time.
+type QueuePair struct {
+	host     *Host
+	id       int
+	depth    int
+	staged   []sqe // submitted, doorbell not yet rung
+	rung     []sqe // visible to the controller, FIFO from rungHead
+	rungHead int
+	cq       []Completion // completions, FIFO from cqHead
+	cqHead   int
+	nextSlot uint64
+}
+
+// sqHead returns the next visible entry, or nil. Caller holds host.mu.
+func (qp *QueuePair) sqHead() *sqe {
+	if qp.rungHead >= len(qp.rung) {
+		return nil
+	}
+	return &qp.rung[qp.rungHead]
+}
+
+// popSQ consumes the head visible entry, recycling ring capacity when
+// the queue empties. Caller holds host.mu.
+func (qp *QueuePair) popSQ() sqe {
+	e := qp.rung[qp.rungHead]
+	qp.rung[qp.rungHead] = sqe{}
+	qp.rungHead++
+	if qp.rungHead == len(qp.rung) {
+		qp.rung = qp.rung[:0]
+		qp.rungHead = 0
+	}
+	return e
+}
+
+// ID reports the queue pair's identifier (arbitration tie-break key).
+func (qp *QueuePair) ID() int { return qp.id }
+
+// Depth reports the configured queue depth.
+func (qp *QueuePair) Depth() int { return qp.depth }
+
+// inflight counts slots held: staged + visible + unreaped completions.
+// Caller holds host.mu.
+func (qp *QueuePair) inflight() int {
+	return len(qp.staged) + (len(qp.rung) - qp.rungHead) + (len(qp.cq) - qp.cqHead)
+}
+
+// Submit stages cmd in the next free submission slot without ringing
+// the doorbell. It returns the slot, or ErrQueueFull when every slot is
+// held by an in-flight or unreaped command.
+func (qp *QueuePair) Submit(cmd *Command) (uint64, error) {
+	h := qp.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkNSID(cmd.NSID); err != nil {
+		return 0, err
+	}
+	if qp.inflight() >= qp.depth {
+		return 0, ErrQueueFull
+	}
+	slot := qp.nextSlot
+	qp.nextSlot++
+	qp.staged = append(qp.staged, sqe{cmd: cmd, slot: slot})
+	return slot, nil
+}
+
+// Ring rings the doorbell at virtual instant now: every staged entry
+// becomes visible to the controller with submission timestamp now, in
+// slot order. It returns the number of entries made visible.
+func (qp *QueuePair) Ring(now vclock.Time) int {
+	h := qp.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(qp.staged)
+	for i := range qp.staged {
+		qp.staged[i].ready = now
+		qp.rung = append(qp.rung, qp.staged[i])
+	}
+	qp.staged = qp.staged[:0]
+	return n
+}
+
+// Push submits cmd and rings the doorbell at now: the single-command
+// submission every blocking driver uses.
+func (qp *QueuePair) Push(now vclock.Time, cmd *Command) error {
+	if _, err := qp.Submit(cmd); err != nil {
+		return err
+	}
+	qp.Ring(now)
+	return nil
+}
+
+// Reap pops the oldest completion-queue entry, first letting the host
+// execute every visible command. It reports false when the completion
+// queue is empty.
+func (qp *QueuePair) Reap() (Completion, bool) {
+	h := qp.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.drainLocked()
+	if qp.cqHead >= len(qp.cq) {
+		return Completion{}, false
+	}
+	c := qp.cq[qp.cqHead]
+	qp.cq[qp.cqHead] = Completion{}
+	qp.cqHead++
+	if qp.cqHead == len(qp.cq) {
+		qp.cq = qp.cq[:0]
+		qp.cqHead = 0
+	}
+	return c, true
+}
+
+// MustReap is Reap for drivers whose protocol guarantees a completion
+// is pending; it panics on an empty completion queue (driver bug).
+func (qp *QueuePair) MustReap() Completion {
+	c, ok := qp.Reap()
+	if !ok {
+		panic("hostif: MustReap on empty completion queue")
+	}
+	return c
+}
+
+// Outstanding reports slots currently held (in flight plus unreaped).
+func (qp *QueuePair) Outstanding() int {
+	qp.host.mu.Lock()
+	defer qp.host.mu.Unlock()
+	return qp.inflight()
+}

@@ -1,0 +1,50 @@
+package hostif
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+	"repro/internal/zns"
+)
+
+// ZoneNamespace serves an OX-ZNS target as a host-interface namespace
+// with the NVMe ZNS command set: OpZoneAppend, write-at-write-pointer
+// (OpWrite), zone reads (OpRead), OpZoneReset and OpZoneFinish.
+type ZoneNamespace struct {
+	tgt *zns.Target
+}
+
+// NewZoneNamespace wraps tgt.
+func NewZoneNamespace(tgt *zns.Target) *ZoneNamespace {
+	return &ZoneNamespace{tgt: tgt}
+}
+
+// Name implements Namespace.
+func (n *ZoneNamespace) Name() string { return "oxzns" }
+
+// Target exposes the underlying FTL (admin/diagnostics path only —
+// zone reports are the admin queue, not data I/O).
+func (n *ZoneNamespace) Target() *zns.Target { return n.tgt }
+
+// Execute implements Namespace.
+func (n *ZoneNamespace) Execute(now vclock.Time, cmd *Command) Result {
+	switch cmd.Op {
+	case OpZoneAppend:
+		off, end, err := n.tgt.Append(now, cmd.Zone, cmd.Data)
+		return Result{End: end, Err: err, Offset: off}
+	case OpWrite:
+		end, err := n.tgt.Write(now, cmd.Zone, cmd.LPN, cmd.Data)
+		return Result{End: end, Err: err}
+	case OpRead:
+		data, end, err := n.tgt.Read(now, cmd.Zone, cmd.LPN, cmd.Length)
+		return Result{End: end, Err: err, Data: data}
+	case OpZoneReset:
+		end, err := n.tgt.Reset(now, cmd.Zone)
+		return Result{End: end, Err: err}
+	case OpZoneFinish:
+		end, err := n.tgt.Finish(now, cmd.Zone)
+		return Result{End: end, Err: err}
+	default:
+		return Result{End: now, Err: fmt.Errorf("%w: %v on %s", ErrUnsupported, cmd.Op, n.Name())}
+	}
+}

@@ -140,6 +140,20 @@ func (h *Histogram) Percentile(p float64) vclock.Duration {
 	return h.max
 }
 
+// LatencyRow renders h as the three latency cells experiment tables
+// use — p50, p95 and p99 — formatted as virtual durations. An empty
+// histogram renders as dashes so absent command types stay readable.
+func LatencyRow(h *Histogram) []string {
+	if h == nil || h.Count() == 0 {
+		return []string{"-", "-", "-"}
+	}
+	return []string{
+		h.Percentile(50).String(),
+		h.Percentile(95).String(),
+		h.Percentile(99).String(),
+	}
+}
+
 // Timeline buckets event counts by virtual time, producing a
 // throughput-versus-time series. Safe for concurrent use.
 type Timeline struct {

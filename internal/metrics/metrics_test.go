@@ -164,3 +164,30 @@ func TestThroughputAndFmt(t *testing.T) {
 		t.Fatalf("Fmt = %q, want 13.091", got)
 	}
 }
+
+func TestLatencyRow(t *testing.T) {
+	if got := LatencyRow(nil); got[0] != "-" || got[1] != "-" || got[2] != "-" {
+		t.Fatalf("nil histogram row = %v", got)
+	}
+	h := NewHistogram()
+	if got := LatencyRow(h); got[0] != "-" {
+		t.Fatalf("empty histogram row = %v", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * vclock.Microsecond)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(10 * vclock.Millisecond)
+	}
+	row := LatencyRow(h)
+	if len(row) != 3 {
+		t.Fatalf("row has %d cells", len(row))
+	}
+	if row[0] != h.Percentile(50).String() || row[2] != h.Percentile(99).String() {
+		t.Fatalf("row %v does not match percentiles", row)
+	}
+	// The tail observation shows up only in the p99 cell.
+	if row[0] == row[2] {
+		t.Fatalf("p50 and p99 should differ: %v", row)
+	}
+}
