@@ -87,33 +87,49 @@ type Result struct {
 // Elapsed reports the run's virtual duration.
 func (r Result) Elapsed() vclock.Duration { return r.End.Sub(r.Start) }
 
-// Key renders key index i (non-negative) in db_bench style: a
-// fixed-width decimal padded to KeySize bytes. Digits are rendered into
-// a stack buffer so key generation costs one allocation, not three.
-func Key(i int64, size int) []byte {
-	k := make([]byte, size)
-	for j := range k {
-		k[j] = '0'
+// KeyInto renders key index i (non-negative) in db_bench style — a
+// fixed-width decimal padded to size bytes — into dst, reusing its
+// capacity. Client loops pass their scratch buffer so steady-state key
+// generation allocates nothing.
+func KeyInto(dst []byte, i int64, size int) []byte {
+	if cap(dst) < size {
+		dst = make([]byte, size)
+	} else {
+		dst = dst[:size]
+	}
+	for j := range dst {
+		dst[j] = '0'
 	}
 	var dbuf [20]byte
 	d := strconv.AppendInt(dbuf[:0], i, 10)
 	if len(d) > size {
 		d = d[len(d)-size:]
 	}
-	copy(k[size-len(d):], d)
-	return k
+	copy(dst[size-len(d):], d)
+	return dst
 }
 
-// Value produces a deterministic value for key index i.
-func Value(i int64, size int) []byte {
-	v := make([]byte, size)
+// Key is KeyInto with a fresh buffer.
+func Key(i int64, size int) []byte { return KeyInto(nil, i, size) }
+
+// ValueInto produces the deterministic value for key index i into dst,
+// reusing its capacity.
+func ValueInto(dst []byte, i int64, size int) []byte {
+	if cap(dst) < size {
+		dst = make([]byte, size)
+	} else {
+		dst = dst[:size]
+	}
 	var seed [8]byte
 	binary.LittleEndian.PutUint64(seed[:], uint64(i)*0x9E3779B97F4A7C15+1)
 	for j := 0; j < size; j++ {
-		v[j] = seed[j%8] ^ byte(j)
+		dst[j] = seed[j%8] ^ byte(j)
 	}
-	return v
+	return dst
 }
+
+// Value is ValueInto with a fresh buffer.
+func Value(i int64, size int) []byte { return ValueInto(nil, i, size) }
 
 type client struct {
 	id   int
@@ -121,6 +137,11 @@ type client struct {
 	done int
 	rng  *rand.Rand
 	iter *lsm.Iterator
+	// key and value are per-client scratch buffers: the LSM copies keys
+	// and values into its own arenas, so the read/write loops reuse the
+	// same two slices for every operation instead of allocating per op.
+	key   []byte
+	value []byte
 }
 
 // Run executes one workload against db. Fill runs write each client's
@@ -169,7 +190,9 @@ func Run(db *lsm.DB, w Workload, cfg Config, start vclock.Time) (Result, error) 
 			// sorted and L0 files stay non-overlapping.
 			idx := fillCounter
 			fillCounter++
-			c.now, err = db.Put(c.now, Key(idx, cfg.KeySize), Value(idx, cfg.ValueSize))
+			c.key = KeyInto(c.key, idx, cfg.KeySize)
+			c.value = ValueInto(c.value, idx, cfg.ValueSize)
+			c.now, err = db.Put(c.now, c.key, c.value)
 		case ReadSequential:
 			_, _, ok := c.iter.Next()
 			if !ok {
@@ -181,7 +204,12 @@ func Run(db *lsm.DB, w Workload, cfg Config, start vclock.Time) (Result, error) 
 			}
 		case ReadRandom:
 			idx := c.rng.Int63n(totalKeys)
-			_, c.now, err = db.Get(c.now, Key(idx, cfg.KeySize))
+			c.key = KeyInto(c.key, idx, cfg.KeySize)
+			var v []byte
+			v, c.now, err = db.GetInto(c.now, c.key, c.value)
+			if v != nil {
+				c.value = v // keep the (possibly grown) scratch buffer
+			}
 			if errors.Is(err, lsm.ErrNotFound) {
 				res.NotFound++
 				err = nil

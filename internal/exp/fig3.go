@@ -105,8 +105,10 @@ func figure3Run(cfg Fig3Config, interval, failAt vclock.Duration) (Fig3Point, er
 	deadline := vclock.Time(failAt)
 	txns := 0
 	next := now
-	cmd := &hostif.Command{Op: hostif.OpWrite, NSID: nsid, Data: data}
 	for next < deadline {
+		// Depth 1: the arena hands back the same recycled slot each loop.
+		cmd := qp.AcquireCommand()
+		cmd.Op, cmd.NSID, cmd.Data = hostif.OpWrite, nsid, data
 		cmd.LPN = rng.Int63n(logicalPages - int64(cfg.TxnPages))
 		if err := qp.Push(next, cmd); err != nil {
 			return Fig3Point{}, fmt.Errorf("txn %d: %w", txns, err)

@@ -91,8 +91,15 @@ func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
 	buf := make([]byte, cfg.BufferBytes) // zero payload (content-free)
 	pageBytes := 32 * 1024
 	bufIdx := 0
+	// One descriptor slice per thread, rebuilt in place each submission:
+	// a buffer carries hundreds of page descriptors, so reallocating the
+	// slice (and the command) per flush dominated the driver's allocs.
+	descs := make([][]hostif.PageDesc, threads)
+	for i := range descs {
+		descs[i] = make([]hostif.PageDesc, 0, cfg.BufferBytes/pageBytes)
+	}
 	submit := func(ti int, at vclock.Time) error {
-		pages := make([]hostif.PageDesc, 0, cfg.BufferBytes/pageBytes)
+		pages := descs[ti][:0]
 		for off := 0; off+pageBytes <= cfg.BufferBytes; off += pageBytes {
 			pages = append(pages, hostif.PageDesc{
 				ID:     int64(bufIdx*1_000_000 + off),
@@ -100,10 +107,11 @@ func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
 				Length: pageBytes,
 			})
 		}
+		descs[ti] = pages
 		bufIdx++
-		return qps[ti].Push(at, &hostif.Command{
-			Op: hostif.OpFlush, NSID: nsid, Data: buf, Descs: pages,
-		})
+		cmd := qps[ti].AcquireCommand() // depth 1: same recycled slot each loop
+		cmd.Op, cmd.NSID, cmd.Data, cmd.Descs = hostif.OpFlush, nsid, buf, pages
+		return qps[ti].Push(at, cmd)
 	}
 	var end vclock.Time
 	issued := make([]int, threads)

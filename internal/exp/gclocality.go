@@ -94,16 +94,16 @@ func gcLocalityRun(cfg GCLocalityConfig, channels int) (GCLocalityPoint, error) 
 	host := hostif.NewHost(ctrl, hostif.HostConfig{})
 	nsid := host.AddNamespace(hostif.NewBlockNamespace(d))
 	qps := make([]*hostif.QueuePair, cfg.Writers)
-	cmds := make([]hostif.Command, cfg.Writers)
 	for i := range qps {
 		qps[i] = host.OpenQueuePair(1)
-		cmds[i] = hostif.Command{Op: hostif.OpWrite, NSID: nsid, Data: data}
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	submit := func(w int, at vclock.Time) error {
-		cmds[w].LPN = rng.Int63n(d.LogicalPages() - int64(cfg.TxnPages))
-		return qps[w].Push(at, &cmds[w])
+		cmd := qps[w].AcquireCommand() // depth 1: same recycled slot each loop
+		cmd.Op, cmd.NSID, cmd.Data = hostif.OpWrite, nsid, data
+		cmd.LPN = rng.Int63n(d.LogicalPages() - int64(cfg.TxnPages))
+		return qps[w].Push(at, cmd)
 	}
 	issued := make([]int, cfg.Writers)
 	for w := 0; w < cfg.Writers; w++ {

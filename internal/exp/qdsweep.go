@@ -61,9 +61,9 @@ type QDPoint struct {
 // prefillBlock writes the namespace's pages sequentially through qp
 // (depth-1 submissions) so later reads hit mapped media.
 func prefillBlock(qp *hostif.QueuePair, nsid int, pages int64, txnPages int, data []byte, now vclock.Time) (vclock.Time, error) {
-	cmd := &hostif.Command{Op: hostif.OpWrite, NSID: nsid, Data: data}
 	for lpn := int64(0); lpn+int64(txnPages) <= pages; lpn += int64(txnPages) {
-		cmd.LPN = lpn
+		cmd := qp.AcquireCommand()
+		cmd.Op, cmd.NSID, cmd.Data, cmd.LPN = hostif.OpWrite, nsid, data, lpn
 		if err := qp.Push(now, cmd); err != nil {
 			return now, err
 		}
@@ -134,12 +134,12 @@ func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
 	// vary with depth: every depth point replays the identical command
 	// sequence, so queue depth is the sweep's only variable.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	cmds := make([]hostif.Command, depth)
 	draw := mixedDraw(rng, nsid, cfg.LogicalPages, cfg.TxnPages, cfg.ReadPages, data)
 	issued := 0
 	for i := 0; i < depth && issued < cfg.Ops; i++ {
-		draw(&cmds[i])
-		if _, err := qp.Submit(&cmds[i]); err != nil {
+		cmd := qp.AcquireCommand()
+		draw(cmd)
+		if _, err := qp.Submit(cmd); err != nil {
 			return QDPoint{}, err
 		}
 		issued++
@@ -177,8 +177,9 @@ func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
 			end = comp.Done
 		}
 		if issued < cfg.Ops {
-			// Reuse the completed command's slot storage.
-			cmd := &cmds[int(comp.Slot)%depth]
+			// The reaped completion just recycled its command slot; the
+			// arena hands the same storage straight back.
+			cmd := qp.AcquireCommand()
 			draw(cmd)
 			if err := qp.Push(comp.Done, cmd); err != nil {
 				return QDPoint{}, err

@@ -70,7 +70,6 @@ func Tenants(cfg TenantsConfig) ([]TenantPoint, error) {
 		nsid   int
 		qp     *hostif.QueuePair
 		draw   func(*hostif.Command)
-		cmds   []hostif.Command
 		issued int
 		point  TenantPoint
 	}
@@ -87,7 +86,6 @@ func Tenants(cfg TenantsConfig) ([]TenantPoint, error) {
 			nsid: nsid,
 			qp:   host.OpenQueuePair(cfg.Depth),
 			draw: mixedDraw(rng, nsid, cfg.PagesPerTenant, cfg.TxnPages, cfg.TxnPages, data),
-			cmds: make([]hostif.Command, cfg.Depth),
 			point: TenantPoint{
 				Tenant: i,
 				Ops:    cfg.OpsPerTenant,
@@ -108,8 +106,9 @@ func Tenants(cfg TenantsConfig) ([]TenantPoint, error) {
 	start := now
 	for _, tn := range tenants {
 		for i := 0; i < cfg.Depth && tn.issued < cfg.OpsPerTenant; i++ {
-			tn.draw(&tn.cmds[i])
-			if _, err := tn.qp.Submit(&tn.cmds[i]); err != nil {
+			cmd := tn.qp.AcquireCommand()
+			tn.draw(cmd)
+			if _, err := tn.qp.Submit(cmd); err != nil {
 				return nil, err
 			}
 			tn.issued++
@@ -130,7 +129,7 @@ func Tenants(cfg TenantsConfig) ([]TenantPoint, error) {
 			tn.point.Elapsed = end
 		}
 		if tn.issued < cfg.OpsPerTenant {
-			cmd := &tn.cmds[int(comp.Slot)%cfg.Depth]
+			cmd := tn.qp.AcquireCommand() // recycled by the reap above
 			tn.draw(cmd)
 			if err := tn.qp.Push(comp.Done, cmd); err != nil {
 				return nil, err

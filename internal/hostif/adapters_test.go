@@ -16,7 +16,7 @@ import (
 )
 
 // testController builds a small simulated device + controller.
-func testController(t *testing.T) *ox.Controller {
+func testController(t testing.TB) *ox.Controller {
 	t.Helper()
 	chip := nand.Geometry{
 		Planes:         2,

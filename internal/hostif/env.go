@@ -20,11 +20,6 @@ type EnvClient struct {
 	nsid      int
 	blockSize int
 	maxBlocks int
-	// cmd is the reused submission entry: the client is single-actor
-	// and fully synchronous, so each call overwrites it after the
-	// previous command has executed — keeping the block read/append
-	// hot path allocation-free.
-	cmd Command
 }
 
 // Statically assert EnvClient implements lsm.Env.
@@ -50,11 +45,14 @@ func AttachLSM(h *Host, env *lightlsm.Env) *EnvClient {
 	return NewEnvClient(h.OpenQueuePair(1), nsid, ns)
 }
 
-// do issues one command synchronously.
+// do issues one command synchronously. The command storage comes from
+// the queue pair's arena and is recycled at the reap, so the client is
+// single-actor, fully synchronous and allocation-free at steady state.
 func (c *EnvClient) do(now vclock.Time, cmd Command) (Completion, error) {
-	cmd.NSID = c.nsid
-	c.cmd = cmd
-	if err := c.qp.Push(now, &c.cmd); err != nil {
+	ac := c.qp.AcquireCommand()
+	*ac = cmd
+	ac.NSID = c.nsid
+	if err := c.qp.Push(now, ac); err != nil {
 		return Completion{}, err
 	}
 	comp := c.qp.MustReap()

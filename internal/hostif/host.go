@@ -1,7 +1,9 @@
 package hostif
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ox"
 )
@@ -13,19 +15,37 @@ type HostConfig struct {
 	// after completion — the host hop of a user I/O. Drivers that model
 	// the host link themselves leave it off.
 	ChargeHostLink bool
+
+	// globalLock reintroduces the pre-sharding behavior for benchmark
+	// comparison only: every Submit/Ring additionally serializes on the
+	// host-wide execution lock, the way the old single-mutex host did.
+	globalLock bool
 }
 
 // Host is the host-interface runtime: it owns the attached namespaces
 // and queue pairs, and executes visible commands in deterministic
 // arbitration order. One Host fronts one ox.Controller.
+//
+// Locking discipline: queue-pair state (slot accounting, staging,
+// completion reaping, the command arena) lives behind each QueuePair's
+// own mutex, so concurrent submitters on different queue pairs never
+// contend. The only host-wide lock is execMu, which serializes the
+// arbitration-and-execution step — picking the earliest-doorbell head
+// across queues (a scan over per-queue atomic doorbell timestamps) and
+// running it through the namespace adapter. Namespace and queue-pair
+// registration use copy-on-write snapshots read lock-free on the
+// submission path. execMu may acquire a QueuePair mutex, never the
+// reverse.
 type Host struct {
 	ctrl *ox.Controller
 	cfg  HostConfig
 
-	mu         sync.Mutex
-	namespaces []Namespace
-	qps        []*QueuePair
-	executed   int64
+	setupMu sync.Mutex // serializes AddNamespace / OpenQueuePair
+	ns      atomic.Pointer[[]Namespace]
+	qps     atomic.Pointer[[]*QueuePair]
+
+	execMu   sync.Mutex // arbitration + execution + completion consumption
+	executed atomic.Int64
 }
 
 // NewHost builds a host interface over the controller.
@@ -39,33 +59,52 @@ func NewHost(ctrl *ox.Controller, cfg HostConfig) *Host {
 // Controller exposes the underlying controller (admin/diagnostics).
 func (h *Host) Controller() *ox.Controller { return h.ctrl }
 
+// namespaces returns the current namespace snapshot (lock-free).
+func (h *Host) namespaces() []Namespace {
+	if p := h.ns.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// queuePairs returns the current queue-pair snapshot (lock-free).
+func (h *Host) queuePairs() []*QueuePair {
+	if p := h.qps.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // AddNamespace attaches ns and returns its NSID (1-based).
 func (h *Host) AddNamespace(ns Namespace) int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.namespaces = append(h.namespaces, ns)
-	return len(h.namespaces)
+	h.setupMu.Lock()
+	defer h.setupMu.Unlock()
+	cur := h.namespaces()
+	next := make([]Namespace, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = ns
+	h.ns.Store(&next)
+	return len(next)
 }
 
 // Namespace returns the namespace with the given NSID (0 = namespace 1).
 func (h *Host) Namespace(nsid int) (Namespace, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if err := h.checkNSID(nsid); err != nil {
+	ns := h.namespaces()
+	if err := checkNSID(ns, nsid); err != nil {
 		return nil, err
 	}
 	if nsid == 0 {
 		nsid = 1
 	}
-	return h.namespaces[nsid-1], nil
+	return ns[nsid-1], nil
 }
 
-// checkNSID validates a command's namespace id. Caller holds h.mu.
-func (h *Host) checkNSID(nsid int) error {
-	if nsid == 0 && len(h.namespaces) > 0 {
+// checkNSID validates a command's namespace id against a snapshot.
+func checkNSID(ns []Namespace, nsid int) error {
+	if nsid == 0 && len(ns) > 0 {
 		return nil
 	}
-	if nsid < 1 || nsid > len(h.namespaces) {
+	if nsid < 1 || nsid > len(ns) {
 		return ErrBadNSID
 	}
 	return nil
@@ -76,27 +115,32 @@ func (h *Host) OpenQueuePair(depth int) *QueuePair {
 	if depth < 1 {
 		depth = 1
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	qp := &QueuePair{host: h, id: len(h.qps), depth: depth}
-	h.qps = append(h.qps, qp)
+	h.setupMu.Lock()
+	defer h.setupMu.Unlock()
+	cur := h.queuePairs()
+	qp := &QueuePair{host: h, id: len(cur), depth: depth}
+	qp.headReady.Store(noHead)
+	next := make([]*QueuePair, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = qp
+	h.qps.Store(&next)
 	return qp
 }
 
 // Executed reports the total number of commands executed (diagnostics).
-func (h *Host) Executed() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.executed
-}
+func (h *Host) Executed() int64 { return h.executed.Load() }
 
 // Drain executes every visible command across all queue pairs in
 // arbitration order, filling the completion queues.
 func (h *Host) Drain() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.execMu.Lock()
+	defer h.execMu.Unlock()
 	h.drainLocked()
 }
+
+// noHead is the per-queue doorbell timestamp meaning "no visible
+// command" — it loses every arbitration comparison.
+const noHead = math.MaxInt64
 
 // drainLocked is the arbitration loop: while any submission queue has a
 // visible command, scan queues in ascending ID (round-robin order),
@@ -104,16 +148,18 @@ func (h *Host) Drain() {
 // (queueID, slot). Within a queue, commands execute in slot (FIFO)
 // order. The order is a pure function of the submission history, which
 // is what keeps figure tables bit-identical across runs.
+//
+// Caller holds execMu. The scan reads each queue's atomic doorbell
+// timestamp — the winner's mutex is taken only to pop its head, so
+// arbitration never blocks submitters on other queue pairs.
 func (h *Host) drainLocked() {
 	for {
+		qps := h.queuePairs()
 		var best *QueuePair
-		for _, qp := range h.qps {
-			head := qp.sqHead()
-			if head == nil {
-				continue
-			}
-			if best == nil || head.ready < best.sqHead().ready {
-				best = qp
+		bestReady := int64(noHead)
+		for _, qp := range qps {
+			if r := qp.headReady.Load(); r < bestReady {
+				best, bestReady = qp, r
 			}
 			// Equal ready times fall through: the earlier queue ID
 			// (scanned first) keeps the grant.
@@ -121,30 +167,35 @@ func (h *Host) drainLocked() {
 		if best == nil {
 			return
 		}
-		e := best.popSQ()
-		best.cq = append(best.cq, h.execLocked(best, e))
-		h.executed++
+		e, ok := best.takeHead()
+		if !ok {
+			continue
+		}
+		best.complete(h.exec(best, e))
+		h.executed.Add(1)
 	}
 }
 
-// execLocked runs one command: optional host-link transfer in, the
-// namespace adapter (which routes through the FTL's own controller and
-// media accounting), optional host-link transfer of returned data out.
-func (h *Host) execLocked(qp *QueuePair, e sqe) Completion {
+// exec runs one command: optional host-link transfer in, the namespace
+// adapter (which routes through the FTL's own controller and media
+// accounting), optional host-link transfer of returned data out.
+// Caller holds execMu; no queue-pair mutex is held.
+func (h *Host) exec(qp *QueuePair, e sqe) Completion {
 	cmd := e.cmd
 	start := e.ready
 	if h.cfg.ChargeHostLink && len(cmd.Data) > 0 {
 		start = h.ctrl.HostTransfer(start, int64(len(cmd.Data)))
 	}
+	ns := h.namespaces()
 	var res Result
-	if err := h.checkNSID(cmd.NSID); err != nil {
+	if err := checkNSID(ns, cmd.NSID); err != nil {
 		res = Result{End: start, Err: err}
 	} else {
 		nsid := cmd.NSID
 		if nsid == 0 {
 			nsid = 1
 		}
-		res = h.namespaces[nsid-1].Execute(start, cmd)
+		res = ns[nsid-1].Execute(start, cmd)
 	}
 	if h.cfg.ChargeHostLink && res.Err == nil {
 		if n := len(res.Data); n > 0 {
@@ -161,6 +212,7 @@ func (h *Host) execLocked(qp *QueuePair, e sqe) Completion {
 		Submitted: e.ready,
 		Done:      res.End,
 		Result:    res,
+		cmd:       cmd,
 	}
 }
 
@@ -170,30 +222,32 @@ func (h *Host) execLocked(qp *QueuePair, e sqe) Completion {
 // actor whose command finishes first. It reports false when every
 // completion queue is empty.
 func (h *Host) ReapAny() (Completion, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.execMu.Lock()
+	defer h.execMu.Unlock()
 	h.drainLocked()
+	// Completion queues are only mutated under execMu, so the scan sees
+	// a stable snapshot; per-queue mutexes are taken around each access
+	// to stay ordered with concurrent Outstanding/Submit readers.
 	var bestQP *QueuePair
 	bestIdx := -1
-	for _, qp := range h.qps {
-		for i := qp.cqHead; i < len(qp.cq); i++ {
-			c := &qp.cq[i]
-			if bestQP == nil || earlier(c, &bestQP.cq[bestIdx]) {
-				bestQP, bestIdx = qp, i
+	var bestC Completion
+	for _, qp := range h.queuePairs() {
+		qp.mu.Lock()
+		for i := 0; i < qp.cq.len(); i++ {
+			c := qp.cq.at(i)
+			if bestQP == nil || earlier(c, &bestC) {
+				bestQP, bestIdx, bestC = qp, i, *c
 			}
 		}
+		qp.mu.Unlock()
 	}
 	if bestQP == nil {
 		return Completion{}, false
 	}
-	c := bestQP.cq[bestIdx]
-	copy(bestQP.cq[bestIdx:], bestQP.cq[bestIdx+1:])
-	bestQP.cq[len(bestQP.cq)-1] = Completion{}
-	bestQP.cq = bestQP.cq[:len(bestQP.cq)-1]
-	if bestQP.cqHead == len(bestQP.cq) {
-		bestQP.cq = bestQP.cq[:0]
-		bestQP.cqHead = 0
-	}
+	bestQP.mu.Lock()
+	c := bestQP.cq.removeAt(bestIdx)
+	bestQP.recycleLocked(c.cmd)
+	bestQP.mu.Unlock()
 	return c, true
 }
 

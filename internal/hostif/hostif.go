@@ -101,6 +101,12 @@ var (
 	ErrBadNSID     = errors.New("hostif: unknown namespace")
 	ErrUnsupported = errors.New("hostif: op not supported by namespace")
 	ErrBadHandle   = errors.New("hostif: unknown handle")
+	// ErrCommandInFlight flags arena-command misuse: the command was
+	// resubmitted before its previous completion was reaped.
+	ErrCommandInFlight = errors.New("hostif: arena command resubmitted before its completion was reaped")
+	// ErrCommandRecycled flags arena-command misuse: the command's slot
+	// was already recycled at Reap; acquire a fresh one.
+	ErrCommandRecycled = errors.New("hostif: arena command reused after recycling; call AcquireCommand again")
 )
 
 // Command is one submission-queue entry. Fields are interpreted per
@@ -163,6 +169,10 @@ type Completion struct {
 	Submitted vclock.Time
 	Done      vclock.Time
 	Result
+
+	// cmd remembers the submitted command so Reap can recycle its arena
+	// slot (nil or ignored for driver-owned commands).
+	cmd *Command
 }
 
 // Latency is the command's queue-to-completion virtual latency.

@@ -1,6 +1,9 @@
 package hostif
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/vclock"
 )
 
@@ -11,6 +14,14 @@ type sqe struct {
 	ready vclock.Time // doorbell instant (valid once rung)
 }
 
+// Arena command states (tracked per queue pair, keyed by pointer, so
+// drivers remain free to overwrite a whole Command value).
+const (
+	cmdFree     uint8 = iota // on the free list, must be re-acquired
+	cmdAcquired              // owned by the driver, submittable
+	cmdInflight              // submitted, completion not yet reaped
+)
+
 // QueuePair is one submission/completion queue pair. A host actor owns
 // a queue pair and drives it in three steps: Submit stages commands in
 // submission-queue slots, Ring makes every staged entry visible to the
@@ -18,44 +29,35 @@ type sqe struct {
 // consumes completion-queue entries. Push is the depth-1 convenience
 // (Submit + Ring).
 //
-// Depth bounds the commands in flight: staged, visible and completed-
-// but-unreaped entries all hold their slot until reaped, exactly like
-// an NVMe queue pair whose CQ entries must be consumed before their SQ
-// slots recycle.
+// Depth bounds the commands in flight: staged, visible, executing and
+// completed-but-unreaped entries all hold their slot until reaped,
+// exactly like an NVMe queue pair whose CQ entries must be consumed
+// before their SQ slots recycle.
 //
-// Methods are safe for concurrent use with other queue pairs of the
-// same Host; a single queue pair is driven by one actor at a time.
+// All queue-pair state sits behind the pair's own mutex: Submit, Ring
+// and slot accounting on one queue pair never contend with other queue
+// pairs of the same Host. A single queue pair is driven by one actor at
+// a time; different queue pairs may be driven concurrently.
 type QueuePair struct {
-	host     *Host
-	id       int
-	depth    int
-	staged   []sqe // submitted, doorbell not yet rung
-	rung     []sqe // visible to the controller, FIFO from rungHead
-	rungHead int
-	cq       []Completion // completions, FIFO from cqHead
-	cqHead   int
-	nextSlot uint64
-}
+	host  *Host
+	id    int
+	depth int
 
-// sqHead returns the next visible entry, or nil. Caller holds host.mu.
-func (qp *QueuePair) sqHead() *sqe {
-	if qp.rungHead >= len(qp.rung) {
-		return nil
-	}
-	return &qp.rung[qp.rungHead]
-}
+	// headReady mirrors the doorbell timestamp of the oldest visible
+	// entry (noHead when none) so the host's arbitration scan reads one
+	// atomic per queue instead of taking every queue's mutex.
+	headReady atomic.Int64
 
-// popSQ consumes the head visible entry, recycling ring capacity when
-// the queue empties. Caller holds host.mu.
-func (qp *QueuePair) popSQ() sqe {
-	e := qp.rung[qp.rungHead]
-	qp.rung[qp.rungHead] = sqe{}
-	qp.rungHead++
-	if qp.rungHead == len(qp.rung) {
-		qp.rung = qp.rung[:0]
-		qp.rungHead = 0
-	}
-	return e
+	mu        sync.Mutex
+	staged    ring[sqe]        // submitted, doorbell not yet rung
+	rung      ring[sqe]        // visible to the controller, FIFO
+	cq        ring[Completion] // completions awaiting Reap
+	executing int              // popped from rung, completion not yet queued
+	nextSlot  uint64
+
+	// Command arena: recycled at Reap, with misuse detection.
+	free  []*Command
+	state map[*Command]uint8
 }
 
 // ID reports the queue pair's identifier (arbitration tie-break key).
@@ -64,28 +66,82 @@ func (qp *QueuePair) ID() int { return qp.id }
 // Depth reports the configured queue depth.
 func (qp *QueuePair) Depth() int { return qp.depth }
 
-// inflight counts slots held: staged + visible + unreaped completions.
-// Caller holds host.mu.
-func (qp *QueuePair) inflight() int {
-	return len(qp.staged) + (len(qp.rung) - qp.rungHead) + (len(qp.cq) - qp.cqHead)
+// inflightLocked counts slots held: staged + visible + executing +
+// unreaped completions. Caller holds qp.mu.
+func (qp *QueuePair) inflightLocked() int {
+	return qp.staged.len() + qp.rung.len() + qp.executing + qp.cq.len()
+}
+
+// AcquireCommand returns a Command from the queue pair's arena. The
+// command is owned by the caller until submitted; its slot is recycled
+// automatically when its completion is reaped, so a closed submit/reap
+// loop reuses the same storage forever. Fields are zeroed.
+func (qp *QueuePair) AcquireCommand() *Command {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if n := len(qp.free); n > 0 {
+		cmd := qp.free[n-1]
+		qp.free = qp.free[:n-1]
+		qp.state[cmd] = cmdAcquired
+		return cmd
+	}
+	if qp.state == nil {
+		qp.state = make(map[*Command]uint8)
+	}
+	cmd := new(Command)
+	qp.state[cmd] = cmdAcquired
+	return cmd
+}
+
+// recycleLocked returns an arena command to the free list after its
+// completion was reaped. Driver-owned commands pass through untouched.
+// Caller holds qp.mu.
+func (qp *QueuePair) recycleLocked(cmd *Command) {
+	if cmd == nil {
+		return
+	}
+	if _, ok := qp.state[cmd]; !ok {
+		return // not arena-owned
+	}
+	*cmd = Command{} // drop payload references
+	qp.state[cmd] = cmdFree
+	qp.free = append(qp.free, cmd)
 }
 
 // Submit stages cmd in the next free submission slot without ringing
 // the doorbell. It returns the slot, or ErrQueueFull when every slot is
-// held by an in-flight or unreaped command.
+// held by an in-flight or unreaped command. Arena commands are checked
+// for misuse: resubmitting one whose completion has not been reaped
+// returns ErrCommandInFlight, and submitting one already recycled at
+// Reap returns ErrCommandRecycled.
 func (qp *QueuePair) Submit(cmd *Command) (uint64, error) {
-	h := qp.host
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if err := h.checkNSID(cmd.NSID); err != nil {
+	if err := checkNSID(qp.host.namespaces(), cmd.NSID); err != nil {
 		return 0, err
 	}
-	if qp.inflight() >= qp.depth {
+	if qp.host.cfg.globalLock {
+		qp.host.execMu.Lock()
+		defer qp.host.execMu.Unlock()
+	}
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	st, arena := qp.state[cmd]
+	if arena {
+		switch st {
+		case cmdInflight:
+			return 0, ErrCommandInFlight
+		case cmdFree:
+			return 0, ErrCommandRecycled
+		}
+	}
+	if qp.inflightLocked() >= qp.depth {
 		return 0, ErrQueueFull
 	}
 	slot := qp.nextSlot
 	qp.nextSlot++
-	qp.staged = append(qp.staged, sqe{cmd: cmd, slot: slot})
+	qp.staged.push(sqe{cmd: cmd, slot: slot})
+	if arena {
+		qp.state[cmd] = cmdInflight
+	}
 	return slot, nil
 }
 
@@ -93,16 +149,54 @@ func (qp *QueuePair) Submit(cmd *Command) (uint64, error) {
 // becomes visible to the controller with submission timestamp now, in
 // slot order. It returns the number of entries made visible.
 func (qp *QueuePair) Ring(now vclock.Time) int {
-	h := qp.host
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	n := len(qp.staged)
-	for i := range qp.staged {
-		qp.staged[i].ready = now
-		qp.rung = append(qp.rung, qp.staged[i])
+	if qp.host.cfg.globalLock {
+		qp.host.execMu.Lock()
+		defer qp.host.execMu.Unlock()
 	}
-	qp.staged = qp.staged[:0]
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	n := qp.staged.len()
+	if n == 0 {
+		return 0
+	}
+	wasEmpty := qp.rung.len() == 0
+	for i := 0; i < n; i++ {
+		e := qp.staged.pop()
+		e.ready = now
+		qp.rung.push(e)
+	}
+	if wasEmpty {
+		qp.headReady.Store(int64(now))
+	}
 	return n
+}
+
+// takeHead pops the oldest visible entry and refreshes the atomic
+// doorbell timestamp. Caller holds the host's execMu (only the
+// arbitration loop consumes visible entries).
+func (qp *QueuePair) takeHead() (sqe, bool) {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.rung.len() == 0 {
+		return sqe{}, false
+	}
+	e := qp.rung.pop()
+	if qp.rung.len() > 0 {
+		qp.headReady.Store(int64(qp.rung.at(0).ready))
+	} else {
+		qp.headReady.Store(noHead)
+	}
+	qp.executing++
+	return e, true
+}
+
+// complete queues an executed command's completion. Caller holds the
+// host's execMu.
+func (qp *QueuePair) complete(c Completion) {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	qp.cq.push(c)
+	qp.executing--
 }
 
 // Push submits cmd and rings the doorbell at now: the single-command
@@ -117,22 +211,19 @@ func (qp *QueuePair) Push(now vclock.Time, cmd *Command) error {
 
 // Reap pops the oldest completion-queue entry, first letting the host
 // execute every visible command. It reports false when the completion
-// queue is empty.
+// queue is empty. Reaping recycles the completed command's arena slot.
 func (qp *QueuePair) Reap() (Completion, bool) {
 	h := qp.host
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.execMu.Lock()
+	defer h.execMu.Unlock()
 	h.drainLocked()
-	if qp.cqHead >= len(qp.cq) {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.cq.len() == 0 {
 		return Completion{}, false
 	}
-	c := qp.cq[qp.cqHead]
-	qp.cq[qp.cqHead] = Completion{}
-	qp.cqHead++
-	if qp.cqHead == len(qp.cq) {
-		qp.cq = qp.cq[:0]
-		qp.cqHead = 0
-	}
+	c := qp.cq.pop()
+	qp.recycleLocked(c.cmd)
 	return c, true
 }
 
@@ -148,7 +239,7 @@ func (qp *QueuePair) MustReap() Completion {
 
 // Outstanding reports slots currently held (in flight plus unreaped).
 func (qp *QueuePair) Outstanding() int {
-	qp.host.mu.Lock()
-	defer qp.host.mu.Unlock()
-	return qp.inflight()
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return qp.inflightLocked()
 }

@@ -1,0 +1,67 @@
+package hostif
+
+// ring is a growable circular FIFO. Slots are recycled in place, so at
+// steady state a queue pair's submission and completion queues reuse
+// the same backing storage forever — pushes allocate only while the
+// ring is still growing toward its high-water mark, exactly like a
+// real NVMe ring whose size is fixed at queue creation.
+type ring[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // live elements
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+// at returns the i-th element from the head (0 = oldest).
+func (r *ring[T]) at(i int) *T {
+	return &r.buf[(r.head+i)%len(r.buf)]
+}
+
+// push appends v at the tail, growing the ring if full.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// pop removes and returns the head element, zeroing its slot so the
+// ring drops references into reclaimed payloads.
+func (r *ring[T]) pop() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// removeAt removes and returns the i-th element from the head,
+// preserving the order of the rest (completion queues pop by global
+// completion order, not only FIFO).
+func (r *ring[T]) removeAt(i int) T {
+	v := *r.at(i)
+	for j := i; j < r.n-1; j++ {
+		*r.at(j) = *r.at(j + 1)
+	}
+	var zero T
+	*r.at(r.n - 1) = zero
+	r.n--
+	return v
+}
+
+// grow doubles capacity, compacting the live window to the front.
+func (r *ring[T]) grow() {
+	c := 2 * len(r.buf)
+	if c < 8 {
+		c = 8
+	}
+	buf := make([]T, c)
+	for i := 0; i < r.n; i++ {
+		buf[i] = *r.at(i)
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -347,19 +347,21 @@ func (e *Env) ReadBlock(now vclock.Time, h lsm.TableHandle, block int, dst []byt
 	}
 	chunk := t.chunks[block%len(t.chunks)]
 	stripe := block / len(t.chunks)
-	var ppas []ocssd.PPA
-	if v := e.ppaPool.Get(); v != nil {
-		ppas = *(v.(*[]ocssd.PPA))
-	} else {
-		ppas = make([]ocssd.PPA, e.geo.WSOpt)
+	// Recycle the boxed slice header along with the stripe storage:
+	// Put(&local) would heap-allocate a fresh header per read.
+	pp, _ := e.ppaPool.Get().(*[]ocssd.PPA)
+	if pp == nil {
+		s := make([]ocssd.PPA, e.geo.WSOpt)
+		pp = &s
 	}
+	ppas := *pp
 	base := stripe * e.geo.WSOpt
 	for i := range ppas {
 		ppas[i] = chunk.PPAOf(base + i)
 	}
 	end := e.dispatchIO(now)
 	end, err := e.media.VectorRead(end, ppas, dst[:e.BlockSize()])
-	e.ppaPool.Put(&ppas)
+	e.ppaPool.Put(pp)
 	if err != nil {
 		return end, err
 	}

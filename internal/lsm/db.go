@@ -468,6 +468,13 @@ func (db *DB) compactL1Locked(now vclock.Time) error {
 // (no block cache, no compression) makes every random read at least one
 // 96 KB block transfer.
 func (db *DB) Get(now vclock.Time, key []byte) ([]byte, vclock.Time, error) {
+	return db.GetInto(now, key, nil)
+}
+
+// GetInto is Get with a caller-owned result buffer: the value is
+// copied into dst (grown as needed, capacity reused), so steady-state
+// read loops allocate nothing. On a miss the returned slice is nil.
+func (db *DB) GetInto(now vclock.Time, key, dst []byte) ([]byte, vclock.Time, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	now = now.Add(db.opts.CPUPerOp)
@@ -475,14 +482,14 @@ func (db *DB) Get(now vclock.Time, key []byte) ([]byte, vclock.Time, error) {
 	db.stats.Gets++
 
 	if v, del, found := db.mem.get(key, snapshot); found {
-		return db.answer(v, del, now)
+		return db.answer(v, del, now, dst)
 	}
 	for _, im := range db.imms {
 		if im.end <= now {
 			continue // flush already completed: the table serves it
 		}
 		if v, del, found := im.table.get(key, snapshot); found {
-			return db.answer(v, del, now)
+			return db.answer(v, del, now, dst)
 		}
 	}
 	// L0: newest first, ranges overlap.
@@ -493,7 +500,7 @@ func (db *DB) Get(now vclock.Time, key []byte) ([]byte, vclock.Time, error) {
 		}
 		now = end
 		if found {
-			return db.answer(v, del, now)
+			return db.answer(v, del, now, dst)
 		}
 	}
 	for _, level := range [][]*TableMeta{db.l1, db.l2} {
@@ -507,20 +514,24 @@ func (db *DB) Get(now vclock.Time, key []byte) ([]byte, vclock.Time, error) {
 			}
 			now = end
 			if found {
-				return db.answer(v, del, now)
+				return db.answer(v, del, now, dst)
 			}
 		}
 	}
 	return nil, now, ErrNotFound
 }
 
-func (db *DB) answer(v []byte, del bool, now vclock.Time) ([]byte, vclock.Time, error) {
+func (db *DB) answer(v []byte, del bool, now vclock.Time, dst []byte) ([]byte, vclock.Time, error) {
 	if del {
 		return nil, now, ErrNotFound
 	}
-	out := make([]byte, len(v))
-	copy(out, v)
-	return out, now, nil
+	if cap(dst) < len(v) {
+		dst = make([]byte, len(v))
+	} else {
+		dst = dst[:len(v)]
+	}
+	copy(dst, v)
+	return dst, now, nil
 }
 
 // searchTable probes one table for key. The returned value aliases the

@@ -336,43 +336,39 @@ func (it *tableIterator) next() (Entry, bool) {
 
 // mergeIterator merges several entryIterators in internal-key order;
 // inputs must each be internally sorted. On ties (same key and seq),
-// earlier inputs win (callers order inputs newest-first).
+// earlier inputs win (callers order inputs newest-first). Heads are
+// stored by value beside a live bitmap, so advancing the merge never
+// allocates (an Entry box per merged entry used to dominate the flush
+// path's allocation profile).
 type mergeIterator struct {
 	its   []entryIterator
-	heads []*Entry
+	heads []Entry
+	live  []bool
 }
 
 func newMergeIterator(its []entryIterator) *mergeIterator {
-	m := &mergeIterator{its: its, heads: make([]*Entry, len(its))}
+	m := &mergeIterator{its: its, heads: make([]Entry, len(its)), live: make([]bool, len(its))}
 	for i := range its {
-		if e, ok := its[i].next(); ok {
-			cp := e
-			m.heads[i] = &cp
-		}
+		m.heads[i], m.live[i] = its[i].next()
 	}
 	return m
 }
 
 func (m *mergeIterator) next() (Entry, bool) {
 	best := -1
-	for i, h := range m.heads {
-		if h == nil {
+	for i := range m.heads {
+		if !m.live[i] {
 			continue
 		}
-		if best < 0 || cmpInternal(h.Key, h.Seq, m.heads[best].Key, m.heads[best].Seq) < 0 {
+		if best < 0 || cmpInternal(m.heads[i].Key, m.heads[i].Seq, m.heads[best].Key, m.heads[best].Seq) < 0 {
 			best = i
 		}
 	}
 	if best < 0 {
 		return Entry{}, false
 	}
-	e := *m.heads[best]
-	if ne, ok := m.its[best].next(); ok {
-		cp := ne
-		m.heads[best] = &cp
-	} else {
-		m.heads[best] = nil
-	}
+	e := m.heads[best]
+	m.heads[best], m.live[best] = m.its[best].next()
 	return e, true
 }
 

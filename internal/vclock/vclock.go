@@ -175,79 +175,110 @@ func (r *Resource) Reset() {
 }
 
 // Pool is a set of interchangeable resources (e.g. the cores of a
-// controller CPU). Acquire picks the core that frees earliest.
+// controller CPU). Acquire picks the member that frees earliest.
+//
+// Member timelines live inside the pool itself — plain free/busy arrays
+// behind one mutex — so every operation is a single lock acquisition
+// and one O(n) scan. (The pool used to hold n Resources and call their
+// locking accessors while holding its own mutex; nested acquisition
+// bought nothing, since members are never shared outside the pool.)
 type Pool struct {
-	mu  sync.Mutex
-	res []*Resource
+	mu   sync.Mutex
+	name string
+	free []Time     // per-member earliest free instant
+	busy []Duration // per-member cumulative reserved time
 }
 
-// NewPool creates a pool of n resources named name#i.
+// NewPool creates a pool of n members (minimum 1) named name.
 func NewPool(name string, n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{res: make([]*Resource, n)}
-	for i := range p.res {
-		p.res[i] = NewResource(fmt.Sprintf("%s#%d", name, i))
-	}
-	return p
+	return &Pool{name: name, free: make([]Time, n), busy: make([]Duration, n)}
 }
 
 // Size reports the number of resources in the pool.
-func (p *Pool) Size() int { return len(p.res) }
+func (p *Pool) Size() int { return len(p.free) }
 
 // NextFree reports the earliest instant at which any member is free.
 func (p *Pool) NextFree() Time {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	free := p.res[0].FreeAt()
-	for _, r := range p.res[1:] {
-		if f := r.FreeAt(); f < free {
+	free := p.free[0]
+	for _, f := range p.free[1:] {
+		if f < free {
 			free = f
 		}
 	}
 	return free
 }
 
-// Acquire reserves dur on the member that becomes free earliest.
+// Acquire reserves dur on the member that becomes free earliest (ties
+// go to the lowest index, keeping the choice deterministic).
 func (p *Pool) Acquire(now Time, dur Duration) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	best := p.res[0]
-	bestFree := best.FreeAt()
-	for _, r := range p.res[1:] {
-		if f := r.FreeAt(); f < bestFree {
-			best, bestFree = r, f
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
 		}
 	}
-	return best.Acquire(now, dur)
+	start = Max(now, p.free[best])
+	end = start.Add(dur)
+	p.free[best] = end
+	p.busy[best] += dur
+	return start, end
 }
 
 // Busy reports the cumulative reserved time summed over members.
 func (p *Pool) Busy() Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var b Duration
-	for _, r := range p.res {
-		b += r.Busy()
+	for _, d := range p.busy {
+		b += d
 	}
 	return b
 }
 
-// Utilization reports aggregate utilization of the pool over [0, now].
+// Utilization reports aggregate utilization of the pool over [0, now]:
+// the average of per-member utilizations, each clamped to [0, 1] with
+// reservations extending past now counted only up to now.
 func (p *Pool) Utilization(now Time) float64 {
-	if now <= 0 || len(p.res) == 0 {
+	if now <= 0 {
 		return 0
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var u float64
-	for _, r := range p.res {
-		u += r.Utilization(now)
+	for i := range p.free {
+		busy := p.busy[i]
+		if p.free[i] > now {
+			busy -= p.free[i].Sub(now)
+		}
+		m := float64(busy) / float64(now)
+		if m < 0 {
+			m = 0
+		}
+		if m > 1 {
+			m = 1
+		}
+		u += m
 	}
-	return u / float64(len(p.res))
+	return u / float64(len(p.free))
 }
 
 // Reset returns every member to idle at time zero.
 func (p *Pool) Reset() {
-	for _, r := range p.res {
-		r.Reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.free {
+		p.free[i] = 0
+		p.busy[i] = 0
 	}
 }
 
