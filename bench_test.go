@@ -70,6 +70,31 @@ func BenchmarkFigure5DbBench(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure5DbBenchNotify is the notification-mode twin of
+// BenchmarkFigure5DbBench: the host-interface client consumes
+// completions through interrupt-style notification instead of polling
+// Reap. Virtual-time results are identical by the timing-equality
+// contract; the entry exists so benchcheck tracks the notification
+// path's allocation budget separately.
+func BenchmarkFigure5DbBenchNotify(b *testing.B) {
+	cfg := benchFig5()
+	cfg.Notify = true
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Clients == 1 && c.Workload == 0 && c.Placement == 0 {
+				b.ReportMetric(c.KOps, "fillH1_kops")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + exp.Figure5Table(cells).Render())
+		}
+	}
+}
+
 func BenchmarkFigure6Timeline(b *testing.B) {
 	cfg := benchFig5()
 	cfg.ClientCounts = []int{1, 8}
@@ -167,6 +192,37 @@ func BenchmarkTenants(b *testing.B) {
 		b.ReportMetric(points[0].KIOPS, "tenant0_kIOPS")
 		if i == 0 {
 			b.Log("\n" + exp.TenantsTable(points).Render())
+		}
+	}
+}
+
+// BenchmarkTenantsQoS regenerates the asymmetric multi-tenant QoS
+// scenario: WRR classes, unequal load, shared-vs-solo p99 isolation.
+func BenchmarkTenantsQoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.TenantsQoS(exp.DefaultTenantsQoS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Lat.Percentile(99).Seconds()*1000, "highP99_ms")
+		b.ReportMetric(points[3].Lat.Percentile(99).Seconds()*1000, "lowP99_ms")
+		if i == 0 {
+			b.Log("\n" + exp.TenantsQoSTable(points).Render())
+		}
+	}
+}
+
+// BenchmarkWRRSweep regenerates the arbitration-class sweep.
+func BenchmarkWRRSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.WRRSweep(exp.DefaultWRRSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Lat.Percentile(99).Seconds()*1000, "urgentP99_ms")
+		b.ReportMetric(points[len(points)-1].Lat.Percentile(99).Seconds()*1000, "lowP99_ms")
+		if i == 0 {
+			b.Log("\n" + exp.WRRSweepTable(points).Render())
 		}
 	}
 }

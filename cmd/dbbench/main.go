@@ -39,10 +39,13 @@ func main() {
 	fail(err)
 	env, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
 	fail(err)
-	// The database reaches the FTL through host-interface queue pairs.
+	// The database reaches the FTL through host-interface queue pairs;
+	// attachment and queue-pair creation are admin-queue commands.
 	host := hostif.NewHost(ctrl, hostif.HostConfig{})
+	cli, err := hostif.AttachLSM(host, env)
+	fail(err)
 	db, err := lsm.Open(lsm.Options{
-		Env:           hostif.AttachLSM(host, env),
+		Env:           cli,
 		MemtableBytes: 8 << 20,
 		MaxImmutables: 6,
 		FlushWorkers:  4,

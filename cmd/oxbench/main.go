@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,tenants,all")
+	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,tenants,all")
 	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
 	flag.Parse()
 
@@ -91,12 +91,26 @@ func main() {
 		}
 		emit("qd_sweep", exp.QDSweepTable(points))
 	}
+	if all || want["qdwrr"] {
+		points, err := exp.WRRSweep(exp.DefaultWRRSweep())
+		if err != nil {
+			fatal(err)
+		}
+		emit("wrr_sweep", exp.WRRSweepTable(points))
+	}
 	if all || want["tenants"] {
 		points, err := exp.Tenants(exp.DefaultTenants())
 		if err != nil {
 			fatal(err)
 		}
 		emit("tenants", exp.TenantsTable(points))
+		// The asymmetric QoS companion: WRR classes, unequal load, and
+		// the shared-vs-solo p99 isolation metric.
+		qos, err := exp.TenantsQoS(exp.DefaultTenantsQoS())
+		if err != nil {
+			fatal(err)
+		}
+		emit("tenants_qos", exp.TenantsQoSTable(qos))
 	}
 }
 

@@ -1,5 +1,9 @@
-// Command oxctl inspects a simulated Open-Channel SSD: geometry
-// (identify), the chunk report, and the Figure 4 placement layouts.
+// Command oxctl inspects a simulated Open-Channel SSD over the OX
+// admin queue: geometry (AdminIdentify), the chunk report
+// (AdminGetLogPage) and the Figure 4 placement layouts
+// (LogTableChunks). Every control-plane access is a typed admin
+// command through queue 0 — oxctl is the admin-queue client of the
+// host interface.
 //
 // Usage:
 //
@@ -32,8 +36,7 @@ func main() {
 
 	switch *cmd {
 	case "geometry":
-		geo := exp.DefaultRig()
-		g := geoFor(geo, *paper)
+		g := geoFor(*paper)
 		fmt.Println("Open-Channel 2.0 identify:")
 		fmt.Printf("  %s\n", g)
 		fmt.Printf("  ws_min = %d sectors, ws_opt = %d sectors (%d KB unit of write)\n",
@@ -43,10 +46,11 @@ func main() {
 		fmt.Printf("  SSTable sizing rule (§4.3): %d PUs × %d MB chunk = %d MB\n",
 			g.TotalPUs(), g.ChunkBytes()>>20, int64(g.TotalPUs())*g.ChunkBytes()>>20)
 	case "report":
-		dev, _, err := exp.DefaultRig().Build()
+		admin := adminFor()
+		report, err := admin.ChunkReport(0)
 		fail(err)
 		states := map[ocssd.ChunkState]int{}
-		for _, ci := range dev.Report() {
+		for _, ci := range report {
 			states[ci.State]++
 		}
 		fmt.Println("chunk report summary:")
@@ -63,24 +67,30 @@ func main() {
 		env, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
 		fail(err)
 		// Flush one SSTable through the host interface: create, append
-		// one block, commit — all as queue-pair commands.
-		cli := hostif.AttachLSM(hostif.NewHost(ctrl, hostif.HostConfig{}), env)
+		// one block, commit — all as queue-pair commands — then read
+		// the placement back as admin log pages.
+		host := hostif.NewHost(ctrl, hostif.HostConfig{})
+		cli, err := hostif.AttachLSM(host, env)
+		fail(err)
 		w, err := cli.CreateTable(0)
 		fail(err)
 		block := make([]byte, cli.BlockSize())
 		now, err := w.Append(0, block)
 		fail(err)
-		h, _, err := w.Commit(now)
+		h, end, err := w.Commit(now)
 		fail(err)
-		chunks, _ := env.TableChunks(h.ID)
+		admin := host.Admin()
+		chunks, err := admin.TableChunks(end, 0, uint64(h.ID))
+		fail(err)
+		id, err := admin.Identify(end)
+		fail(err)
 		fmt.Printf("Figure 4: %s placement — one SSTable (%d chunks of %d KB blocks):\n",
-			p, len(chunks), env.BlockSize()/1024)
+			p, len(chunks), cli.BlockSize()/1024)
 		perGroup := map[int][]string{}
 		for _, c := range chunks {
 			perGroup[c.Group] = append(perGroup[c.Group], fmt.Sprintf("pu%d/c%d", c.PU, c.Chunk))
 		}
-		geo := ctrl.Media().Geometry()
-		for g := 0; g < geo.Groups; g++ {
+		for g := 0; g < id.Geometry.Groups; g++ {
 			if len(perGroup[g]) == 0 {
 				fmt.Printf("  group%-2d: -\n", g)
 				continue
@@ -93,13 +103,22 @@ func main() {
 	}
 }
 
-func geoFor(rig exp.RigConfig, paper bool) ocssd.Geometry {
+// adminFor builds the default rig and returns its admin-queue client.
+func adminFor() *hostif.AdminClient {
+	_, ctrl, err := exp.DefaultRig().Build()
+	fail(err)
+	return hostif.NewHost(ctrl, hostif.HostConfig{}).Admin()
+}
+
+// geoFor reads the geometry over the admin queue (or returns the
+// paper's published geometry, which has no simulated device behind it).
+func geoFor(paper bool) ocssd.Geometry {
 	if paper {
 		return ocssd.PaperGeometry()
 	}
-	dev, _, err := rig.Build()
+	id, err := adminFor().Identify(0)
 	fail(err)
-	return dev.Geometry()
+	return id.Geometry
 }
 
 func fail(err error) {

@@ -18,8 +18,11 @@
 //   - internal/lightlsm — LightLSM, the RocksDB-environment FTL
 //   - internal/zns      — OX-ZNS, the Zoned-Namespaces FTL of §2.3
 //   - internal/hostif   — the NVMe-style host interface: typed commands
-//     over submission/completion queue pairs, deterministic round-robin
-//     arbitration, one namespace adapter per FTL
+//     over submission/completion queue pairs, an admin queue pair
+//     (identify, log pages, namespace attach, queue-pair lifecycle),
+//     deterministic weighted-round-robin arbitration classes,
+//     interrupt-style completion notification, one namespace adapter
+//     per FTL
 //   - internal/lsm      — a miniature RocksDB (memtable, SSTables,
 //     bloom filters, leveled compaction, rate limiter)
 //   - internal/dbbench  — the db_bench workloads of §4.3

@@ -37,9 +37,14 @@ func main() {
 		env.Placement(), env.BlockSize()/1024, env.TableBytes()>>20)
 
 	// The database reaches the FTL through host-interface queue pairs:
-	// every SSTable flush block and block read is a typed command.
+	// every SSTable flush block and block read is a typed command, and
+	// the attachment itself is admin-queue commands.
 	host := hostif.NewHost(ctrl, hostif.HostConfig{})
-	db, err := lsm.Open(lsm.Options{Env: hostif.AttachLSM(host, env), MemtableBytes: 1 << 20, Seed: 1})
+	cli, err := hostif.AttachLSM(host, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := lsm.Open(lsm.Options{Env: cli, MemtableBytes: 1 << 20, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +78,12 @@ func main() {
 	}
 
 	s := db.Stats()
-	es := env.Stats()
+	// FTL counters come back as an admin log page.
+	v, err := host.Admin().NamespaceStats(now, cli.NSID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	es := v.(lightlsm.Stats)
 	fmt.Printf("flushes %d, compactions %d, levels %d/%d/%d\n",
 		s.Flushes, s.Compactions, s.TablesL0, s.TablesL1, s.TablesL2)
 	fmt.Printf("FTL: %d blocks written, %d read, %d chunk resets (SSTable deletes)\n",

@@ -26,8 +26,15 @@ func main() {
 	fmt.Printf("OX-ELEOS: %d MB LSS I/O buffers\n", store.BufferBytes()>>20)
 
 	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
-	nsid := host.AddNamespace(hostif.NewEleosNamespace(store))
-	qp := host.OpenQueuePair(1)
+	admin := host.Admin()
+	nsid, err := admin.AttachNamespace(0, hostif.NewEleosNamespace(store))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qp, err := admin.CreateIOQueuePair(0, 1, hostif.ClassMedium)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Build one LSS buffer holding variable-sized pages (LLAMA delta
 	// pages are "an arbitrary number of bytes").
@@ -64,9 +71,17 @@ func main() {
 		end = rc.Done
 	}
 
-	// The Figure 7 story: every byte crossed the memory bus twice.
-	st := ctrl.Stats()
+	// The Figure 7 story: every byte crossed the memory bus twice —
+	// read back as admin log pages.
+	st, err := admin.ControllerStats(end)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("controller copies: %d B network→FTL, %d B FTL→device\n",
 		st.BytesRX, st.BytesToDevice)
-	fmt.Printf("memory-bus utilization so far: %.1f%%\n", ctrl.Utilization(end)*100)
+	util, err := admin.Utilization(end)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("memory-bus utilization so far: %.1f%%\n", util.MemBus*100)
 }

@@ -23,14 +23,23 @@ func main() {
 
 	// Mount OX-Block: a 4 KB block device with WAL + checkpoint
 	// transactions and group-marked garbage collection — then attach it
-	// to the host interface as a namespace and open a queue pair.
+	// over the admin queue and create an I/O queue pair (depth 4,
+	// medium WRR class). All management is typed admin commands on
+	// queue 0.
 	blk, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 16384}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
-	nsid := host.AddNamespace(hostif.NewBlockNamespace(blk))
-	qp := host.OpenQueuePair(4)
+	admin := host.Admin()
+	nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(blk))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qp, err := admin.CreateIOQueuePair(now, 4, hostif.ClassMedium)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Every write of up to 1 MB is one atomic, durable transaction: a
 	// Write command submitted to the queue and reaped as a completion.
@@ -64,8 +73,15 @@ func main() {
 		log.Fatal(err)
 	}
 	host2 := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
-	nsid2 := host2.AddNamespace(hostif.NewBlockNamespace(blk2))
-	qp2 := host2.OpenQueuePair(1)
+	admin2 := host2.Admin()
+	nsid2, err := admin2.AttachNamespace(end, hostif.NewBlockNamespace(blk2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qp2, err := admin2.CreateIOQueuePair(end, 1, hostif.ClassMedium)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := qp2.Push(end, &hostif.Command{Op: hostif.OpRead, NSID: nsid2, LPN: 100, Pages: 1}); err != nil {
 		log.Fatal(err)
 	}
@@ -75,5 +91,10 @@ func main() {
 	}
 	fmt.Printf("after crash: replayed %d records in %v; data intact: %v\n",
 		report.ReplayedRecords, report.Duration, rc2.Data[0] == 0)
-	fmt.Printf("device stats: %+v\n", dev.Stats())
+	// Device counters are an admin log page, like any NVMe smart log.
+	stats, err := admin2.MediaStats(rc2.Done)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device stats: %+v\n", stats)
 }

@@ -26,8 +26,15 @@ func main() {
 		tgt.Zones(), tgt.ZoneCapacity()>>20, tgt.BlockSize()/1024)
 
 	host := hostif.NewHost(ctrl, hostif.HostConfig{})
-	nsid := host.AddNamespace(hostif.NewZoneNamespace(tgt))
-	qp := host.OpenQueuePair(2)
+	admin := host.Admin()
+	nsid, err := admin.AttachNamespace(0, hostif.NewZoneNamespace(tgt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qp, err := admin.CreateIOQueuePair(0, 2, hostif.ClassMedium)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Zone append: concurrent writers need no write-pointer
 	// coordination — two appends batched behind one doorbell ring.
@@ -74,6 +81,12 @@ func main() {
 	if rst.Err != nil {
 		log.Fatal(rst.Err)
 	}
-	zi, _ := tgt.Zone(0)
+	// The zone report is an admin log page — the NVMe ZNS report-zones
+	// command, not data I/O.
+	zones, err := admin.ZoneReport(rst.Done, nsid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zi := zones[0]
 	fmt.Printf("after reset: state=%v wp=%d (virtual time %v)\n", zi.State, zi.WP, rst.Done)
 }

@@ -333,6 +333,92 @@ func TestTenantsFairness(t *testing.T) {
 	}
 }
 
+// TestFig5NotifyMatchesPoll: the db_bench grid produces the identical
+// table whether the host-interface client polls Reap or consumes
+// interrupt-style notifications — the end-to-end timing-equality proof
+// behind the notification-mode baseline entry.
+func TestFig5NotifyMatchesPoll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := smallFig5()
+	cfg.ClientCounts = []int{2}
+	poll, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Notify = true
+	notified, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Figure5Table(poll).Render(), Figure5Table(notified).Render()
+	if a != b {
+		t.Fatalf("notification mode changed the table:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestTenantsQoSIsolation(t *testing.T) {
+	cfg := DefaultTenantsQoS()
+	cfg.OpsPerTenant = 200
+	cfg.PagesPerTenant = 2048
+	points, err := TenantsQoS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != cfg.Tenants {
+		t.Fatalf("points = %d", len(points))
+	}
+	iso := func(p TenantPoint) float64 {
+		if p.SoloP99 <= 0 {
+			t.Fatalf("tenant %d missing solo baseline", p.Tenant)
+		}
+		return p.Lat.Percentile(99).Seconds() / p.SoloP99.Seconds()
+	}
+	// The high-class tenant pushes 4x the load yet its isolation factor
+	// must not exceed the low-class batch tenant's.
+	if hi, lo := iso(points[0]), iso(points[3]); hi > lo {
+		t.Errorf("high-class isolation %.2fx worse than low-class %.2fx", hi, lo)
+	}
+	table := TenantsQoSTable(points)
+	if len(table.Rows) != cfg.Tenants {
+		t.Error("QoS table broken")
+	}
+	if out := table.Render(); !strings.Contains(out, "high") || !strings.Contains(out, "solo p99") {
+		t.Errorf("QoS render missing columns:\n%s", out)
+	}
+}
+
+func TestWRRSweepShape(t *testing.T) {
+	cfg := DefaultWRRSweep()
+	cfg.Ops = 180
+	cfg.PagesPerTenant = 2048
+	run := func() []WRRPoint {
+		points, err := WRRSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	points := run()
+	if len(points) != len(cfg.Classes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Sharing the batch tenant's low class must cost tail latency
+	// against every preempting class.
+	low := points[len(points)-1]
+	for _, p := range points[:len(points)-1] {
+		if low.Lat.Percentile(99) < p.Lat.Percentile(99) {
+			t.Errorf("low-class p99 %v beat %v-class p99 %v",
+				low.Lat.Percentile(99), p.Class, p.Lat.Percentile(99))
+		}
+	}
+	// Deterministic: an identical run renders the identical table.
+	if a, b := WRRSweepTable(points).Render(), WRRSweepTable(run()).Render(); a != b {
+		t.Fatalf("tables differ across identical runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{Title: "T", Headers: []string{"a", "b"}}
 	tab.Add("x", 1.5)

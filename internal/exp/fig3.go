@@ -95,10 +95,19 @@ func figure3Run(cfg Fig3Config, interval, failAt vclock.Duration) (Fig3Point, er
 
 	// The paced writer is one host actor on one queue pair (depth 1):
 	// each transaction is a Write command submitted with a doorbell ring
-	// at the writer's clock and reaped before the next is issued.
+	// at the writer's clock and reaped before the next is issued. Setup
+	// is pure control plane: namespace attach and queue-pair creation
+	// are admin commands over queue 0.
 	host := hostif.NewHost(ctrl, hostif.HostConfig{})
-	nsid := host.AddNamespace(hostif.NewBlockNamespace(d))
-	qp := host.OpenQueuePair(1)
+	admin := host.Admin()
+	nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(d))
+	if err != nil {
+		return Fig3Point{}, err
+	}
+	qp, err := admin.CreateIOQueuePair(now, 1, hostif.ClassMedium)
+	if err != nil {
+		return Fig3Point{}, err
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	data := make([]byte, cfg.TxnPages*4096) // zero payload: content-free
@@ -123,9 +132,14 @@ func figure3Run(cfg Fig3Config, interval, failAt vclock.Duration) (Fig3Point, er
 		next = vclock.Max(comp.Done, next.Add(cfg.TxnEvery))
 	}
 
-	// Kill -9: all volatile state is lost.
+	// Read the checkpoint counter over the admin queue, then kill -9:
+	// all volatile state is lost.
+	st, err := admin.NamespaceStats(next, nsid)
+	if err != nil {
+		return Fig3Point{}, err
+	}
+	ckpts := st.(oxblock.Stats).Checkpoints
 	dev.Crash()
-	ckpts := d.Stats().Checkpoints
 	_, report, _, err := oxblock.New(ctrl, blkCfg, deadline)
 	if err != nil {
 		return Fig3Point{}, fmt.Errorf("recovery: %w", err)

@@ -33,6 +33,10 @@ type Fig5Config struct {
 	// (768 MB) to the flush size, so this should be close to the
 	// 32-chunk table capacity.
 	MemtableMB int
+	// Notify switches the host-interface client from Reap-polling to
+	// interrupt-style completion notification (timing-equivalent; the
+	// tables are identical either way).
+	Notify bool
 }
 
 // DefaultFig5 returns the scaled default configuration.
@@ -93,14 +97,23 @@ func figure5Run(cfg Fig5Config, placement lightlsm.Placement, clients int) ([]Fi
 	}
 	// The database drives the FTL through the host interface: every
 	// SSTable command (create/append/commit/read/delete) crosses a
-	// queue pair instead of calling LightLSM directly.
+	// queue pair instead of calling LightLSM directly. Attachment is
+	// all admin-queue commands; cfg.Notify swaps Reap-polling for
+	// interrupt-style completion delivery.
 	host := hostif.NewHost(ctrl, hostif.HostConfig{})
+	cli, err := hostif.AttachLSM(host, env)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Notify {
+		cli.EnableNotify()
+	}
 	memtable := int64(cfg.MemtableMB)
 	if memtable <= 0 {
 		memtable = 32
 	}
 	db, err := lsm.Open(lsm.Options{
-		Env:           hostif.AttachLSM(host, env),
+		Env:           cli,
 		MemtableBytes: memtable << 20,
 		// Flush pipelining grows with client pressure: a deeper write-
 		// buffer queue over four background flushes lets vertical

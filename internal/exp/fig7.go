@@ -83,10 +83,16 @@ func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
 	// resumes the thread whose command completes first (ReapAny) — the
 	// queue-pair incarnation of the old smallest-clock DES loop.
 	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
-	nsid := host.AddNamespace(hostif.NewEleosNamespace(store))
+	admin := host.Admin()
+	nsid, err := admin.AttachNamespace(0, hostif.NewEleosNamespace(store))
+	if err != nil {
+		return Fig7Point{}, err
+	}
 	qps := make([]*hostif.QueuePair, threads)
 	for i := range qps {
-		qps[i] = host.OpenQueuePair(1)
+		if qps[i], err = admin.CreateIOQueuePair(0, 1, hostif.ClassMedium); err != nil {
+			return Fig7Point{}, err
+		}
 	}
 	buf := make([]byte, cfg.BufferBytes) // zero payload (content-free)
 	pageBytes := 32 * 1024
@@ -121,6 +127,7 @@ func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
 		}
 		issued[i]++
 	}
+	qid0 := qps[0].ID() // I/O queue IDs start after the admin queue
 	for remaining := threads * cfg.BuffersPerThread; remaining > 0; remaining-- {
 		comp, ok := host.ReapAny()
 		if !ok {
@@ -132,18 +139,24 @@ func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
 		if comp.Done > end {
 			end = comp.Done
 		}
-		if ti := comp.QueueID; issued[ti] < cfg.BuffersPerThread {
+		if ti := comp.QueueID - qid0; issued[ti] < cfg.BuffersPerThread {
 			if err := submit(ti, comp.Done); err != nil {
 				return Fig7Point{}, err
 			}
 			issued[ti]++
 		}
 	}
+	// The utilization figures are an admin log page read at the last
+	// completion instant.
+	util, err := admin.Utilization(end)
+	if err != nil {
+		return Fig7Point{}, err
+	}
 	totalBytes := int64(threads) * int64(cfg.BuffersPerThread) * int64(cfg.BufferBytes)
 	return Fig7Point{
 		Threads:     threads,
-		Utilization: ctrl.Utilization(end),
-		CoreUtil:    ctrl.CoreUtilization(end),
+		Utilization: util.MemBus,
+		CoreUtil:    util.Core,
 		MBps:        float64(totalBytes) / 1e6 / end.Seconds(),
 		Elapsed:     end.Sub(0),
 	}, nil

@@ -92,10 +92,16 @@ func gcLocalityRun(cfg GCLocalityConfig, channels int) (GCLocalityPoint, error) 
 	// stream is consumed in deterministic completion order.
 	data := make([]byte, cfg.TxnPages*4096)
 	host := hostif.NewHost(ctrl, hostif.HostConfig{})
-	nsid := host.AddNamespace(hostif.NewBlockNamespace(d))
+	admin := host.Admin()
+	nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(d))
+	if err != nil {
+		return GCLocalityPoint{}, err
+	}
 	qps := make([]*hostif.QueuePair, cfg.Writers)
 	for i := range qps {
-		qps[i] = host.OpenQueuePair(1)
+		if qps[i], err = admin.CreateIOQueuePair(now, 1, hostif.ClassMedium); err != nil {
+			return GCLocalityPoint{}, err
+		}
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -112,6 +118,8 @@ func gcLocalityRun(cfg GCLocalityConfig, channels int) (GCLocalityPoint, error) 
 		}
 		issued[w]++
 	}
+	qid0 := qps[0].ID() // I/O queue IDs start after the admin queue
+	var last vclock.Time
 	for remaining := cfg.Writers * cfg.TxnsPerWriter; remaining > 0; remaining-- {
 		comp, ok := host.ReapAny()
 		if !ok {
@@ -120,14 +128,18 @@ func gcLocalityRun(cfg GCLocalityConfig, channels int) (GCLocalityPoint, error) 
 		if comp.Err != nil {
 			return GCLocalityPoint{}, comp.Err
 		}
-		if w := comp.QueueID; issued[w] < cfg.TxnsPerWriter {
+		last = comp.Done
+		if w := comp.QueueID - qid0; issued[w] < cfg.TxnsPerWriter {
 			if err := submit(w, comp.Done); err != nil {
 				return GCLocalityPoint{}, err
 			}
 			issued[w]++
 		}
 	}
-	gs := d.GCStats()
+	gs, err := admin.GCStats(last, nsid)
+	if err != nil {
+		return GCLocalityPoint{}, err
+	}
 	return GCLocalityPoint{
 		Channels:    channels,
 		Collections: gs.Collections,

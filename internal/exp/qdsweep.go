@@ -117,8 +117,15 @@ func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
 		return QDPoint{}, err
 	}
 	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
-	nsid := host.AddNamespace(hostif.NewBlockNamespace(d))
-	qp := host.OpenQueuePair(depth)
+	admin := host.Admin()
+	nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(d))
+	if err != nil {
+		return QDPoint{}, err
+	}
+	qp, err := admin.CreateIOQueuePair(now, depth, hostif.ClassMedium)
+	if err != nil {
+		return QDPoint{}, err
+	}
 
 	// Prefill the namespace sequentially (depth 1) so reads hit media.
 	data := make([]byte, cfg.TxnPages*4096)

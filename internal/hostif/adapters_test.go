@@ -15,6 +15,26 @@ import (
 	"repro/internal/zns"
 )
 
+// attachNS attaches ns through the admin queue — the only way in.
+func attachNS(t testing.TB, h *Host, ns Namespace) int {
+	t.Helper()
+	nsid, err := h.Admin().AttachNamespace(0, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nsid
+}
+
+// openQP creates a medium-class I/O queue pair through the admin queue.
+func openQP(t testing.TB, h *Host, depth int) *QueuePair {
+	t.Helper()
+	qp, err := h.Admin().CreateIOQueuePair(0, depth, ClassMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qp
+}
+
 // testController builds a small simulated device + controller.
 func testController(t testing.TB) *ox.Controller {
 	t.Helper()
@@ -87,8 +107,8 @@ func TestBlockNamespaceMatchesDirect(t *testing.T) {
 			return times, reads
 		}
 		host := NewHost(ctrl, HostConfig{})
-		nsid := host.AddNamespace(NewBlockNamespace(d))
-		qp := host.OpenQueuePair(1)
+		nsid := attachNS(t, host, NewBlockNamespace(d))
+		qp := openQP(t, host, 1)
 		do := func(cmd *Command, at vclock.Time) Completion {
 			t.Helper()
 			if err := qp.Push(at, cmd); err != nil {
@@ -142,9 +162,9 @@ func TestBlockPartitionIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := host.AddNamespace(nsA)
-	b := host.AddNamespace(nsB)
-	qp := host.OpenQueuePair(1)
+	a := attachNS(t, host, nsA)
+	b := attachNS(t, host, nsB)
+	qp := openQP(t, host, 1)
 
 	data := make([]byte, 4096)
 	for i := range data {
@@ -188,8 +208,8 @@ func TestZoneNamespaceOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	host := NewHost(ctrl, HostConfig{})
-	nsid := host.AddNamespace(NewZoneNamespace(tgt))
-	qp := host.OpenQueuePair(2)
+	nsid := attachNS(t, host, NewZoneNamespace(tgt))
+	qp := openQP(t, host, 2)
 
 	block := make([]byte, tgt.BlockSize())
 	for i := range block {
@@ -243,8 +263,8 @@ func TestEleosNamespaceOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	host := NewHost(ctrl, HostConfig{})
-	nsid := host.AddNamespace(NewEleosNamespace(store))
-	qp := host.OpenQueuePair(1)
+	nsid := attachNS(t, host, NewEleosNamespace(store))
+	qp := openQP(t, host, 1)
 
 	buf := make([]byte, 64*1024)
 	for i := range buf {
@@ -326,7 +346,10 @@ func TestEnvClientMatchesDirect(t *testing.T) {
 			return steps
 		}
 		host := NewHost(ctrl, HostConfig{})
-		cli := AttachLSM(host, env)
+		cli, err := AttachLSM(host, env)
+		if err != nil {
+			t.Fatal(err)
+		}
 		w, err := cli.CreateTable(0)
 		if err != nil {
 			t.Fatal(err)
@@ -373,8 +396,8 @@ func TestHostLinkCharging(t *testing.T) {
 		t.Fatal(err)
 	}
 	host := NewHost(ctrl, HostConfig{ChargeHostLink: true})
-	nsid := host.AddNamespace(NewBlockNamespace(d))
-	qp := host.OpenQueuePair(1)
+	nsid := attachNS(t, host, NewBlockNamespace(d))
+	qp := openQP(t, host, 1)
 	before := ctrl.Stats()
 	data := make([]byte, 4*4096)
 	if err := qp.Push(now, &Command{Op: OpWrite, NSID: nsid, LPN: 0, Data: data}); err != nil {

@@ -14,7 +14,7 @@ import (
 // every AcquireCommand, because the reap recycled it.
 func TestArenaRecyclesSlotAfterReap(t *testing.T) {
 	h, _ := testHost(t, vclock.Microsecond)
-	qp := h.OpenQueuePair(1)
+	qp := openQP(t, h, 1)
 
 	first := qp.AcquireCommand()
 	ptr := first
@@ -41,7 +41,7 @@ func TestArenaRecyclesSlotAfterReap(t *testing.T) {
 // and zeroes fields before the next acquisition.
 func TestArenaReapClearsCommand(t *testing.T) {
 	h, _ := testHost(t, vclock.Microsecond)
-	qp := h.OpenQueuePair(1)
+	qp := openQP(t, h, 1)
 	cmd := qp.AcquireCommand()
 	cmd.Op, cmd.Data = OpWrite, make([]byte, 64)
 	if err := qp.Push(0, cmd); err != nil {
@@ -61,7 +61,7 @@ func TestArenaReapClearsCommand(t *testing.T) {
 // completion has not been reaped is driver misuse and must be caught.
 func TestArenaReuseBeforeReapDetected(t *testing.T) {
 	h, _ := testHost(t, vclock.Microsecond)
-	qp := h.OpenQueuePair(4)
+	qp := openQP(t, h, 4)
 
 	cmd := qp.AcquireCommand()
 	cmd.Op = OpWrite
@@ -101,7 +101,7 @@ func TestArenaReuseBeforeReapDetected(t *testing.T) {
 // and old drivers do this).
 func TestDriverOwnedCommandsBypassArena(t *testing.T) {
 	h, _ := testHost(t, vclock.Microsecond)
-	qp := h.OpenQueuePair(1)
+	qp := openQP(t, h, 1)
 	cmd := &Command{Op: OpWrite}
 	for i := 0; i < 3; i++ {
 		if err := qp.Push(vclock.Time(i), cmd); err != nil {
@@ -121,7 +121,7 @@ func TestShardedHostConcurrentStress(t *testing.T) {
 	const opsPerQueue = 200
 	qps := make([]*QueuePair, queues)
 	for i := range qps {
-		qps[i] = h.OpenQueuePair(4)
+		qps[i] = openQP(t, h, 4)
 	}
 
 	var wg sync.WaitGroup

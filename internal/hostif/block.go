@@ -35,12 +35,23 @@ func NewBlockPartition(dev *oxblock.Device, base, pages int64) (*BlockNamespace,
 // Name implements Namespace.
 func (n *BlockNamespace) Name() string { return "oxblock" }
 
-// Capacity reports the namespace size in 4 KB pages.
-func (n *BlockNamespace) Capacity() int64 { return n.pages }
+// identity serves AdminIdentify: a 4 KB block namespace of n.pages
+// logical pages.
+func (n *BlockNamespace) identity() NamespaceIdentity {
+	return NamespaceIdentity{Name: n.Name(), Capacity: n.pages, BlockSize: 4096}
+}
 
-// Device exposes the underlying FTL (admin/diagnostics path only; data
-// I/O goes through queue pairs).
-func (n *BlockNamespace) Device() *oxblock.Device { return n.dev }
+// logPage serves AdminGetLogPage: FTL counters and GC statistics.
+func (n *BlockNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
+	switch cmd.Admin.Log {
+	case LogNamespaceStats:
+		return n.dev.Stats(), nil
+	case LogGCStats:
+		return n.dev.GCStats(), nil
+	default:
+		return nil, fmt.Errorf("%w: %v on %s", ErrBadLogPage, cmd.Admin.Log, n.Name())
+	}
+}
 
 func (n *BlockNamespace) checkRange(lpn int64, pages int) error {
 	if lpn < 0 || pages <= 0 || lpn+int64(pages) > n.pages {

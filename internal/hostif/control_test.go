@@ -1,0 +1,461 @@
+package hostif
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// openClassQP creates an I/O queue pair of the given class.
+func openClassQP(t testing.TB, h *Host, depth int, class Class) *QueuePair {
+	t.Helper()
+	qp, err := h.Admin().CreateIOQueuePair(0, depth, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qp
+}
+
+// TestWRRCreditSchedule pins the weighted-round-robin service pattern:
+// with every class continuously backlogged at the same doorbell
+// instant, the arbiter must serve exactly weight-sized bursts in class
+// order — H H H M M L, refill, H H H M M L — nothing else.
+func TestWRRCreditSchedule(t *testing.T) {
+	ctrl := testController(t)
+	ns := newFakeNS(10 * vclock.Microsecond)
+	h := NewHost(ctrl, HostConfig{Weights: Weights{High: 3, Medium: 2, Low: 1}})
+	if _, err := h.Admin().AttachNamespace(0, ns); err != nil {
+		t.Fatal(err)
+	}
+	// Tag commands by class through LPN: 1xx high, 2xx medium, 3xx low.
+	qh := openClassQP(t, h, 8, ClassHigh)
+	qm := openClassQP(t, h, 8, ClassMedium)
+	ql := openClassQP(t, h, 8, ClassLow)
+	for i := int64(0); i < 6; i++ {
+		if _, err := qh.Submit(&Command{Op: OpWrite, LPN: 100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 4; i++ {
+		if _, err := qm.Submit(&Command{Op: OpWrite, LPN: 200 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 2; i++ {
+		if _, err := ql.Submit(&Command{Op: OpWrite, LPN: 300 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qh.Ring(0)
+	qm.Ring(0)
+	ql.Ring(0)
+	h.Drain()
+	want := []int64{100, 101, 102, 200, 201, 300, 103, 104, 105, 202, 203, 301}
+	got := ns.executed()
+	if len(got) != len(want) {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("credit schedule diverged at %d: executed %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestWRRUrgentStrictPriority: an urgent queue is served before every
+// weighted class even when its doorbell rings later.
+func TestWRRUrgentStrictPriority(t *testing.T) {
+	ctrl := testController(t)
+	ns := newFakeNS(10 * vclock.Microsecond)
+	h := NewHost(ctrl, HostConfig{})
+	if _, err := h.Admin().AttachNamespace(0, ns); err != nil {
+		t.Fatal(err)
+	}
+	qm := openClassQP(t, h, 4, ClassMedium)
+	qu := openClassQP(t, h, 4, ClassUrgent)
+	for i := int64(0); i < 3; i++ {
+		if _, err := qm.Submit(&Command{Op: OpWrite, LPN: 200 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qm.Ring(0)
+	for i := int64(0); i < 3; i++ {
+		if _, err := qu.Submit(&Command{Op: OpWrite, LPN: 100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qu.Ring(vclock.Time(5 * vclock.Microsecond)) // later doorbell, still first
+	h.Drain()
+	want := []int64{100, 101, 102, 200, 201, 202}
+	got := ns.executed()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("urgent not strict: executed %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWRRDeterminism runs one mixed-class staggered workload twice and
+// requires bit-identical completion sequences — the credit schedule is
+// part of the determinism contract.
+func TestWRRDeterminism(t *testing.T) {
+	run := func() []Completion {
+		ctrl := testController(t)
+		ns := newFakeNS(7 * vclock.Microsecond)
+		h := NewHost(ctrl, HostConfig{})
+		if _, err := h.Admin().AttachNamespace(0, ns); err != nil {
+			t.Fatal(err)
+		}
+		classes := []Class{ClassUrgent, ClassHigh, ClassMedium, ClassMedium, ClassLow}
+		qps := make([]*QueuePair, len(classes))
+		for i, cl := range classes {
+			qps[i] = openClassQP(t, h, 6, cl)
+		}
+		for i, qp := range qps {
+			for j := 0; j < 6; j++ {
+				at := vclock.Time(i*3+j*11) * vclock.Time(vclock.Microsecond)
+				if err := qp.Push(at, &Command{Op: OpWrite, LPN: int64(i*100 + j)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var out []Completion
+		for {
+			c, ok := h.ReapAny()
+			if !ok {
+				break
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != 30 || len(b) != 30 {
+		t.Fatalf("completions %d/%d, want 30", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].QueueID != b[i].QueueID || a[i].Slot != b[i].Slot || a[i].Done != b[i].Done {
+			t.Fatalf("run divergence at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAdminStrictOverIO proves the admin queue outranks I/O at the same
+// doorbell instant: a delete aimed at a queue whose command is visible
+// at the identical timestamp must run first and find the queue busy.
+func TestAdminStrictOverIO(t *testing.T) {
+	h, _ := testHost(t, 10*vclock.Microsecond)
+	qp := openQP(t, h, 2)
+	if _, err := qp.Submit(&Command{Op: OpWrite, LPN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	qp.Ring(0)
+	// Raw admin submission at the same instant 0.
+	admin := h.Admin().Queue()
+	del := admin.AcquireCommand()
+	del.Op, del.Admin = OpAdminDeleteIOQP, AdminParams{QID: qp.ID()}
+	if err := admin.Push(0, del); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+	if c := admin.MustReap(); !errors.Is(c.Err, ErrQueueBusy) {
+		t.Fatalf("delete of busy queue: %v, want ErrQueueBusy (admin must run before the I/O command)", c.Err)
+	}
+	if c := qp.MustReap(); c.Err != nil {
+		t.Fatal(c.Err)
+	}
+}
+
+// TestAdminIOInterleaving drives the control plane mid-workload: a
+// queue pair created while I/O is in flight joins arbitration, and a
+// drained queue pair can be deleted and refuses further submissions.
+func TestAdminIOInterleaving(t *testing.T) {
+	h, ns := testHost(t, 10*vclock.Microsecond)
+	admin := h.Admin()
+	q1 := openQP(t, h, 4)
+	for i := int64(0); i < 2; i++ {
+		if _, err := q1.Submit(&Command{Op: OpWrite, LPN: 100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q1.Ring(0)
+	// Create a second queue over the admin queue while q1's commands
+	// are visible; its identity is live immediately.
+	q2, err := admin.CreateIOQueuePair(0, 2, ClassMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Push(0, &Command{Op: OpWrite, LPN: 200}); err != nil {
+		t.Fatal(err)
+	}
+	for reaped := 0; reaped < 3; reaped++ {
+		if _, ok := h.ReapAny(); !ok {
+			t.Fatal("completion queue ran dry")
+		}
+	}
+	if got := ns.executed(); len(got) != 3 {
+		t.Fatalf("executed %v, want 3 commands", got)
+	}
+	// Admin identify reports the live queue count.
+	id, err := admin.Identify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.IOQueuePairs != 2 || id.Namespaces != 1 {
+		t.Fatalf("identify: %d queues / %d namespaces, want 2 / 1", id.IOQueuePairs, id.Namespaces)
+	}
+	// Delete the idle q2; its notification registration dies with it,
+	// submissions then bounce, q1 is unaffected.
+	q2.SetNotify(1, func(Notification) {})
+	if err := admin.DeleteIOQueuePair(0, q2); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.notifiers.Load(); n != 0 {
+		t.Fatalf("deleted queue leaked %d notifier registrations", n)
+	}
+	if _, err := q2.Submit(&Command{Op: OpWrite}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit to deleted queue: %v, want ErrQueueClosed", err)
+	}
+	if err := admin.DeleteIOQueuePair(0, q2); !errors.Is(err, ErrBadQueueID) {
+		t.Fatalf("double delete: %v, want ErrBadQueueID", err)
+	}
+	if err := q1.Push(0, &Command{Op: OpWrite, LPN: 102}); err != nil {
+		t.Fatal(err)
+	}
+	if c := q1.MustReap(); c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	id, err = admin.Identify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.IOQueuePairs != 1 {
+		t.Fatalf("identify after delete: %d queues, want 1", id.IOQueuePairs)
+	}
+}
+
+// TestReapAnySkipsAdminQueue: admin completions belong to the admin
+// driver; a data-plane ReapAny loop running next to control-plane
+// calls must never steal them.
+func TestReapAnySkipsAdminQueue(t *testing.T) {
+	h, _ := testHost(t, vclock.Microsecond)
+	admin := h.Admin().Queue()
+	cmd := admin.AcquireCommand()
+	cmd.Op = OpAdminIdentify
+	if err := admin.Push(0, cmd); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := h.ReapAny(); ok {
+		t.Fatalf("ReapAny returned an admin completion: %+v", c)
+	}
+	if c := admin.MustReap(); c.Err != nil || c.Admin == nil {
+		t.Fatalf("admin completion lost to ReapAny: %+v", c)
+	}
+}
+
+// TestCommandPlaneSeparation: admin opcodes are rejected on I/O queues
+// and data opcodes on the admin queue, at submission time.
+func TestCommandPlaneSeparation(t *testing.T) {
+	h, _ := testHost(t, vclock.Microsecond)
+	qp := openQP(t, h, 1)
+	if _, err := qp.Submit(&Command{Op: OpAdminIdentify}); !errors.Is(err, ErrAdminOnly) {
+		t.Fatalf("admin op on I/O queue: %v, want ErrAdminOnly", err)
+	}
+	if _, err := h.Admin().Queue().Submit(&Command{Op: OpWrite}); !errors.Is(err, ErrIOOnAdmin) {
+		t.Fatalf("I/O op on admin queue: %v, want ErrIOOnAdmin", err)
+	}
+}
+
+// notifyRun drives an identical submission history — staggered
+// doorbell bursts on four mixed-class queues — and consumes the
+// completions either by polling ReapAny or by per-queue notification
+// callbacks. The submission history is fixed up front, so the two
+// modes must produce identical virtual timing.
+func notifyRun(t *testing.T, viaNotify bool, threshold int) []Completion {
+	t.Helper()
+	h, _ := testHost(t, 9*vclock.Microsecond)
+	const queues, perQueue, burst = 4, 12, 3
+	classes := []Class{ClassHigh, ClassMedium, ClassMedium, ClassLow}
+	qps := make([]*QueuePair, queues)
+	for i := range qps {
+		qps[i] = openClassQP(t, h, perQueue, classes[i])
+	}
+	var mu sync.Mutex
+	var got []Completion
+	if viaNotify {
+		for i := range qps {
+			q := i
+			qps[q].SetNotify(threshold, func(n Notification) {
+				for {
+					c, ok := qps[q].Reap()
+					if !ok {
+						return
+					}
+					mu.Lock()
+					got = append(got, c)
+					mu.Unlock()
+				}
+			})
+		}
+	}
+	// Predetermined doorbells: each queue rings bursts at staggered
+	// instants, executions interleaving with later submissions.
+	for b := 0; b < perQueue/burst; b++ {
+		for q, qp := range qps {
+			for i := 0; i < burst; i++ {
+				cmd := qp.AcquireCommand()
+				cmd.Op, cmd.LPN = OpWrite, int64(q*100+b*burst+i)
+				if _, err := qp.Submit(cmd); err != nil {
+					t.Fatal(err)
+				}
+			}
+			qp.Ring(vclock.Time(b*40+q*5) * vclock.Time(vclock.Microsecond))
+		}
+		if viaNotify {
+			h.Drain()
+		} else {
+			for i := 0; i < queues*burst; i++ {
+				c, ok := h.ReapAny()
+				if !ok {
+					t.Fatal("completion queue ran dry")
+				}
+				got = append(got, c)
+			}
+		}
+	}
+	if viaNotify && len(got) != queues*perQueue {
+		t.Fatalf("notified %d completions, want %d", len(got), queues*perQueue)
+	}
+	return got
+}
+
+// TestNotifyMatchesPollTiming is the timing-equality proof: the same
+// submission history reaped by polling and by interrupt-style
+// notification (at several coalescing thresholds) completes every
+// command at the identical virtual instant.
+func TestNotifyMatchesPollTiming(t *testing.T) {
+	poll := notifyRun(t, false, 0)
+	for _, threshold := range []int{1, 3} {
+		notified := notifyRun(t, true, threshold)
+		if len(poll) != len(notified) {
+			t.Fatalf("threshold %d: %d vs %d completions", threshold, len(poll), len(notified))
+		}
+		// Per-command timing must match exactly; notification order may
+		// batch differently, so compare per (queue, slot).
+		key := func(c Completion) [2]uint64 { return [2]uint64{uint64(c.QueueID), c.Slot} }
+		done := make(map[[2]uint64]vclock.Time, len(poll))
+		for _, c := range poll {
+			done[key(c)] = c.Done
+		}
+		for _, c := range notified {
+			want, ok := done[key(c)]
+			if !ok {
+				t.Fatalf("threshold %d: unexpected completion %+v", threshold, c)
+			}
+			if c.Done != want {
+				t.Fatalf("threshold %d: queue %d slot %d done %v, poll-mode %v",
+					threshold, c.QueueID, c.Slot, c.Done, want)
+			}
+		}
+	}
+}
+
+// TestNotifyCoalescing pins the coalescing contract: with threshold 3
+// and 8 completions in one drain, the host fires 3+3 and flushes the
+// final 2 at drain end.
+func TestNotifyCoalescing(t *testing.T) {
+	h, _ := testHost(t, 5*vclock.Microsecond)
+	qp := openQP(t, h, 8)
+	var batches []int
+	var last vclock.Time
+	qp.SetNotify(3, func(n Notification) {
+		batches = append(batches, n.Coalesced)
+		last = n.At
+	})
+	for i := int64(0); i < 8; i++ {
+		if _, err := qp.Submit(&Command{Op: OpWrite, LPN: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qp.Ring(0)
+	h.Drain()
+	if len(batches) != 3 || batches[0] != 3 || batches[1] != 3 || batches[2] != 2 {
+		t.Fatalf("coalesced batches %v, want [3 3 2]", batches)
+	}
+	if want := vclock.Time(8 * 5 * vclock.Microsecond); last != want {
+		t.Fatalf("final notification at %v, want %v", last, want)
+	}
+	for i := 0; i < 8; i++ {
+		qp.MustReap()
+	}
+}
+
+// TestNotifyStressRace hammers 8 notified queue pairs from concurrent
+// submitters (run under -race in CI): callbacks reap on whichever
+// goroutine drove the drain while workers submit and ring.
+func TestNotifyStressRace(t *testing.T) {
+	h, _ := testHost(t, vclock.Microsecond)
+	const queues = 8
+	const opsPerQueue = 200
+	const depth = 4
+	qps := make([]*QueuePair, queues)
+	var reaped [queues]atomic.Int64
+	for i := range qps {
+		qps[i] = openQP(t, h, depth)
+		q := i
+		qps[q].SetNotify(2, func(n Notification) {
+			for {
+				if _, ok := qps[q].Reap(); !ok {
+					return
+				}
+				reaped[q].Add(1)
+			}
+		})
+	}
+	var wg sync.WaitGroup
+	for i := range qps {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			qp := qps[q]
+			var pending *Command
+			for issued := 0; issued < opsPerQueue; {
+				if pending == nil {
+					pending = qp.AcquireCommand()
+					pending.Op, pending.LPN = OpWrite, int64(q*1000+issued)
+				}
+				if _, err := qp.Submit(pending); err != nil {
+					if errors.Is(err, ErrQueueFull) {
+						qp.Ring(vclock.Time(issued) * vclock.Time(vclock.Microsecond))
+						h.Drain()
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				pending = nil
+				issued++
+				if issued%depth == 0 {
+					qp.Ring(vclock.Time(issued) * vclock.Time(vclock.Microsecond))
+					h.Drain()
+				}
+			}
+			qp.Ring(vclock.Time(opsPerQueue) * vclock.Time(vclock.Microsecond))
+			for reaped[q].Load() < opsPerQueue {
+				h.Drain()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for q := range reaped {
+		if n := reaped[q].Load(); n != opsPerQueue {
+			t.Fatalf("queue %d reaped %d, want %d", q, n, opsPerQueue)
+		}
+	}
+	if got := h.Executed(); got != queues*opsPerQueue {
+		t.Fatalf("executed %d commands, want %d", got, queues*opsPerQueue)
+	}
+}

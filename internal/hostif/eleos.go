@@ -28,8 +28,20 @@ func NewEleosNamespace(store *oxeleos.Store) *EleosNamespace {
 // Name implements Namespace.
 func (n *EleosNamespace) Name() string { return "oxeleos" }
 
-// Store exposes the underlying FTL (admin/diagnostics path only).
-func (n *EleosNamespace) Store() *oxeleos.Store { return n.store }
+// identity serves AdminIdentify: the LSS I/O buffer geometry.
+func (n *EleosNamespace) identity() NamespaceIdentity {
+	return NamespaceIdentity{Name: n.Name(), BufferBytes: n.store.BufferBytes()}
+}
+
+// logPage serves AdminGetLogPage: the store's counters.
+func (n *EleosNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
+	switch cmd.Admin.Log {
+	case LogNamespaceStats:
+		return n.store.Stats(), nil
+	default:
+		return nil, fmt.Errorf("%w: %v on %s", ErrBadLogPage, cmd.Admin.Log, n.Name())
+	}
+}
 
 // Execute implements Namespace.
 func (n *EleosNamespace) Execute(now vclock.Time, cmd *Command) Result {

@@ -1,6 +1,8 @@
 package hostif
 
 import (
+	"fmt"
+
 	"repro/internal/lightlsm"
 	"repro/internal/lsm"
 	"repro/internal/vclock"
@@ -10,8 +12,10 @@ import (
 // a queue pair — the mini-RocksDB then drives the LightLSM FTL the way
 // RocksDB drives an NVMe device: every SSTable flush block, block read
 // and table delete is a typed command through the submission queue.
-// Calls are synchronous (submit, ring, reap), so the adapter adds no
-// virtual time of its own and preserves the FTL's exact accounting.
+// Calls are synchronous, so the adapter adds no virtual time of its
+// own and preserves the FTL's exact accounting. Completions are
+// consumed by polling Reap, or — after EnableNotify — by interrupt-
+// style notification, with identical virtual timing.
 //
 // EnvClient is driven by one actor at a time, matching the LSM's
 // single-dispatch design (§4.3).
@@ -20,29 +24,62 @@ type EnvClient struct {
 	nsid      int
 	blockSize int
 	maxBlocks int
+
+	// Notification mode (EnableNotify): the registered callback reaps
+	// into comp/gotComp instead of do() polling MustReap.
+	notify  bool
+	comp    Completion
+	gotComp bool
 }
 
 // Statically assert EnvClient implements lsm.Env.
 var _ lsm.Env = (*EnvClient)(nil)
 
-// NewEnvClient builds a client for ns (already attached to qp's host
-// under nsid). Block geometry is read once over the admin path.
-func NewEnvClient(qp *QueuePair, nsid int, ns *LSMNamespace) *EnvClient {
+// NewEnvClient builds a client over qp for the namespace attached
+// under nsid, with the block geometry from its admin identity.
+func NewEnvClient(qp *QueuePair, nsid int, id NamespaceIdentity) *EnvClient {
 	return &EnvClient{
 		qp:        qp,
 		nsid:      nsid,
-		blockSize: ns.BlockSize(),
-		maxBlocks: ns.MaxTableBlocks(),
+		blockSize: id.BlockSize,
+		maxBlocks: id.MaxTableBlocks,
 	}
 }
 
-// AttachLSM wraps env as a namespace on h, opens a queue pair and
-// returns the lsm.Env client — the one-call setup for running the
-// mini-RocksDB over queue pairs.
-func AttachLSM(h *Host, env *lightlsm.Env) *EnvClient {
-	ns := NewLSMNamespace(env)
-	nsid := h.AddNamespace(ns)
-	return NewEnvClient(h.OpenQueuePair(1), nsid, ns)
+// AttachLSM wires env into h over the admin queue — namespace attach,
+// I/O queue-pair creation (depth 1, medium class) and the identify
+// that reads the block geometry are all admin commands — and returns
+// the lsm.Env client: the one-call setup for running the mini-RocksDB
+// over queue pairs.
+func AttachLSM(h *Host, env *lightlsm.Env) (*EnvClient, error) {
+	admin := h.Admin()
+	nsid, err := admin.AttachNamespace(0, NewLSMNamespace(env))
+	if err != nil {
+		return nil, fmt.Errorf("hostif: attaching lightlsm namespace: %w", err)
+	}
+	qp, err := admin.CreateIOQueuePair(0, 1, ClassMedium)
+	if err != nil {
+		return nil, fmt.Errorf("hostif: creating lightlsm queue pair: %w", err)
+	}
+	id, err := admin.IdentifyNamespace(0, nsid)
+	if err != nil {
+		return nil, fmt.Errorf("hostif: identifying lightlsm namespace: %w", err)
+	}
+	return NewEnvClient(qp, nsid, id), nil
+}
+
+// EnableNotify switches the client from polling to interrupt-style
+// completion: each command is submitted, the host drains, and the
+// completion arrives through the queue pair's notification callback
+// (coalescing threshold 1 — the client is synchronous, one command in
+// flight). Virtual timing is identical to polling.
+func (c *EnvClient) EnableNotify() {
+	c.notify = true
+	c.qp.SetNotify(1, func(n Notification) {
+		if comp, ok := c.qp.Reap(); ok {
+			c.comp, c.gotComp = comp, true
+		}
+	})
 }
 
 // do issues one command synchronously. The command storage comes from
@@ -55,9 +92,20 @@ func (c *EnvClient) do(now vclock.Time, cmd Command) (Completion, error) {
 	if err := c.qp.Push(now, ac); err != nil {
 		return Completion{}, err
 	}
+	if c.notify {
+		c.gotComp = false
+		c.qp.host.Drain()
+		if !c.gotComp {
+			panic("hostif: EnvClient notification did not deliver a completion")
+		}
+		return c.comp, c.comp.Err
+	}
 	comp := c.qp.MustReap()
 	return comp, comp.Err
 }
+
+// NSID reports the namespace the client is bound to (admin log pages).
+func (c *EnvClient) NSID() int { return c.nsid }
 
 // BlockSize implements lsm.Env.
 func (c *EnvClient) BlockSize() int { return c.blockSize }

@@ -11,10 +11,19 @@ import (
 // HostConfig tunes the host interface.
 type HostConfig struct {
 	// ChargeHostLink charges the controller host link (PCIe/40GE) for
-	// each command's payload before dispatch and for returned read data
-	// after completion — the host hop of a user I/O. Drivers that model
-	// the host link themselves leave it off.
+	// each data command's payload before dispatch and for returned read
+	// data after completion — the host hop of a user I/O. Drivers that
+	// model the host link themselves leave it off. Admin commands are
+	// host-memory operations and are never charged.
 	ChargeHostLink bool
+
+	// Weights are the WRR arbitration credit bursts; zero fields take
+	// DefaultWeights (8/4/2).
+	Weights Weights
+
+	// AdminDepth sizes the admin queue pair (queue 0); minimum and
+	// default 16.
+	AdminDepth int
 
 	// globalLock reintroduces the pre-sharding behavior for benchmark
 	// comparison only: every Submit/Ring additionally serializes on the
@@ -26,38 +35,61 @@ type HostConfig struct {
 // and queue pairs, and executes visible commands in deterministic
 // arbitration order. One Host fronts one ox.Controller.
 //
+// The host carries both planes of the NVMe-style surface. Queue 0 is
+// the admin queue pair, created with the host; every management
+// operation — namespace attach, I/O queue-pair create/delete, identify,
+// log pages — is a typed admin command issued through Admin(). I/O
+// queue pairs come from AdminCreateIOQP with a depth and a WRR Class.
+//
 // Locking discipline: queue-pair state (slot accounting, staging,
-// completion reaping, the command arena) lives behind each QueuePair's
-// own mutex, so concurrent submitters on different queue pairs never
-// contend. The only host-wide lock is execMu, which serializes the
-// arbitration-and-execution step — picking the earliest-doorbell head
-// across queues (a scan over per-queue atomic doorbell timestamps) and
-// running it through the namespace adapter. Namespace and queue-pair
+// completion reaping, the command arena, notification coalescing)
+// lives behind each QueuePair's own mutex, so concurrent submitters on
+// different queue pairs never contend. The only host-wide lock is
+// execMu, which serializes the arbitration-and-execution step —
+// picking the next head by admin > urgent > WRR credits (a scan over
+// per-queue atomic doorbell timestamps) and running it through the
+// namespace adapter or the admin executor. Namespace and queue-pair
 // registration use copy-on-write snapshots read lock-free on the
-// submission path. execMu may acquire a QueuePair mutex, never the
-// reverse.
+// submission path. Lock order: execMu → setupMu → QueuePair.mu, never
+// the reverse. Notification callbacks run with no host lock held.
 type Host struct {
 	ctrl *ox.Controller
 	cfg  HostConfig
 
-	setupMu sync.Mutex // serializes AddNamespace / OpenQueuePair
+	setupMu sync.Mutex // serializes snapshot writers (attach/open/delete)
 	ns      atomic.Pointer[[]Namespace]
 	qps     atomic.Pointer[[]*QueuePair]
+	nextQID int // monotonic: queue IDs are never reused
 
-	execMu   sync.Mutex // arbitration + execution + completion consumption
-	executed atomic.Int64
+	adminQP *QueuePair
+	weights Weights
+	credits [3]int // high/medium/low WRR credits (execMu)
+
+	execMu    sync.Mutex // arbitration + execution + completion consumption
+	executed  atomic.Int64
+	notes     []Notification  // pending notifications (execMu)
+	noteBox   *[]Notification // pool box the current notes buffer rides in
+	notifiers atomic.Int32    // queue pairs with a notify handler
 }
 
-// NewHost builds a host interface over the controller.
+// NewHost builds a host interface over the controller. The admin queue
+// pair (queue 0) is created with the host; everything else is attached
+// through admin commands.
 func NewHost(ctrl *ox.Controller, cfg HostConfig) *Host {
 	if ctrl == nil {
 		panic("hostif: nil controller")
 	}
-	return &Host{ctrl: ctrl, cfg: cfg}
+	if cfg.AdminDepth < 16 {
+		cfg.AdminDepth = 16
+	}
+	h := &Host{ctrl: ctrl, cfg: cfg, weights: cfg.Weights.withDefaults()}
+	h.credits = [3]int{h.weights.High, h.weights.Medium, h.weights.Low}
+	h.noteBox = notePool.Get().(*[]Notification)
+	h.notes = (*h.noteBox)[:0]
+	h.adminQP = h.openQueuePair(cfg.AdminDepth, ClassMedium)
+	h.adminQP.admin = true
+	return h
 }
-
-// Controller exposes the underlying controller (admin/diagnostics).
-func (h *Host) Controller() *ox.Controller { return h.ctrl }
 
 // namespaces returns the current namespace snapshot (lock-free).
 func (h *Host) namespaces() []Namespace {
@@ -75,8 +107,9 @@ func (h *Host) queuePairs() []*QueuePair {
 	return nil
 }
 
-// AddNamespace attaches ns and returns its NSID (1-based).
-func (h *Host) AddNamespace(ns Namespace) int {
+// attachNamespace appends ns and returns its NSID (1-based). Reached
+// through OpAdminNamespaceAttach.
+func (h *Host) attachNamespace(ns Namespace) int {
 	h.setupMu.Lock()
 	defer h.setupMu.Unlock()
 	cur := h.namespaces()
@@ -87,8 +120,8 @@ func (h *Host) AddNamespace(ns Namespace) int {
 	return len(next)
 }
 
-// Namespace returns the namespace with the given NSID (0 = namespace 1).
-func (h *Host) Namespace(nsid int) (Namespace, error) {
+// namespaceOf resolves a command's NSID (0 = namespace 1).
+func (h *Host) namespaceOf(nsid int) (Namespace, error) {
 	ns := h.namespaces()
 	if err := checkNSID(ns, nsid); err != nil {
 		return nil, err
@@ -110,15 +143,17 @@ func checkNSID(ns []Namespace, nsid int) error {
 	return nil
 }
 
-// OpenQueuePair creates a queue pair with the given depth (minimum 1).
-func (h *Host) OpenQueuePair(depth int) *QueuePair {
+// openQueuePair creates a queue pair with the given depth (minimum 1)
+// and arbitration class. Reached through OpAdminCreateIOQP.
+func (h *Host) openQueuePair(depth int, class Class) *QueuePair {
 	if depth < 1 {
 		depth = 1
 	}
 	h.setupMu.Lock()
 	defer h.setupMu.Unlock()
 	cur := h.queuePairs()
-	qp := &QueuePair{host: h, id: len(cur), depth: depth}
+	qp := &QueuePair{host: h, id: h.nextQID, depth: depth, class: class}
+	h.nextQID++
 	qp.headReady.Store(noHead)
 	next := make([]*QueuePair, len(cur)+1)
 	copy(next, cur)
@@ -127,44 +162,83 @@ func (h *Host) OpenQueuePair(depth int) *QueuePair {
 	return qp
 }
 
-// Executed reports the total number of commands executed (diagnostics).
+// deleteQueuePair removes the idle I/O queue pair qid from arbitration
+// and closes it to further submission. Queue IDs are never reused, so
+// arbitration tie-breaks stay stable across deletions. Reached through
+// OpAdminDeleteIOQP; caller holds execMu.
+func (h *Host) deleteQueuePair(qid int) error {
+	h.setupMu.Lock()
+	defer h.setupMu.Unlock()
+	cur := h.queuePairs()
+	idx := -1
+	for i, qp := range cur {
+		if qp.id == qid {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || cur[idx].admin {
+		return ErrBadQueueID
+	}
+	qp := cur[idx]
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return ErrBadQueueID
+	}
+	if qp.inflightLocked() > 0 {
+		qp.mu.Unlock()
+		return ErrQueueBusy
+	}
+	qp.closed = true
+	if qp.notifyFn != nil {
+		// Drop the registration so a deleted queue never pins the
+		// host's notifier count (and with it the drain-end flush scan).
+		qp.notifyFn = nil
+		h.notifiers.Add(-1)
+	}
+	qp.mu.Unlock()
+	next := make([]*QueuePair, 0, len(cur)-1)
+	next = append(next, cur[:idx]...)
+	next = append(next, cur[idx+1:]...)
+	h.qps.Store(&next)
+	return nil
+}
+
+// Executed reports the total number of I/O commands executed
+// (diagnostics; admin commands are not counted).
 func (h *Host) Executed() int64 { return h.executed.Load() }
 
 // Drain executes every visible command across all queue pairs in
-// arbitration order, filling the completion queues.
+// arbitration order, filling the completion queues and delivering any
+// due notifications.
 func (h *Host) Drain() {
 	h.execMu.Lock()
-	defer h.execMu.Unlock()
 	h.drainLocked()
+	notes := h.takeNotes()
+	h.execMu.Unlock()
+	h.deliver(notes)
 }
 
 // noHead is the per-queue doorbell timestamp meaning "no visible
 // command" — it loses every arbitration comparison.
 const noHead = math.MaxInt64
 
-// drainLocked is the arbitration loop: while any submission queue has a
-// visible command, scan queues in ascending ID (round-robin order),
-// serve the earliest-ready head, and break exact ready-time ties on
-// (queueID, slot). Within a queue, commands execute in slot (FIFO)
-// order. The order is a pure function of the submission history, which
-// is what keeps figure tables bit-identical across runs.
+// drainLocked is the arbitration loop: while any submission queue has
+// a visible command, let the arbiter pick one (admin strictly first,
+// then urgent, then the weighted classes by credit — see arbitrate),
+// serve its head, and repeat. Within a queue, commands execute in slot
+// (FIFO) order. The order is a pure function of the submission
+// history, which is what keeps figure tables bit-identical across
+// runs. Partial notification batches are flushed when the drain runs
+// dry (the coalescing-timer analog).
 //
-// Caller holds execMu. The scan reads each queue's atomic doorbell
-// timestamp — the winner's mutex is taken only to pop its head, so
-// arbitration never blocks submitters on other queue pairs.
+// Caller holds execMu and delivers takeNotes() after releasing it.
 func (h *Host) drainLocked() {
 	for {
-		qps := h.queuePairs()
-		var best *QueuePair
-		bestReady := int64(noHead)
-		for _, qp := range qps {
-			if r := qp.headReady.Load(); r < bestReady {
-				best, bestReady = qp, r
-			}
-			// Equal ready times fall through: the earlier queue ID
-			// (scanned first) keeps the grant.
-		}
+		best := h.arbitrate()
 		if best == nil {
+			h.flushNotifies()
 			return
 		}
 		e, ok := best.takeHead()
@@ -172,16 +246,30 @@ func (h *Host) drainLocked() {
 			continue
 		}
 		best.complete(h.exec(best, e))
-		h.executed.Add(1)
+		if !e.cmd.Op.IsAdmin() {
+			h.executed.Add(1)
+		}
 	}
 }
 
 // exec runs one command: optional host-link transfer in, the namespace
 // adapter (which routes through the FTL's own controller and media
-// accounting), optional host-link transfer of returned data out.
-// Caller holds execMu; no queue-pair mutex is held.
+// accounting) or the admin executor, optional host-link transfer of
+// returned data out. Caller holds execMu; no queue-pair mutex is held.
 func (h *Host) exec(qp *QueuePair, e sqe) Completion {
 	cmd := e.cmd
+	if cmd.Op.IsAdmin() {
+		return Completion{
+			QueueID:   qp.id,
+			Slot:      e.slot,
+			Op:        cmd.Op,
+			NSID:      cmd.NSID,
+			Submitted: e.ready,
+			Done:      e.ready,
+			Result:    h.execAdmin(e.ready, cmd),
+			cmd:       cmd,
+		}
+	}
 	start := e.ready
 	if h.cfg.ChargeHostLink && len(cmd.Data) > 0 {
 		start = h.ctrl.HostTransfer(start, int64(len(cmd.Data)))
@@ -217,14 +305,17 @@ func (h *Host) exec(qp *QueuePair, e sqe) Completion {
 }
 
 // ReapAny executes every visible command, then pops the globally
-// earliest completion across all queue pairs — ordered by
+// earliest I/O completion across the I/O queue pairs — ordered by
 // (Done, queueID, slot). Closed-loop drivers use it to advance the host
-// actor whose command finishes first. It reports false when every
-// completion queue is empty.
+// actor whose command finishes first. It reports false when every I/O
+// completion queue is empty. Admin completions are never returned:
+// they belong to whoever drives the admin queue (AdminClient reaps its
+// own submissions), so a data-plane ReapAny loop can run concurrently
+// with control-plane calls without stealing their completions.
 func (h *Host) ReapAny() (Completion, bool) {
 	h.execMu.Lock()
-	defer h.execMu.Unlock()
 	h.drainLocked()
+	notes := h.takeNotes()
 	// Completion queues are only mutated under execMu, so the scan sees
 	// a stable snapshot; per-queue mutexes are taken around each access
 	// to stay ordered with concurrent Outstanding/Submit readers.
@@ -232,6 +323,9 @@ func (h *Host) ReapAny() (Completion, bool) {
 	bestIdx := -1
 	var bestC Completion
 	for _, qp := range h.queuePairs() {
+		if qp.admin {
+			continue
+		}
 		qp.mu.Lock()
 		for i := 0; i < qp.cq.len(); i++ {
 			c := qp.cq.at(i)
@@ -242,12 +336,16 @@ func (h *Host) ReapAny() (Completion, bool) {
 		qp.mu.Unlock()
 	}
 	if bestQP == nil {
+		h.execMu.Unlock()
+		h.deliver(notes)
 		return Completion{}, false
 	}
 	bestQP.mu.Lock()
 	c := bestQP.cq.removeAt(bestIdx)
 	bestQP.recycleLocked(c.cmd)
 	bestQP.mu.Unlock()
+	h.execMu.Unlock()
+	h.deliver(notes)
 	return c, true
 }
 

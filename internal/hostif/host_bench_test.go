@@ -48,10 +48,12 @@ func benchMultiSubmitter(b *testing.B, workers int, global bool) {
 	const payload = 4096
 	ctrl := testController(b)
 	h := NewHost(ctrl, HostConfig{globalLock: global})
-	h.AddNamespace(nullNS{dur: vclock.Microsecond})
+	if _, err := h.Admin().AttachNamespace(0, nullNS{dur: vclock.Microsecond}); err != nil {
+		b.Fatal(err)
+	}
 	qps := make([]*QueuePair, workers)
 	for i := range qps {
-		qps[i] = h.OpenQueuePair(depth)
+		qps[i] = openQP(b, h, depth)
 	}
 	opsPerWorker := b.N/workers + 1
 	b.SetBytes(payload)

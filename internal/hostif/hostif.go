@@ -8,9 +8,11 @@
 //   - typed Commands (Read, Write, Trim, Flush, ZoneAppend, TableRead,
 //     ...) are placed in submission-queue slots and made visible with a
 //     doorbell ring (batched submission = several Submits, one Ring),
-//   - the Host arbitrates across submission queues deterministically:
-//     queues are scanned in ascending ID each round (round-robin), the
-//     earliest-ready command wins, and exact ties break on
+//   - the Host arbitrates across submission queues deterministically
+//     with NVMe-style weighted round-robin: the admin queue wins over
+//     everything, urgent-class queues over the weighted classes, and
+//     high/medium/low consume per-class credit bursts; within a class
+//     the earliest doorbell wins and exact ties break on
 //     (queueID, slot) — so the determinism contract of DESIGN.md holds
 //     bit for bit,
 //   - each command completes at a virtual instant computed by the
@@ -18,6 +20,13 @@
 //     ox.Controller accounting (controller CPU, memory-bus copies,
 //     media reservations); the host link is charged per command when
 //     the Host is configured with ChargeHostLink.
+//
+// The control plane is the admin queue pair (queue 0, created with the
+// Host): namespace attachment, I/O queue-pair lifecycle, identify and
+// log pages are typed admin commands, issued through AdminClient
+// (admin.go). Completions are consumed by polling Reap/ReapAny or by
+// interrupt-style notification with coalescing (notify.go); both see
+// identical virtual timing.
 //
 // A Namespace is one FTL attached to the host; adapters for all four
 // FTLs live in this package (block.go, eleos.go, zone.go, lsmns.go).
@@ -72,20 +81,50 @@ const (
 	OpTableDelete
 )
 
+// Admin opcodes occupy the high opcode range and are valid only on the
+// admin queue pair (queue 0). They are the control plane: everything
+// that used to be a direct Go method call on the Host or an adapter is
+// one of these commands.
+const (
+	// OpAdminIdentify reports controller identity (NSID 0) or one
+	// namespace's identity and geometry (NSID ≥ 1) in Result.Admin.
+	OpAdminIdentify Op = iota + 0x80
+	// OpAdminGetLogPage returns the log page selected by Admin.Log —
+	// controller stats, utilization, chunk/zone reports, GC stats — in
+	// Result.Admin.
+	OpAdminGetLogPage
+	// OpAdminCreateIOQP creates an I/O queue pair with Admin.Depth and
+	// Admin.Class; Result.Admin carries the *QueuePair.
+	OpAdminCreateIOQP
+	// OpAdminDeleteIOQP deletes the idle I/O queue pair Admin.QID.
+	OpAdminDeleteIOQP
+	// OpAdminNamespaceAttach attaches Admin.Attach as a namespace;
+	// Result.Handle carries the assigned NSID.
+	OpAdminNamespaceAttach
+)
+
+// IsAdmin reports whether o is an admin opcode (admin queue only).
+func (o Op) IsAdmin() bool { return o >= OpAdminIdentify }
+
 var opNames = map[Op]string{
-	OpRead:        "read",
-	OpWrite:       "write",
-	OpTrim:        "trim",
-	OpFlush:       "flush",
-	OpZoneAppend:  "zone-append",
-	OpZoneReset:   "zone-reset",
-	OpZoneFinish:  "zone-finish",
-	OpTableCreate: "table-create",
-	OpTableAppend: "table-append",
-	OpTableCommit: "table-commit",
-	OpTableAbort:  "table-abort",
-	OpTableRead:   "table-read",
-	OpTableDelete: "table-delete",
+	OpRead:                 "read",
+	OpWrite:                "write",
+	OpTrim:                 "trim",
+	OpFlush:                "flush",
+	OpZoneAppend:           "zone-append",
+	OpZoneReset:            "zone-reset",
+	OpZoneFinish:           "zone-finish",
+	OpTableCreate:          "table-create",
+	OpTableAppend:          "table-append",
+	OpTableCommit:          "table-commit",
+	OpTableAbort:           "table-abort",
+	OpTableRead:            "table-read",
+	OpTableDelete:          "table-delete",
+	OpAdminIdentify:        "admin-identify",
+	OpAdminGetLogPage:      "admin-get-log-page",
+	OpAdminCreateIOQP:      "admin-create-ioqp",
+	OpAdminDeleteIOQP:      "admin-delete-ioqp",
+	OpAdminNamespaceAttach: "admin-namespace-attach",
 }
 
 func (o Op) String() string {
@@ -107,6 +146,18 @@ var (
 	// ErrCommandRecycled flags arena-command misuse: the command's slot
 	// was already recycled at Reap; acquire a fresh one.
 	ErrCommandRecycled = errors.New("hostif: arena command reused after recycling; call AcquireCommand again")
+	// ErrAdminOnly rejects an admin command submitted to an I/O queue.
+	ErrAdminOnly = errors.New("hostif: admin command on I/O queue pair")
+	// ErrIOOnAdmin rejects a data command submitted to the admin queue.
+	ErrIOOnAdmin = errors.New("hostif: I/O command on admin queue pair")
+	// ErrQueueClosed rejects submission to a deleted queue pair.
+	ErrQueueClosed = errors.New("hostif: queue pair deleted")
+	// ErrQueueBusy refuses to delete a queue pair with held slots.
+	ErrQueueBusy = errors.New("hostif: queue pair has unreaped or in-flight commands")
+	// ErrBadQueueID flags an unknown or non-deletable queue pair id.
+	ErrBadQueueID = errors.New("hostif: unknown I/O queue pair")
+	// ErrBadLogPage flags a log page the target cannot serve.
+	ErrBadLogPage = errors.New("hostif: log page not supported")
 )
 
 // Command is one submission-queue entry. Fields are interpreted per
@@ -137,6 +188,8 @@ type Command struct {
 	Dst []byte
 	// Descs are the page descriptors of an OX-ELEOS buffer flush.
 	Descs []PageDesc
+	// Admin carries admin-command parameters (admin opcodes only).
+	Admin AdminParams
 }
 
 // Result is what a namespace adapter reports for one executed command.
@@ -149,11 +202,15 @@ type Result struct {
 	Data []byte
 	// Offset is where an OpZoneAppend landed.
 	Offset int64
-	// Handle is a created writer (OpTableCreate) or committed table
-	// (OpTableCommit).
+	// Handle is a created writer (OpTableCreate), committed table
+	// (OpTableCommit) or assigned NSID (OpAdminNamespaceAttach).
 	Handle uint64
 	// Blocks is a committed table's block count (OpTableCommit).
 	Blocks int
+	// Admin holds an admin command's typed payload: IdentifyController,
+	// NamespaceIdentity, a log page value, or the created *QueuePair.
+	// Nil for data commands, so the data path never touches it.
+	Admin any
 }
 
 // Completion is one completion-queue entry.

@@ -43,14 +43,14 @@ func testHost(t *testing.T, dur vclock.Duration) (*Host, *fakeNS) {
 	ctrl := testController(t)
 	ns := newFakeNS(dur)
 	h := NewHost(ctrl, HostConfig{})
-	h.AddNamespace(ns)
+	attachNS(t, h, ns)
 	return h, ns
 }
 
 func TestArbitrationEarliestReadyThenQueueID(t *testing.T) {
 	h, ns := testHost(t, 10*vclock.Microsecond)
-	q0 := h.OpenQueuePair(4)
-	q1 := h.OpenQueuePair(4)
+	q0 := openQP(t, h, 4)
+	q1 := openQP(t, h, 4)
 
 	// q1 rings earlier than q0; within q0, slots stay FIFO; an exact
 	// ready tie (q0 vs q1 at 50µs) goes to the lower queue ID.
@@ -79,7 +79,7 @@ func TestArbitrationEarliestReadyThenQueueID(t *testing.T) {
 
 func TestDoorbellBatching(t *testing.T) {
 	h, ns := testHost(t, 10*vclock.Microsecond)
-	qp := h.OpenQueuePair(8)
+	qp := openQP(t, h, 8)
 
 	for i := int64(0); i < 3; i++ {
 		if _, err := qp.Submit(&Command{Op: OpWrite, LPN: i}); err != nil {
@@ -114,7 +114,7 @@ func TestDoorbellBatching(t *testing.T) {
 
 func TestQueueDepthEnforced(t *testing.T) {
 	h, _ := testHost(t, vclock.Microsecond)
-	qp := h.OpenQueuePair(2)
+	qp := openQP(t, h, 2)
 	if err := qp.Push(0, &Command{Op: OpWrite}); err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestFairnessAcrossQueuePairs(t *testing.T) {
 	qps := make([]*QueuePair, queues)
 	issued := make([]int, queues)
 	for i := range qps {
-		qps[i] = h.OpenQueuePair(1)
+		qps[i] = openQP(t, h, 1)
 		if err := qps[i].Push(0, &Command{Op: OpWrite, LPN: int64(i)}); err != nil {
 			t.Fatal(err)
 		}
@@ -148,6 +148,7 @@ func TestFairnessAcrossQueuePairs(t *testing.T) {
 	// Closed loop: symmetric tenants resubmit at each completion. With
 	// identical command costs, round-robin arbitration must serve them
 	// in a perfect cycle and finish them with equal service counts.
+	// I/O queue IDs start at 1 (queue 0 is the admin queue).
 	var sequence []int
 	served := make([]int, queues)
 	for reaped := 0; reaped < queues*perQueue; reaped++ {
@@ -155,9 +156,10 @@ func TestFairnessAcrossQueuePairs(t *testing.T) {
 		if !ok {
 			t.Fatal("completion queue ran dry")
 		}
-		sequence = append(sequence, c.QueueID)
-		served[c.QueueID]++
-		if q := c.QueueID; issued[q] < perQueue {
+		q := c.QueueID - qps[0].ID()
+		sequence = append(sequence, q)
+		served[q]++
+		if issued[q] < perQueue {
 			if err := qps[q].Push(c.Done, &Command{Op: OpWrite, LPN: int64(q)}); err != nil {
 				t.Fatal(err)
 			}
@@ -186,7 +188,7 @@ func TestConcurrentSubmittersDeterministic(t *testing.T) {
 		const queues, perQueue = 4, 6
 		qps := make([]*QueuePair, queues)
 		for i := range qps {
-			qps[i] = h.OpenQueuePair(perQueue)
+			qps[i] = openQP(t, h, perQueue)
 		}
 		var wg sync.WaitGroup
 		for i := range qps {
@@ -226,7 +228,7 @@ func TestConcurrentSubmittersDeterministic(t *testing.T) {
 
 func TestBadNamespaceRejectedAtSubmit(t *testing.T) {
 	h, _ := testHost(t, vclock.Microsecond)
-	qp := h.OpenQueuePair(1)
+	qp := openQP(t, h, 1)
 	if _, err := qp.Submit(&Command{Op: OpWrite, NSID: 9}); !errors.Is(err, ErrBadNSID) {
 		t.Fatalf("submit to nsid 9: %v, want ErrBadNSID", err)
 	}

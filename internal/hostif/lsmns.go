@@ -27,15 +27,32 @@ func NewLSMNamespace(env *lightlsm.Env) *LSMNamespace {
 // Name implements Namespace.
 func (n *LSMNamespace) Name() string { return "lightlsm" }
 
-// Env exposes the underlying FTL (admin/diagnostics path only:
-// placement inspection, stats).
-func (n *LSMNamespace) Env() *lightlsm.Env { return n.env }
+// identity serves AdminIdentify: the block and SSTable geometry the
+// EnvClient needs to satisfy lsm.Env.
+func (n *LSMNamespace) identity() NamespaceIdentity {
+	return NamespaceIdentity{
+		Name:           n.Name(),
+		BlockSize:      n.env.BlockSize(),
+		MaxTableBlocks: n.env.MaxTableBlocks(),
+	}
+}
 
-// BlockSize reports the environment's unit of transfer (admin).
-func (n *LSMNamespace) BlockSize() int { return n.env.BlockSize() }
-
-// MaxTableBlocks reports the SSTable capacity in blocks (admin).
-func (n *LSMNamespace) MaxTableBlocks() int { return n.env.MaxTableBlocks() }
+// logPage serves AdminGetLogPage: FTL counters and per-table chunk
+// placement (Command.Handle names the committed table).
+func (n *LSMNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
+	switch cmd.Admin.Log {
+	case LogNamespaceStats:
+		return n.env.Stats(), nil
+	case LogTableChunks:
+		chunks, ok := n.env.TableChunks(lsm.TableID(cmd.Handle))
+		if !ok {
+			return nil, fmt.Errorf("%w: table %d", ErrBadHandle, cmd.Handle)
+		}
+		return chunks, nil
+	default:
+		return nil, fmt.Errorf("%w: %v on %s", ErrBadLogPage, cmd.Admin.Log, n.Name())
+	}
+}
 
 func (n *LSMNamespace) writer(h uint64) (lsm.TableWriter, error) {
 	w, ok := n.writers[h]

@@ -27,7 +27,14 @@ const (
 // submission-queue slots, Ring makes every staged entry visible to the
 // controller at one doorbell instant (batched submission), and Reap
 // consumes completion-queue entries. Push is the depth-1 convenience
-// (Submit + Ring).
+// (Submit + Ring). SetNotify replaces Reap-polling with interrupt-
+// style completion notification.
+//
+// I/O queue pairs are created by the admin command AdminCreateIOQP
+// (AdminClient.CreateIOQueuePair) with a depth and a WRR arbitration
+// Class, and retired by AdminDeleteIOQP once idle. Queue 0 is the
+// admin queue pair, which carries only admin opcodes and is served
+// with strict priority.
 //
 // Depth bounds the commands in flight: staged, visible, executing and
 // completed-but-unreaped entries all hold their slot until reaped,
@@ -42,6 +49,8 @@ type QueuePair struct {
 	host  *Host
 	id    int
 	depth int
+	class Class
+	admin bool // queue 0: admin opcodes only, strict priority
 
 	// headReady mirrors the doorbell timestamp of the oldest visible
 	// entry (noHead when none) so the host's arbitration scan reads one
@@ -49,6 +58,7 @@ type QueuePair struct {
 	headReady atomic.Int64
 
 	mu        sync.Mutex
+	closed    bool             // deleted via AdminDeleteIOQP
 	staged    ring[sqe]        // submitted, doorbell not yet rung
 	rung      ring[sqe]        // visible to the controller, FIFO
 	cq        ring[Completion] // completions awaiting Reap
@@ -58,13 +68,24 @@ type QueuePair struct {
 	// Command arena: recycled at Reap, with misuse detection.
 	free  []*Command
 	state map[*Command]uint8
+
+	// Interrupt coalescing (SetNotify): fire notifyFn per notifyEvery
+	// completions; notifyPend/notifyLast track the open batch.
+	notifyFn    func(Notification)
+	notifyEvery int
+	notifyPend  int
+	notifyLast  vclock.Time
 }
 
-// ID reports the queue pair's identifier (arbitration tie-break key).
+// ID reports the queue pair's identifier (arbitration tie-break key;
+// 0 is the admin queue).
 func (qp *QueuePair) ID() int { return qp.id }
 
 // Depth reports the configured queue depth.
 func (qp *QueuePair) Depth() int { return qp.depth }
+
+// Class reports the queue pair's WRR arbitration class.
+func (qp *QueuePair) Class() Class { return qp.class }
 
 // inflightLocked counts slots held: staged + visible + executing +
 // unreaped completions. Caller holds qp.mu.
@@ -110,13 +131,24 @@ func (qp *QueuePair) recycleLocked(cmd *Command) {
 
 // Submit stages cmd in the next free submission slot without ringing
 // the doorbell. It returns the slot, or ErrQueueFull when every slot is
-// held by an in-flight or unreaped command. Arena commands are checked
-// for misuse: resubmitting one whose completion has not been reaped
-// returns ErrCommandInFlight, and submitting one already recycled at
-// Reap returns ErrCommandRecycled.
+// held by an in-flight or unreaped command. Plane mismatches are
+// rejected (ErrAdminOnly / ErrIOOnAdmin): admin opcodes belong on the
+// admin queue, data opcodes on I/O queues; a deleted queue returns
+// ErrQueueClosed. Arena commands are checked for misuse: resubmitting
+// one whose completion has not been reaped returns ErrCommandInFlight,
+// and submitting one already recycled at Reap returns
+// ErrCommandRecycled.
 func (qp *QueuePair) Submit(cmd *Command) (uint64, error) {
-	if err := checkNSID(qp.host.namespaces(), cmd.NSID); err != nil {
-		return 0, err
+	if cmd.Op.IsAdmin() != qp.admin {
+		if qp.admin {
+			return 0, ErrIOOnAdmin
+		}
+		return 0, ErrAdminOnly
+	}
+	if !cmd.Op.IsAdmin() {
+		if err := checkNSID(qp.host.namespaces(), cmd.NSID); err != nil {
+			return 0, err
+		}
 	}
 	if qp.host.cfg.globalLock {
 		qp.host.execMu.Lock()
@@ -124,6 +156,9 @@ func (qp *QueuePair) Submit(cmd *Command) (uint64, error) {
 	}
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
+	if qp.closed {
+		return 0, ErrQueueClosed
+	}
 	st, arena := qp.state[cmd]
 	if arena {
 		switch st {
@@ -190,13 +225,14 @@ func (qp *QueuePair) takeHead() (sqe, bool) {
 	return e, true
 }
 
-// complete queues an executed command's completion. Caller holds the
-// host's execMu.
+// complete queues an executed command's completion and advances the
+// notification coalescing batch. Caller holds the host's execMu.
 func (qp *QueuePair) complete(c Completion) {
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
 	qp.cq.push(c)
 	qp.executing--
+	qp.noteCompletion(c.Done)
 }
 
 // Push submits cmd and rings the doorbell at now: the single-command
@@ -215,16 +251,19 @@ func (qp *QueuePair) Push(now vclock.Time, cmd *Command) error {
 func (qp *QueuePair) Reap() (Completion, bool) {
 	h := qp.host
 	h.execMu.Lock()
-	defer h.execMu.Unlock()
 	h.drainLocked()
+	notes := h.takeNotes()
 	qp.mu.Lock()
-	defer qp.mu.Unlock()
-	if qp.cq.len() == 0 {
-		return Completion{}, false
+	var c Completion
+	ok := qp.cq.len() > 0
+	if ok {
+		c = qp.cq.pop()
+		qp.recycleLocked(c.cmd)
 	}
-	c := qp.cq.pop()
-	qp.recycleLocked(c.cmd)
-	return c, true
+	qp.mu.Unlock()
+	h.execMu.Unlock()
+	h.deliver(notes)
+	return c, ok
 }
 
 // MustReap is Reap for drivers whose protocol guarantees a completion

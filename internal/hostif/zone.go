@@ -22,9 +22,25 @@ func NewZoneNamespace(tgt *zns.Target) *ZoneNamespace {
 // Name implements Namespace.
 func (n *ZoneNamespace) Name() string { return "oxzns" }
 
-// Target exposes the underlying FTL (admin/diagnostics path only —
-// zone reports are the admin queue, not data I/O).
-func (n *ZoneNamespace) Target() *zns.Target { return n.tgt }
+// identity serves AdminIdentify: the zoned geometry.
+func (n *ZoneNamespace) identity() NamespaceIdentity {
+	return NamespaceIdentity{
+		Name:         n.Name(),
+		BlockSize:    n.tgt.BlockSize(),
+		Zones:        n.tgt.Zones(),
+		ZoneCapacity: n.tgt.ZoneCapacity(),
+	}
+}
+
+// logPage serves AdminGetLogPage: the NVMe ZNS zone report.
+func (n *ZoneNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
+	switch cmd.Admin.Log {
+	case LogZoneReport:
+		return n.tgt.Report(), nil
+	default:
+		return nil, fmt.Errorf("%w: %v on %s", ErrBadLogPage, cmd.Admin.Log, n.Name())
+	}
+}
 
 // Execute implements Namespace.
 func (n *ZoneNamespace) Execute(now vclock.Time, cmd *Command) Result {
