@@ -8,9 +8,11 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/hostif"
 	"repro/internal/landscape"
 	"repro/internal/vclock"
 )
@@ -223,6 +225,59 @@ func BenchmarkWRRSweep(b *testing.B) {
 		b.ReportMetric(points[len(points)-1].Lat.Percentile(99).Seconds()*1000, "lowP99_ms")
 		if i == 0 {
 			b.Log("\n" + exp.WRRSweepTable(points).Render())
+		}
+	}
+}
+
+// BenchmarkHostPipelinedExecutor measures the pipelined execution
+// engine against the serial reference on the scale scenario's widest
+// geometry: 8 parallel units of disjoint-group zone appends, serial vs
+// a worker pool sized to the machine (minimum 2 workers, the smallest
+// pool that can overlap). Virtual-time results are bit-identical by the
+// determinism contract (exp.Scale fails the run otherwise); the
+// benchmark tracks wall-clock. speedup_x is serial wall over pipelined
+// wall — above 1 when GOMAXPROCS allows real parallelism, around 1 on
+// a single-core runner where overlap cannot buy wall-clock time.
+func BenchmarkHostPipelinedExecutor(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	cfg := exp.DefaultScale()
+	cfg.PUCounts = []int{8}
+	cfg.Workers = []int{workers}
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Scale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var serial, pipelined exp.ScalePoint
+		for _, p := range points {
+			if p.Executor == hostif.ExecutorPipelined {
+				pipelined = p
+			} else {
+				serial = p
+			}
+		}
+		b.ReportMetric(float64(serial.Wall.Microseconds())/1000, "serial_ms")
+		b.ReportMetric(float64(pipelined.Wall.Microseconds())/1000, "pipelined_ms")
+		b.ReportMetric(pipelined.Speedup, "speedup_x")
+		b.ReportMetric(float64(pipelined.Overlapped), "overlapped")
+		if i == 0 {
+			b.Log("\n" + exp.ScaleTable(points).Render())
+		}
+	}
+}
+
+// BenchmarkScaleSweep regenerates the full worker × PU sweep table.
+func BenchmarkScaleSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Scale(exp.DefaultScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.ScaleTable(points).Render())
 		}
 	}
 }

@@ -1,13 +1,19 @@
 // Command benchcheck guards the benchmark trajectory: it runs the
-// tracked benchmarks with -benchmem, compares allocs/op against the
-// latest entry in BENCH_baseline.json, and exits non-zero on a
-// regression beyond the threshold. CI runs it on every push so an
-// allocation regression on the hot path fails the build instead of
-// quietly eroding the perf-PR trail.
+// tracked benchmarks with -benchmem, compares allocs/op and wall-clock
+// (sec/op) against the latest entry in BENCH_baseline.json, and exits
+// non-zero on a regression beyond either threshold. CI runs it on
+// every push so an allocation or wall-clock regression on the hot path
+// fails the build instead of quietly eroding the perf-PR trail.
+//
+// Thresholds are separate because the failure modes are: allocs/op is
+// machine-independent and gated tightly (-threshold, default 20%);
+// ns/op measures the runner and is gated loosely (-wall-threshold,
+// default 100%, i.e. fail only past 2x) so scheduler noise passes but
+// an accidental serialization or busy-wait does not.
 //
 // Usage:
 //
-//	benchcheck [-baseline BENCH_baseline.json] [-threshold 0.20] [-json]
+//	benchcheck [-baseline BENCH_baseline.json] [-threshold 0.20] [-wall-threshold 1.0] [-json]
 //
 // -json prints the measured numbers as a baseline-entry fragment, ready
 // to append to BENCH_baseline.json when a perf PR moves the needle.
@@ -30,6 +36,7 @@ var tracked = []string{
 	"BenchmarkFigure5DbBenchNotify",
 	"BenchmarkFigure3Recovery",
 	"BenchmarkFigure7DataCopies",
+	"BenchmarkHostPipelinedExecutor",
 }
 
 type baseline struct {
@@ -60,6 +67,7 @@ var metricKeys = map[string]string{
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline trajectory file")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional allocs/op regression")
+	wallThreshold := flag.Float64("wall-threshold", 1.0, "allowed fractional wall-clock (sec/op) regression")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	asJSON := flag.Bool("json", false, "print measured numbers as a baseline-entry fragment")
 	flag.Parse()
@@ -106,12 +114,22 @@ func main() {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %-28s allocs/op %10.0f (baseline %10.0f, limit %10.0f)  ns/op %.2fs\n",
-			status, name, got["allocs_per_op"], want["allocs_per_op"], limit, got["ns_per_op"]/1e9)
+		wallNote := ""
+		if base, ok := want["ns_per_op"]; ok && base > 0 {
+			wallLimit := base * (1 + *wallThreshold)
+			wallNote = fmt.Sprintf("  (baseline %.2fs, limit %.2fs)", base/1e9, wallLimit/1e9)
+			if got["ns_per_op"] > wallLimit {
+				status = "FAIL"
+				failed = true
+				wallNote += "  WALL REGRESSION"
+			}
+		}
+		fmt.Printf("%s %-30s allocs/op %10.0f (baseline %10.0f, limit %10.0f)  ns/op %.2fs%s\n",
+			status, name, got["allocs_per_op"], want["allocs_per_op"], limit, got["ns_per_op"]/1e9, wallNote)
 	}
 	if failed {
-		fmt.Printf("\nallocs/op regressed more than %.0f%% against baseline entry %q\n",
-			*threshold*100, last.Label)
+		fmt.Printf("\nallocs/op regressed more than %.0f%% or wall-clock more than %.0f%% against baseline entry %q\n",
+			*threshold*100, *wallThreshold*100, last.Label)
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,8 @@
 //
 //	oxbench -run all
 //	oxbench -run fig3,fig7 -csv out/
+//	oxbench -run fig3,gc -executor pipelined
+//	oxbench -run scale
 package main
 
 import (
@@ -15,14 +17,27 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/hostif"
 	"repro/internal/landscape"
 	"repro/internal/lightlsm"
 )
 
 func main() {
-	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,tenants,all")
+	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,tenants,scale,all")
 	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
+	executor := flag.String("executor", "serial", "host command-service engine: serial | pipelined (tables are bit-identical either way)")
+	workers := flag.Int("workers", 0, "pipelined executor worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	var ex hostif.ExecutorKind
+	switch *executor {
+	case "", "serial":
+		ex = hostif.ExecutorSerial
+	case "pipelined":
+		ex = hostif.ExecutorPipelined
+	default:
+		fatal(fmt.Errorf("unknown -executor %q (serial | pipelined)", *executor))
+	}
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*runs, ",") {
@@ -51,14 +66,18 @@ func main() {
 		emit("unit_of_write", exp.UnitOfWriteTable(exp.UnitOfWrite()))
 	}
 	if all || want["fig3"] {
-		points, err := exp.Figure3(exp.DefaultFig3())
+		cfg := exp.DefaultFig3()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.Figure3(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		emit("figure3", exp.Figure3Table(points))
 	}
 	if all || want["fig5"] || want["fig6"] {
-		cells, err := exp.Figure5(exp.DefaultFig5())
+		cfg := exp.DefaultFig5()
+		cfg.Executor, cfg.Workers = ex, *workers
+		cells, err := exp.Figure5(cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,46 +90,70 @@ func main() {
 		}
 	}
 	if all || want["fig7"] {
-		points, err := exp.Figure7(exp.DefaultFig7())
+		cfg := exp.DefaultFig7()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.Figure7(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		emit("figure7", exp.Figure7Table(points))
 	}
 	if all || want["gc"] {
-		points, err := exp.GCLocality(exp.DefaultGCLocality())
+		cfg := exp.DefaultGCLocality()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.GCLocality(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		emit("gc_locality", exp.GCLocalityTable(points))
 	}
 	if all || want["qd"] {
-		points, err := exp.QDSweep(exp.DefaultQDSweep())
+		cfg := exp.DefaultQDSweep()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.QDSweep(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		emit("qd_sweep", exp.QDSweepTable(points))
 	}
 	if all || want["qdwrr"] {
-		points, err := exp.WRRSweep(exp.DefaultWRRSweep())
+		cfg := exp.DefaultWRRSweep()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.WRRSweep(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		emit("wrr_sweep", exp.WRRSweepTable(points))
 	}
 	if all || want["tenants"] {
-		points, err := exp.Tenants(exp.DefaultTenants())
+		cfg := exp.DefaultTenants()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.Tenants(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		emit("tenants", exp.TenantsTable(points))
 		// The asymmetric QoS companion: WRR classes, unequal load, and
 		// the shared-vs-solo p99 isolation metric.
-		qos, err := exp.TenantsQoS(exp.DefaultTenantsQoS())
+		qcfg := exp.DefaultTenantsQoS()
+		qcfg.Executor, qcfg.Workers = ex, *workers
+		qos, err := exp.TenantsQoS(qcfg)
 		if err != nil {
 			fatal(err)
 		}
 		emit("tenants_qos", exp.TenantsQoSTable(qos))
+	}
+	if all || want["scale"] {
+		// The scale sweep runs both executors itself (serial reference
+		// rows plus one row per worker count) and fails if their virtual
+		// timings diverge; -executor does not apply. Its wall-clock and
+		// speedup columns measure this machine and vary run to run, so
+		// the scenario stays out of the byte-diff determinism set.
+		points, err := exp.Scale(exp.DefaultScale())
+		if err != nil {
+			fatal(err)
+		}
+		emit("scale", exp.ScaleTable(points))
 	}
 }
 

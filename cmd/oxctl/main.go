@@ -10,6 +10,7 @@
 //	oxctl -cmd geometry [-paper]
 //	oxctl -cmd report
 //	oxctl -cmd placement -mode vertical
+//	oxctl -cmd executor [-executor pipelined]
 package main
 
 import (
@@ -21,12 +22,15 @@ import (
 	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/ocssd"
+	"repro/internal/vclock"
+	"repro/internal/zns"
 )
 
 func main() {
-	cmd := flag.String("cmd", "geometry", "geometry | report | placement")
+	cmd := flag.String("cmd", "geometry", "geometry | report | placement | executor")
 	paper := flag.Bool("paper", false, "use the paper's exact Figure 4 geometry (1.4 TB)")
 	mode := flag.String("mode", "horizontal", "placement mode: horizontal | vertical")
+	executor := flag.String("executor", "pipelined", "engine for -cmd executor: serial | pipelined")
 	flag.Parse()
 
 	if *paper && *cmd != "geometry" {
@@ -97,6 +101,78 @@ func main() {
 			}
 			fmt.Printf("  group%-2d: %v\n", g, perGroup[g])
 		}
+	case "executor":
+		// Drive a short disjoint-PU zone workload under the selected
+		// engine, then read the LogExecutor admin page back over queue
+		// 0 — the pipeline's grants, realized overlap and stalls are
+		// control-plane observable like any other log. The rig runs
+		// cache-less: with a write-back cache, zone writes fall back to
+		// exclusive footprints (cache admission is device-global) and
+		// the log would show conflict stalls instead of overlap.
+		switch *executor {
+		case "serial", "pipelined":
+		default:
+			fmt.Fprintf(os.Stderr, "oxctl: unknown -executor %q (serial | pipelined)\n", *executor)
+			os.Exit(1)
+		}
+		rig := exp.DefaultRig()
+		rig.CacheMB = 0
+		_, ctrl, err := rig.Build()
+		fail(err)
+		tgt, err := zns.New(ctrl, zns.Config{})
+		fail(err)
+		host := hostif.NewHost(ctrl, hostif.HostConfig{
+			Executor: hostif.ExecutorKind(*executor),
+		})
+		admin := host.Admin()
+		nsid, err := admin.AttachNamespace(0, hostif.NewZoneNamespace(tgt))
+		fail(err)
+		report, err := admin.ZoneReport(0, nsid)
+		fail(err)
+		id, err := admin.IdentifyNamespace(0, nsid)
+		fail(err)
+		zoneOf := map[int]int{} // group -> one zone
+		for _, zi := range report {
+			if _, ok := zoneOf[zi.Group]; !ok {
+				zoneOf[zi.Group] = zi.Index
+			}
+		}
+		ident, err := admin.Identify(0)
+		fail(err)
+		block := make([]byte, id.BlockSize)
+		var qps []*hostif.QueuePair
+		for g := 0; g < ident.Geometry.Groups; g++ {
+			qp, err := admin.CreateIOQueuePair(0, 1, hostif.ClassMedium)
+			fail(err)
+			qps = append(qps, qp)
+		}
+		var last vclock.Time
+		for round := 0; round < 4; round++ {
+			for g, qp := range qps {
+				c := qp.AcquireCommand()
+				c.Op, c.NSID, c.Zone, c.Data = hostif.OpZoneAppend, nsid, zoneOf[g], block
+				fail(qp.Push(last, c))
+			}
+			for _, qp := range qps {
+				comp := qp.MustReap()
+				fail(comp.Err)
+				if comp.Done > last {
+					last = comp.Done
+				}
+			}
+		}
+		log, err := admin.ExecutorStats(last)
+		fail(err)
+		fmt.Printf("execution engine (LogExecutor over queue 0):\n")
+		fmt.Printf("  executor        %s\n", log.Executor)
+		fmt.Printf("  workers         %d\n", log.Workers)
+		fmt.Printf("  grants          %d\n", log.Grants)
+		fmt.Printf("  dispatched      %d\n", log.Dispatched)
+		fmt.Printf("  inline          %d\n", log.Inline)
+		fmt.Printf("  overlapped      %d\n", log.Overlapped)
+		fmt.Printf("  barrier stalls  %d\n", log.BarrierStalls)
+		fmt.Printf("  conflict stalls %d\n", log.ConflictStalls)
+		fmt.Printf("  max inflight    %d\n", log.MaxInflight)
 	default:
 		fmt.Fprintf(os.Stderr, "oxctl: unknown command %q\n", *cmd)
 		os.Exit(1)

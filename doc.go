@@ -22,7 +22,9 @@
 //     (identify, log pages, namespace attach, queue-pair lifecycle),
 //     deterministic weighted-round-robin arbitration classes,
 //     interrupt-style completion notification, one namespace adapter
-//     per FTL
+//     per FTL, and a pipelined execution engine that overlaps
+//     disjoint-footprint commands on a worker pool with bit-identical
+//     virtual timing (serial mode remains the reference oracle)
 //   - internal/lsm      — a miniature RocksDB (memtable, SSTables,
 //     bloom filters, leveled compaction, rate limiter)
 //   - internal/dbbench  — the db_bench workloads of §4.3

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/dbbench"
+	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/vclock"
 )
@@ -430,5 +432,173 @@ func TestTableRender(t *testing.T) {
 	csv := tab.CSV()
 	if !strings.Contains(csv, `"cell,with,commas"`) {
 		t.Fatalf("csv escaping broken:\n%s", csv)
+	}
+}
+
+// TestExecutorEquivalence is the table-level oracle of the pipelined
+// execution engine: every scenario renders a byte-identical table under
+// the serial reference executor and the pipelined one. Scaled-down
+// configurations keep it fast; the full-scale twin is the CI
+// determinism job, which regenerates the figure CSVs in both modes and
+// diffs them.
+func TestExecutorEquivalence(t *testing.T) {
+	const workers = 4
+	cases := []struct {
+		name string
+		run  func(ex hostif.ExecutorKind) (string, error)
+	}{
+		{"fig3", func(ex hostif.ExecutorKind) (string, error) {
+			cfg := smallFig3()
+			cfg.Executor, cfg.Workers = ex, workers
+			p, err := Figure3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return Figure3Table(p).Render(), nil
+		}},
+		{"fig7", func(ex hostif.ExecutorKind) (string, error) {
+			cfg := DefaultFig7()
+			cfg.BuffersPerThread = 6
+			cfg.ThreadCounts = []int{1, 2}
+			cfg.Executor, cfg.Workers = ex, workers
+			p, err := Figure7(cfg)
+			if err != nil {
+				return "", err
+			}
+			return Figure7Table(p).Render(), nil
+		}},
+		{"gc", func(ex hostif.ExecutorKind) (string, error) {
+			cfg := DefaultGCLocality()
+			cfg.ChannelCounts = []int{8}
+			cfg.TxnsPerWriter = 300
+			cfg.Executor, cfg.Workers = ex, workers
+			p, err := GCLocality(cfg)
+			if err != nil {
+				return "", err
+			}
+			return GCLocalityTable(p).Render(), nil
+		}},
+		{"qd", func(ex hostif.ExecutorKind) (string, error) {
+			cfg := smallQD()
+			cfg.Depths = []int{4}
+			cfg.Executor, cfg.Workers = ex, workers
+			p, err := QDSweep(cfg)
+			if err != nil {
+				return "", err
+			}
+			return QDSweepTable(p).Render(), nil
+		}},
+		{"tenants", func(ex hostif.ExecutorKind) (string, error) {
+			cfg := DefaultTenants()
+			cfg.OpsPerTenant = 200
+			cfg.PagesPerTenant = 2048
+			cfg.Executor, cfg.Workers = ex, workers
+			p, err := Tenants(cfg)
+			if err != nil {
+				return "", err
+			}
+			return TenantsTable(p).Render(), nil
+		}},
+		{"qdwrr", func(ex hostif.ExecutorKind) (string, error) {
+			cfg := DefaultWRRSweep()
+			cfg.Ops = 200
+			cfg.Classes = []hostif.Class{hostif.ClassHigh, hostif.ClassLow}
+			cfg.Executor, cfg.Workers = ex, workers
+			p, err := WRRSweep(cfg)
+			if err != nil {
+				return "", err
+			}
+			return WRRSweepTable(p).Render(), nil
+		}},
+		{"scale", func(ex hostif.ExecutorKind) (string, error) {
+			// Scale verifies serial-vs-pipelined equality internally on
+			// every run; here we additionally pin that two invocations
+			// agree on the deterministic virtual columns (wall/speedup
+			// vary run to run and are excluded).
+			p, err := Scale(smallScale())
+			if err != nil {
+				return "", err
+			}
+			var out strings.Builder
+			for _, pt := range p {
+				fmt.Fprintf(&out, "%d %s %d %v %.0f\n", pt.PUs, pt.Executor, pt.Ops, pt.Elapsed, pt.VirtMBps)
+			}
+			return out.String(), nil
+		}},
+	}
+	if !testing.Short() {
+		// fig5 runs the mini-RocksDB end to end; keep it but at the
+		// smallest grid.
+		cases = append(cases, struct {
+			name string
+			run  func(ex hostif.ExecutorKind) (string, error)
+		}{"fig5", func(ex hostif.ExecutorKind) (string, error) {
+			cfg := smallFig5()
+			cfg.ClientCounts = []int{2}
+			cfg.FillOpsPerClient = 4000
+			cfg.ReadOpsPerClient = 500
+			cfg.Executor, cfg.Workers = ex, workers
+			c, err := Figure5(cfg)
+			if err != nil {
+				return "", err
+			}
+			return Figure5Table(c).Render(), nil
+		}})
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := tc.run(hostif.ExecutorSerial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipelined, err := tc.run(hostif.ExecutorPipelined)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != pipelined {
+				t.Fatalf("executor changed the table:\n--- serial ---\n%s\n--- pipelined ---\n%s", serial, pipelined)
+			}
+		})
+	}
+}
+
+func smallScale() ScaleConfig {
+	return ScaleConfig{
+		PUCounts:     []int{1, 4},
+		Workers:      []int{2},
+		AppendsPerPU: 24,
+		AppendBlocks: 2,
+		Seed:         13,
+	}
+}
+
+// TestScaleShape checks the scale sweep's structure: the serial row and
+// every worker row agree on virtual timing (enforced inside Scale), the
+// pipelined rows realize overlap on multi-PU geometry, and the table
+// renders every row.
+func TestScaleShape(t *testing.T) {
+	cfg := smallScale()
+	points, err := Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(cfg.PUCounts) * (1 + len(cfg.Workers))
+	if len(points) != wantRows {
+		t.Fatalf("points = %d, want %d", len(points), wantRows)
+	}
+	var sawOverlap bool
+	for _, p := range points {
+		if p.PUs > 1 && p.Executor == hostif.ExecutorPipelined && p.Overlapped > 0 {
+			sawOverlap = true
+		}
+		if p.Executor == hostif.ExecutorSerial && p.Overlapped != 0 {
+			t.Errorf("serial row reports overlap: %+v", p)
+		}
+	}
+	if !sawOverlap {
+		t.Error("pipelined multi-PU rows realized no overlap")
+	}
+	if rows := len(ScaleTable(points).Rows); rows != wantRows {
+		t.Fatalf("table rows = %d, want %d", rows, wantRows)
 	}
 }

@@ -20,6 +20,11 @@ type Fig7Config struct {
 	Seed             int64
 	// ZeroCopyRX enables the §4.4 ablation (AF_XDP-style receive).
 	ZeroCopyRX bool
+	// Executor selects the host's command-service engine (zero value:
+	// serial); Workers sizes the pipelined worker pool. Results are
+	// identical for either engine.
+	Executor hostif.ExecutorKind
+	Workers  int
 }
 
 // DefaultFig7 returns the default configuration.
@@ -82,7 +87,7 @@ func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
 	// adapter performs both controller copies. The closed loop always
 	// resumes the thread whose command completes first (ReapAny) — the
 	// queue-pair incarnation of the old smallest-clock DES loop.
-	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	host := hostif.NewHost(ctrl, hostConfig(hostif.HostConfig{ChargeHostLink: true}, cfg.Executor, cfg.Workers))
 	admin := host.Admin()
 	nsid, err := admin.AttachNamespace(0, hostif.NewEleosNamespace(store))
 	if err != nil {
@@ -128,23 +133,20 @@ func figure7Run(cfg Fig7Config, threads int) (Fig7Point, error) {
 		issued[i]++
 	}
 	qid0 := qps[0].ID() // I/O queue IDs start after the admin queue
-	for remaining := threads * cfg.BuffersPerThread; remaining > 0; remaining-- {
-		comp, ok := host.ReapAny()
-		if !ok {
-			return Fig7Point{}, fmt.Errorf("fig7: completion queue ran dry")
-		}
-		if comp.Err != nil {
-			return Fig7Point{}, comp.Err
-		}
+	err = reapLoop(host, "fig7", threads*cfg.BuffersPerThread, func(comp hostif.Completion) error {
 		if comp.Done > end {
 			end = comp.Done
 		}
 		if ti := comp.QueueID - qid0; issued[ti] < cfg.BuffersPerThread {
 			if err := submit(ti, comp.Done); err != nil {
-				return Fig7Point{}, err
+				return err
 			}
 			issued[ti]++
 		}
+		return nil
+	})
+	if err != nil {
+		return Fig7Point{}, err
 	}
 	// The utilization figures are an admin log page read at the last
 	// completion instant.

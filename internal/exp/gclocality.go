@@ -24,6 +24,10 @@ type GCLocalityConfig struct {
 	// GlobalGC disables group marking (the ablation: interference
 	// spreads everywhere).
 	GlobalGC bool
+	// Executor/Workers select the host's command-service engine
+	// (results are identical for either engine).
+	Executor hostif.ExecutorKind
+	Workers  int
 }
 
 // DefaultGCLocality returns the default configuration.
@@ -91,7 +95,7 @@ func gcLocalityRun(cfg GCLocalityConfig, channels int) (GCLocalityPoint, error) 
 	// rings its doorbell at the completion instant, so the shared random
 	// stream is consumed in deterministic completion order.
 	data := make([]byte, cfg.TxnPages*4096)
-	host := hostif.NewHost(ctrl, hostif.HostConfig{})
+	host := hostif.NewHost(ctrl, hostConfig(hostif.HostConfig{}, cfg.Executor, cfg.Workers))
 	admin := host.Admin()
 	nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(d))
 	if err != nil {
@@ -120,21 +124,18 @@ func gcLocalityRun(cfg GCLocalityConfig, channels int) (GCLocalityPoint, error) 
 	}
 	qid0 := qps[0].ID() // I/O queue IDs start after the admin queue
 	var last vclock.Time
-	for remaining := cfg.Writers * cfg.TxnsPerWriter; remaining > 0; remaining-- {
-		comp, ok := host.ReapAny()
-		if !ok {
-			return GCLocalityPoint{}, fmt.Errorf("gc locality: completion queue ran dry")
-		}
-		if comp.Err != nil {
-			return GCLocalityPoint{}, comp.Err
-		}
+	err = reapLoop(host, "gc locality", cfg.Writers*cfg.TxnsPerWriter, func(comp hostif.Completion) error {
 		last = comp.Done
 		if w := comp.QueueID - qid0; issued[w] < cfg.TxnsPerWriter {
 			if err := submit(w, comp.Done); err != nil {
-				return GCLocalityPoint{}, err
+				return err
 			}
 			issued[w]++
 		}
+		return nil
+	})
+	if err != nil {
+		return GCLocalityPoint{}, err
 	}
 	gs, err := admin.GCStats(last, nsid)
 	if err != nil {

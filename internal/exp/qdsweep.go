@@ -27,6 +27,10 @@ type QDSweepConfig struct {
 	TxnPages int
 	// ReadPages is the size of each read in 4 KB pages.
 	ReadPages int
+	// Executor/Workers select the host's command-service engine
+	// (results are identical for either engine).
+	Executor hostif.ExecutorKind
+	Workers  int
 	// LogicalPages sizes the OX-Block namespace (prefilled before
 	// measuring so reads hit mapped pages).
 	LogicalPages int64
@@ -116,7 +120,7 @@ func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
 	if err != nil {
 		return QDPoint{}, err
 	}
-	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	host := hostif.NewHost(ctrl, hostConfig(hostif.HostConfig{ChargeHostLink: true}, cfg.Executor, cfg.Workers))
 	admin := host.Admin()
 	nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(d))
 	if err != nil {
@@ -164,14 +168,7 @@ func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
 	}
 	var bytes int64
 	end := start
-	for reaped := 0; reaped < cfg.Ops; reaped++ {
-		comp, ok := host.ReapAny()
-		if !ok {
-			return QDPoint{}, fmt.Errorf("completion queue ran dry after %d ops", reaped)
-		}
-		if comp.Err != nil {
-			return QDPoint{}, comp.Err
-		}
+	err = reapLoop(host, "qd sweep", cfg.Ops, func(comp hostif.Completion) error {
 		switch comp.Op {
 		case hostif.OpWrite:
 			p.WriteLat.Observe(comp.Latency())
@@ -189,10 +186,14 @@ func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
 			cmd := qp.AcquireCommand()
 			draw(cmd)
 			if err := qp.Push(comp.Done, cmd); err != nil {
-				return QDPoint{}, err
+				return err
 			}
 			issued++
 		}
+		return nil
+	})
+	if err != nil {
+		return QDPoint{}, err
 	}
 	p.Elapsed = end.Sub(start)
 	if p.Elapsed > 0 {

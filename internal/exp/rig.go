@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/hostif"
 	"repro/internal/nand"
 	"repro/internal/ocssd"
 	"repro/internal/ox"
@@ -33,6 +34,38 @@ func DefaultRig() RigConfig {
 		Seed:          1,
 		PLP:           true,
 	}
+}
+
+// hostConfig applies a scenario's executor selection to its base host
+// configuration. Scenario configs carry Executor/Workers so every
+// figure can run under the serial reference executor (the zero value)
+// or the pipelined engine; results are bit-identical either way, which
+// TestExecutorEquivalence pins table by table.
+func hostConfig(base hostif.HostConfig, ex hostif.ExecutorKind, workers int) hostif.HostConfig {
+	base.Executor = ex
+	base.Workers = workers
+	return base
+}
+
+// reapLoop is the shared closed-loop driver: reap the globally
+// earliest completion, let the scenario's callback do its bookkeeping
+// and resubmit on that completion's queue, repeat total times. Every
+// closed-loop scenario (fig7, gc locality, the qd sweep, tenants, the
+// scale sweep) is this loop plus a different callback.
+func reapLoop(host *hostif.Host, what string, total int, onComplete func(hostif.Completion) error) error {
+	for remaining := total; remaining > 0; remaining-- {
+		comp, ok := host.ReapAny()
+		if !ok {
+			return fmt.Errorf("%s: completion queue ran dry with %d outstanding", what, remaining)
+		}
+		if comp.Err != nil {
+			return comp.Err
+		}
+		if err := onComplete(comp); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Build constructs the device and controller.

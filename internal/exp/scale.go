@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hostif"
+	"repro/internal/vclock"
+	"repro/internal/zns"
+)
+
+// ScaleConfig parameterizes the pipelined-executor scaling scenario —
+// the paper's §2.2 argument ("parallel units never interfere") driven
+// end to end through the host interface: an OX-ZNS namespace on a
+// cache-less rig with one chunk-wide zones per PU, one queue pair per
+// PU appending closed-loop into zones of its own PU's group. Under the
+// serial executor every append executes under the host's single
+// sequencer; the pipelined executor overlaps the disjoint-PU appends on
+// a worker pool. Virtual-time results are bit-identical by the
+// determinism contract (the run verifies this and fails otherwise);
+// what the sweep measures is wall-clock — how much of the simulated
+// device's parallelism the simulator itself can exploit.
+type ScaleConfig struct {
+	// PUCounts sweeps the device size: each point is a rig with that
+	// many single-PU groups.
+	PUCounts []int
+	// Workers sweeps the pipelined executor's pool size. Serial
+	// reference rows are always included.
+	Workers []int
+	// AppendsPerPU is the closed-loop command count per parallel unit.
+	AppendsPerPU int
+	// AppendBlocks sizes each zone append in device write units.
+	AppendBlocks int
+	Seed         int64
+}
+
+// DefaultScale returns the default sweep.
+func DefaultScale() ScaleConfig {
+	return ScaleConfig{
+		PUCounts:     []int{1, 2, 4, 8},
+		Workers:      []int{1, 2, 4},
+		AppendsPerPU: 256,
+		AppendBlocks: 2,
+		Seed:         13,
+	}
+}
+
+// ScalePoint is one row of the sweep.
+type ScalePoint struct {
+	PUs      int
+	Executor hostif.ExecutorKind
+	Workers  int
+	Ops      int
+	// Elapsed is the virtual completion instant of the last append —
+	// identical across executors at equal PU count.
+	Elapsed vclock.Duration
+	// VirtMBps is ingest throughput in virtual time.
+	VirtMBps float64
+	// Wall is the measured wall-clock time of the run.
+	Wall time.Duration
+	// Overlapped/MaxInflight echo the executor log page.
+	Overlapped  int64
+	MaxInflight int
+	// Speedup is serial wall-clock over this row's wall-clock at the
+	// same PU count (1.0 for the serial row itself).
+	Speedup float64
+}
+
+// Scale runs the sweep: for each PU count, a serial reference run and
+// one pipelined run per worker count. It returns an error if any
+// pipelined run's virtual timing diverges from the serial reference —
+// the determinism contract, enforced on every invocation.
+func Scale(cfg ScaleConfig) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, pus := range cfg.PUCounts {
+		serial, err := scaleRun(cfg, pus, "", 0)
+		if err != nil {
+			return out, fmt.Errorf("scale %d PUs serial: %w", pus, err)
+		}
+		serial.Speedup = 1
+		out = append(out, serial)
+		for _, workers := range cfg.Workers {
+			p, err := scaleRun(cfg, pus, hostif.ExecutorPipelined, workers)
+			if err != nil {
+				return out, fmt.Errorf("scale %d PUs %d workers: %w", pus, workers, err)
+			}
+			if p.Elapsed != serial.Elapsed {
+				return out, fmt.Errorf("scale %d PUs %d workers: virtual elapsed %v diverged from serial %v",
+					pus, workers, p.Elapsed, serial.Elapsed)
+			}
+			if p.Wall > 0 {
+				p.Speedup = float64(serial.Wall) / float64(p.Wall)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// scaleRig builds a cache-less device of pus single-PU groups, so
+// group == PU and every zone is one chunk on one PU.
+func scaleRig(cfg ScaleConfig, pus int) RigConfig {
+	rc := DefaultRig()
+	rc.Groups = pus
+	rc.PUsPerGroup = 1
+	rc.ChunksPerPU = 32
+	rc.CacheMB = 0 // cache admission is device-global; without it,
+	// disjoint-PU writes commute and may overlap
+	rc.Seed = cfg.Seed
+	return rc
+}
+
+func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (ScalePoint, error) {
+	_, ctrl, err := scaleRig(cfg, pus).Build()
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	tgt, err := zns.New(ctrl, zns.Config{})
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	host := hostif.NewHost(ctrl, hostConfig(hostif.HostConfig{}, ex, workers))
+	defer host.Close() // one host per sweep point: release its workers
+	admin := host.Admin()
+	nsid, err := admin.AttachNamespace(0, hostif.NewZoneNamespace(tgt))
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	report, err := admin.ZoneReport(0, nsid)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	id, err := admin.IdentifyNamespace(0, nsid)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+
+	// One actor per PU: its zones are the ones in its group, filled
+	// round-robin; each append is AppendBlocks write units.
+	zonesOf := make([][]int, pus)
+	for _, zi := range report {
+		zonesOf[zi.Group] = append(zonesOf[zi.Group], zi.Index)
+	}
+	appendBytes := cfg.AppendBlocks * id.BlockSize
+	perZone := int(id.ZoneCapacity) / appendBytes
+	if perZone == 0 {
+		return ScalePoint{}, fmt.Errorf("scale: %d-byte appends exceed the %d-byte zone capacity", appendBytes, id.ZoneCapacity)
+	}
+	data := make([]byte, appendBytes)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	type actor struct {
+		qp       *hostif.QueuePair
+		zones    []int
+		issued   int
+		lastDone vclock.Time
+	}
+	actors := make([]*actor, pus)
+	for i := range actors {
+		qp, err := admin.CreateIOQueuePair(0, 1, hostif.ClassMedium)
+		if err != nil {
+			return ScalePoint{}, err
+		}
+		actors[i] = &actor{qp: qp, zones: zonesOf[i]}
+	}
+	need := (cfg.AppendsPerPU + perZone - 1) / perZone
+	for _, a := range actors {
+		if len(a.zones) < need {
+			return ScalePoint{}, fmt.Errorf("scale: %d zones per PU, need %d", len(a.zones), need)
+		}
+	}
+	submit := func(a *actor, at vclock.Time) error {
+		cmd := a.qp.AcquireCommand()
+		cmd.Op, cmd.NSID, cmd.Data = hostif.OpZoneAppend, nsid, data
+		cmd.Zone = a.zones[a.issued/perZone]
+		a.issued++
+		return a.qp.Push(at, cmd)
+	}
+
+	// Lockstep rounds: every PU's next append is visible before the
+	// round's drain, so the execution engine always sees the full
+	// disjoint-PU batch at once. Each actor still advances its own
+	// virtual clock (it resubmits at its own completion instant), and
+	// the round barrier is what a completion-batching driver does
+	// anyway. The serial executor runs the identical schedule, so the
+	// virtual results stay comparable command for command.
+	wallStart := time.Now()
+	for _, a := range actors {
+		if err := submit(a, 0); err != nil {
+			return ScalePoint{}, err
+		}
+	}
+	qid0 := actors[0].qp.ID()
+	var end vclock.Time
+	inRound := 0
+	err = reapLoop(host, "scale", pus*cfg.AppendsPerPU, func(comp hostif.Completion) error {
+		a := actors[comp.QueueID-qid0]
+		a.lastDone = comp.Done
+		if comp.Done > end {
+			end = comp.Done
+		}
+		if inRound++; inRound == len(actors) {
+			inRound = 0
+			for _, a := range actors {
+				if a.issued < cfg.AppendsPerPU {
+					if err := submit(a, a.lastDone); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	wall := time.Since(wallStart)
+
+	p := ScalePoint{
+		PUs:      pus,
+		Executor: hostif.ExecutorSerial,
+		Ops:      pus * cfg.AppendsPerPU,
+		Elapsed:  end.Sub(0),
+		Wall:     wall,
+	}
+	if ex == hostif.ExecutorPipelined {
+		p.Executor = hostif.ExecutorPipelined
+		log, err := admin.ExecutorStats(end)
+		if err != nil {
+			return ScalePoint{}, err
+		}
+		p.Workers = log.Workers
+		p.Overlapped = log.Overlapped
+		p.MaxInflight = log.MaxInflight
+	}
+	if end > 0 {
+		p.VirtMBps = float64(p.Ops) * float64(appendBytes) / 1e6 / end.Seconds()
+	}
+	return p, nil
+}
+
+// ScaleTable renders the sweep. Virtual columns are deterministic and
+// byte-stable; the wall-clock and speedup columns measure the host
+// machine and vary run to run (they are excluded from the determinism
+// diffs for exactly that reason).
+func ScaleTable(points []ScalePoint) *Table {
+	t := &Table{
+		Title: "Pipelined executor scaling: disjoint-PU zone appends, serial vs worker pool (OX-ZNS, cache-less rig)",
+		Headers: []string{"PUs", "executor", "workers", "ops",
+			"virt elapsed", "virt MB/s", "overlap", "max inflight", "wall ms", "speedup"},
+	}
+	for _, p := range points {
+		workers := "-"
+		if p.Executor == hostif.ExecutorPipelined {
+			workers = fmt.Sprintf("%d", p.Workers)
+		}
+		t.Add(p.PUs, string(p.Executor), workers, p.Ops,
+			p.Elapsed.String(), fmt.Sprintf("%.0f", p.VirtMBps),
+			p.Overlapped, p.MaxInflight,
+			fmt.Sprintf("%.1f", float64(p.Wall.Microseconds())/1000),
+			fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	return t
+}

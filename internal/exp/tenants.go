@@ -38,6 +38,10 @@ type TenantsConfig struct {
 	Classes []hostif.Class
 	// LoadFactors multiply OpsPerTenant per tenant; nil means 1 each.
 	LoadFactors []int
+	// Executor/Workers select the host's command-service engine
+	// (results are identical for either engine).
+	Executor hostif.ExecutorKind
+	Workers  int
 }
 
 // DefaultTenants returns the symmetric default scenario.
@@ -130,7 +134,7 @@ func tenantsRun(cfg TenantsConfig, active []bool) ([]TenantPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	host := hostif.NewHost(ctrl, hostConfig(hostif.HostConfig{ChargeHostLink: true}, cfg.Executor, cfg.Workers))
 	admin := host.Admin()
 
 	type tenant struct {
@@ -203,14 +207,7 @@ func tenantsRun(cfg TenantsConfig, active []bool) ([]TenantPoint, error) {
 		tn.qp.Ring(start)
 	}
 	qid0 := tenants[0].qp.ID() // I/O queue IDs start after the admin queue
-	for remaining := total; remaining > 0; remaining-- {
-		comp, ok := host.ReapAny()
-		if !ok {
-			return nil, fmt.Errorf("tenants: completion queue ran dry")
-		}
-		if comp.Err != nil {
-			return nil, comp.Err
-		}
+	err = reapLoop(host, "tenants", total, func(comp hostif.Completion) error {
 		tn := tenants[comp.QueueID-qid0]
 		tn.point.Lat.Observe(comp.Latency())
 		if end := comp.Done.Sub(start); end > tn.point.Elapsed {
@@ -220,10 +217,14 @@ func tenantsRun(cfg TenantsConfig, active []bool) ([]TenantPoint, error) {
 			cmd := tn.qp.AcquireCommand() // recycled by the reap above
 			tn.draw(cmd)
 			if err := tn.qp.Push(comp.Done, cmd); err != nil {
-				return nil, err
+				return err
 			}
 			tn.issued++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make([]TenantPoint, cfg.Tenants)
 	for i, tn := range tenants {

@@ -50,6 +50,9 @@ const (
 	// LogTableChunks returns the []ocssd.ChunkID backing the committed
 	// LightLSM table named by Command.Handle.
 	LogTableChunks
+	// LogExecutor returns the execution-engine counters (ExecutorLog):
+	// grants, dispatches, realized overlap, barrier and conflict stalls.
+	LogExecutor
 )
 
 // IdentifyController is the OpAdminIdentify payload for NSID 0.
@@ -66,6 +69,10 @@ type IdentifyController struct {
 	AdminDepth int
 	// Weights are the active WRR arbitration bursts.
 	Weights Weights
+	// Executor is the active command-service engine; Workers is its
+	// worker-pool size (0 for the serial executor).
+	Executor ExecutorKind
+	Workers  int
 }
 
 // NamespaceIdentity is the OpAdminIdentify payload for NSID ≥ 1. Only
@@ -121,14 +128,20 @@ func (h *Host) execAdmin(now vclock.Time, cmd *Command) Result {
 	switch cmd.Op {
 	case OpAdminIdentify:
 		if cmd.NSID == 0 {
-			res.Admin = IdentifyController{
+			id := IdentifyController{
 				Geometry:     h.ctrl.Media().Geometry(),
 				Controller:   h.ctrl.Config(),
 				Namespaces:   len(h.namespaces()),
 				IOQueuePairs: len(h.queuePairs()) - 1,
 				AdminDepth:   h.adminQP.depth,
 				Weights:      h.weights,
+				Executor:     ExecutorSerial,
 			}
+			if h.eng != nil {
+				id.Executor = ExecutorPipelined
+				id.Workers = h.eng.workers
+			}
+			res.Admin = id
 			return res
 		}
 		ns, err := h.namespaceOf(cmd.NSID)
@@ -179,6 +192,8 @@ func (h *Host) logPage(now vclock.Time, cmd *Command) (any, error) {
 			return nil, fmt.Errorf("%w: media has no stats", ErrBadLogPage)
 		}
 		return m.Stats(), nil
+	case LogExecutor:
+		return h.executorLog(), nil
 	}
 	ns, err := h.namespaceOf(cmd.NSID)
 	if err != nil {
@@ -318,6 +333,17 @@ func (a *AdminClient) MediaStats(now vclock.Time) (ocssd.Stats, error) {
 		return ocssd.Stats{}, err
 	}
 	return v.(ocssd.Stats), nil
+}
+
+// ExecutorStats returns the execution-engine log page: which engine is
+// serving commands and, for the pipelined executor, how much overlap
+// the worker pool realized.
+func (a *AdminClient) ExecutorStats(now vclock.Time) (ExecutorLog, error) {
+	v, err := a.GetLogPage(now, LogExecutor, 0)
+	if err != nil {
+		return ExecutorLog{}, err
+	}
+	return v.(ExecutorLog), nil
 }
 
 // NamespaceStats returns a namespace's FTL counters; the concrete type

@@ -53,6 +53,18 @@ func (n *BlockNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
 	}
 }
 
+// Footprint implements Namespace. Every OX-Block command is exclusive
+// within its controller domain: reads, writes and trims run under the
+// device-wide transaction lock and charge the shared controller core
+// pool; writes additionally append to the WAL and may trigger group-
+// marked GC or a checkpoint, whose media footprint is unknowable before
+// execution. Partitions of one device share the domain, so tenants on
+// one OX-Block device serialize exactly as the serial executor would —
+// only commands on *different* controllers overlap.
+func (n *BlockNamespace) Footprint(cmd *Command) Footprint {
+	return ExclusiveFootprint(n.dev.Controller())
+}
+
 func (n *BlockNamespace) checkRange(lpn int64, pages int) error {
 	if lpn < 0 || pages <= 0 || lpn+int64(pages) > n.pages {
 		return fmt.Errorf("%w: [%d,+%d) of %d", oxblock.ErrRange, lpn, pages, n.pages)

@@ -43,6 +43,14 @@ func (n *EleosNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
 	}
 }
 
+// Footprint implements Namespace. OX-ELEOS commands are exclusive
+// within their controller domain: flushes cross the controller memory
+// bus (the Figure 7 copies) and every operation runs under the
+// store-wide lock, so commands of one store never overlap.
+func (n *EleosNamespace) Footprint(cmd *Command) Footprint {
+	return ExclusiveFootprint(n.store.Controller())
+}
+
 // Execute implements Namespace.
 func (n *EleosNamespace) Execute(now vclock.Time, cmd *Command) Result {
 	switch cmd.Op {

@@ -1,0 +1,326 @@
+package hostif
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the pipelined execution engine — the second stage of the
+// host's two-stage command service. The first stage (the sequencer) is
+// the arbitration loop in host.go: it picks grants in deterministic WRR
+// order, assigns each a monotonic sequence number and classifies its
+// media footprint through Namespace.Footprint. This stage takes those
+// grants and runs them on a pool of workers, overlapping commands whose
+// footprints are disjoint while conflicting, admin, host-link-charged
+// and footprint-unknown commands act as barriers. Completions come back
+// through a reorder stage keyed by sequence number, so queue-pair
+// completion order, notification order and every virtual-time result
+// are bit-for-bit identical to the serial executor.
+//
+// Why this is deterministic: the sequencer dispatches in sequence
+// order, and a grant is not dispatched while any in-flight command's
+// footprint conflicts with it. Footprints are conservative (see the
+// Footprint contract in hostif.go): two commands allowed in flight
+// together share no virtual-time resource and no mutable FTL state, so
+// their reservations commute and every Result.End equals its serial
+// value. The reorder stage then releases completions to the queue pairs
+// strictly in sequence order, which is exactly the serial executor's
+// completion order.
+
+// ExecutorKind selects the host's command-service engine.
+type ExecutorKind string
+
+const (
+	// ExecutorSerial executes every granted command inline in the
+	// arbitration loop — the reference oracle. The zero value of
+	// HostConfig.Executor selects it.
+	ExecutorSerial ExecutorKind = "serial"
+	// ExecutorPipelined decouples arbitration from media execution:
+	// grants with disjoint footprints run concurrently on a worker pool
+	// and a deterministic reorder stage restores serial completion
+	// order.
+	ExecutorPipelined ExecutorKind = "pipelined"
+)
+
+// ExecutorLog is the LogExecutor admin log page: the pipeline counters
+// that make the execution engine observable over queue 0.
+type ExecutorLog struct {
+	// Executor and Workers echo the host configuration.
+	Executor ExecutorKind
+	Workers  int
+	// Grants counts commands granted by the sequencer (I/O and admin).
+	Grants int64
+	// Dispatched counts grants handed to the worker pool.
+	Dispatched int64
+	// Inline counts grants executed inline in the sequencer (admin
+	// commands, host-link-charged data commands, unknown namespaces).
+	Inline int64
+	// Overlapped counts dispatches that entered the pool while at least
+	// one other command was already in flight — the concurrency the
+	// engine actually realized.
+	Overlapped int64
+	// BarrierStalls counts the times an inline command had to wait for
+	// the pipeline to drain before executing.
+	BarrierStalls int64
+	// ConflictStalls counts the times a dispatch waited for an
+	// in-flight command with a conflicting footprint to complete.
+	ConflictStalls int64
+	// MaxInflight is the high-water mark of concurrently dispatched
+	// commands.
+	MaxInflight int
+}
+
+// execJob is one granted command in flight through the worker pool.
+type execJob struct {
+	seq uint64
+	qp  *QueuePair
+	e   sqe
+	ns  Namespace
+}
+
+// run executes the job's data path. It mirrors Host.exec for the
+// non-admin, non-host-link case: the namespace adapter does all
+// controller and media accounting itself.
+func (j execJob) run() Completion {
+	cmd := j.e.cmd
+	res := j.ns.Execute(j.e.ready, cmd)
+	return Completion{
+		QueueID:   j.qp.id,
+		Slot:      j.e.slot,
+		Op:        cmd.Op,
+		NSID:      cmd.NSID,
+		Submitted: j.e.ready,
+		Done:      res.End,
+		Result:    res,
+		cmd:       cmd,
+	}
+}
+
+// execDone is one finished job waiting in the reorder stage.
+type execDone struct {
+	qp *QueuePair
+	c  Completion
+}
+
+// inflightCmd tracks one dispatched command's footprint until its
+// completion is released.
+type inflightCmd struct {
+	seq uint64
+	fp  Footprint
+}
+
+// engine is the worker pool plus the reorder stage. The fields below
+// resultMu are owned by the sequencer: they are only touched from the
+// arbitration loop, under the host's execMu.
+type engine struct {
+	workers  int
+	jobs     chan execJob
+	stopOnce sync.Once
+
+	resultMu sync.Mutex
+	resultC  *sync.Cond
+	done     map[uint64]execDone // finished jobs keyed by sequence number
+
+	// Sequencer state (execMu).
+	nextSeq     uint64        // next sequence number to assign
+	nextRelease uint64        // next sequence number to complete
+	inflight    []inflightCmd // dispatched, completion not yet released
+	stats       ExecutorLog
+}
+
+// newEngine starts a worker pool of the given size (minimum 1; zero
+// selects GOMAXPROCS). Workers live until the engine is stopped.
+func newEngine(workers int) *engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eng := &engine{
+		workers: workers,
+		jobs:    make(chan execJob, workers),
+		done:    make(map[uint64]execDone),
+	}
+	eng.resultC = sync.NewCond(&eng.resultMu)
+	eng.stats.Executor = ExecutorPipelined
+	eng.stats.Workers = workers
+	for i := 0; i < workers; i++ {
+		go eng.worker()
+	}
+	return eng
+}
+
+// stop terminates the worker goroutines; idempotent. The pipeline must
+// be idle (every drain leaves it empty).
+func (eng *engine) stop() { eng.stopOnce.Do(func() { close(eng.jobs) }) }
+
+// worker executes jobs and parks each result in the reorder stage.
+// Jobs in flight together never conflict, so which worker runs which
+// job — and in what wall-clock order — cannot affect any result.
+func (eng *engine) worker() {
+	for j := range eng.jobs {
+		c := j.run()
+		eng.resultMu.Lock()
+		eng.done[j.seq] = execDone{qp: j.qp, c: c}
+		eng.resultC.Signal()
+		eng.resultMu.Unlock()
+	}
+}
+
+// Release modes of the reorder stage.
+const (
+	releaseReady = iota // pop whatever is already finished
+	releaseOne          // block until at least one completion releases
+	releaseAll          // block until the pipeline is empty
+)
+
+// release pops finished completions from the reorder stage in sequence
+// order and posts them to their queue pairs — the only place pipelined
+// completions become visible, which is what keeps completion-queue and
+// notification order identical to the serial executor. Caller is the
+// sequencer, holding execMu.
+func (eng *engine) release(h *Host, mode int) {
+	for {
+		eng.resultMu.Lock()
+		d, ok := eng.done[eng.nextRelease]
+		for !ok {
+			if mode == releaseReady || len(eng.inflight) == 0 {
+				eng.resultMu.Unlock()
+				return
+			}
+			eng.resultC.Wait()
+			d, ok = eng.done[eng.nextRelease]
+		}
+		delete(eng.done, eng.nextRelease)
+		eng.resultMu.Unlock()
+
+		if len(eng.inflight) == 0 || eng.inflight[0].seq != eng.nextRelease {
+			panic(fmt.Sprintf("hostif: reorder stage released seq %d out of order", eng.nextRelease))
+		}
+		eng.inflight = eng.inflight[:copy(eng.inflight, eng.inflight[1:])]
+		eng.nextRelease++
+		d.qp.complete(d.c)
+		h.executed.Add(1)
+		if mode == releaseOne {
+			mode = releaseReady
+		}
+	}
+}
+
+// barrier drains the pipeline completely: every dispatched command
+// completes and releases. Caller holds execMu.
+func (eng *engine) barrier(h *Host) {
+	if len(eng.inflight) > 0 {
+		eng.stats.BarrierStalls++
+	}
+	eng.release(h, releaseAll)
+}
+
+// conflicts reports whether fp conflicts with any in-flight command.
+func (eng *engine) conflicts(fp Footprint) bool {
+	for i := range eng.inflight {
+		if fp.Conflicts(eng.inflight[i].fp) {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch hands one granted command to the worker pool, first waiting
+// for any conflicting in-flight command to complete. Caller holds
+// execMu.
+func (eng *engine) dispatch(h *Host, j execJob, fp Footprint) {
+	if eng.conflicts(fp) {
+		eng.stats.ConflictStalls++
+		for eng.conflicts(fp) {
+			eng.release(h, releaseOne)
+		}
+	}
+	if n := len(eng.inflight); n > 0 {
+		eng.stats.Overlapped++
+		if n+1 > eng.stats.MaxInflight {
+			eng.stats.MaxInflight = n + 1
+		}
+	} else if eng.stats.MaxInflight == 0 {
+		eng.stats.MaxInflight = 1
+	}
+	eng.inflight = append(eng.inflight, inflightCmd{seq: j.seq, fp: fp})
+	eng.stats.Dispatched++
+	eng.jobs <- j
+}
+
+// drainPipelinedLocked is the pipelined twin of drainLocked: the
+// sequencer grants commands in arbitration order and feeds the
+// execution engine; the reorder stage posts completions back in grant
+// order. Caller holds execMu and delivers takeNotes() after releasing
+// it.
+func (h *Host) drainPipelinedLocked() {
+	eng := h.eng
+	for {
+		// Opportunistically retire finished work so the in-flight window
+		// (and its conflict scans) stay short.
+		eng.release(h, releaseReady)
+		best := h.arbitrate()
+		if best == nil {
+			eng.release(h, releaseAll)
+			h.flushNotifies()
+			return
+		}
+		e, ok := best.takeHead()
+		if !ok {
+			continue
+		}
+		seq := eng.nextSeq
+		eng.nextSeq++
+		eng.stats.Grants++
+		cmd := e.cmd
+
+		// Inline paths — each acts as a full barrier. Admin commands
+		// mutate host structures the sequencer itself reads; host-link
+		// transfers share one bus whose reservation order is the serial
+		// order; a bad NSID never reaches an adapter.
+		inline := cmd.Op.IsAdmin()
+		var ns Namespace
+		if !inline {
+			if h.cfg.ChargeHostLink {
+				inline = true
+			} else if err := checkNSID(h.namespaces(), cmd.NSID); err != nil {
+				inline = true
+			} else {
+				nsid := cmd.NSID
+				if nsid == 0 {
+					nsid = 1
+				}
+				ns = h.namespaces()[nsid-1]
+			}
+		}
+		if inline {
+			eng.barrier(h)
+			if eng.nextRelease != seq {
+				panic("hostif: sequencer released past an inline command")
+			}
+			eng.nextRelease = seq + 1
+			eng.stats.Inline++
+			best.complete(h.exec(best, e))
+			if !cmd.Op.IsAdmin() {
+				h.executed.Add(1)
+			}
+			continue
+		}
+		eng.dispatch(h, execJob{seq: seq, qp: best, e: e, ns: ns}, ns.Footprint(cmd).normalize())
+	}
+}
+
+// executorLog snapshots the pipeline counters. Caller holds execMu (the
+// admin path), so the sequencer state is quiescent. A serial host has
+// no sequencer stats; it reports its executed I/O count as grants, all
+// of them inline, with every pipeline counter zero.
+func (h *Host) executorLog() ExecutorLog {
+	if h.eng == nil {
+		return ExecutorLog{
+			Executor: ExecutorSerial,
+			Grants:   h.executed.Load(),
+			Inline:   h.executed.Load(),
+		}
+	}
+	return h.eng.stats
+}

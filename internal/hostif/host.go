@@ -1,7 +1,9 @@
 package hostif
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -24,6 +26,19 @@ type HostConfig struct {
 	// AdminDepth sizes the admin queue pair (queue 0); minimum and
 	// default 16.
 	AdminDepth int
+
+	// Executor selects the command-service engine: ExecutorSerial (the
+	// reference oracle; the zero value) runs every granted command
+	// inline in the arbitration loop, ExecutorPipelined decouples
+	// arbitration from media execution and overlaps grants with
+	// disjoint footprints on a worker pool. Both produce bit-identical
+	// completions; see engine.go.
+	Executor ExecutorKind
+
+	// Workers sizes the pipelined executor's worker pool; zero selects
+	// GOMAXPROCS. Ignored by the serial executor. The worker count
+	// affects wall-clock speed only, never results.
+	Workers int
 
 	// globalLock reintroduces the pre-sharding behavior for benchmark
 	// comparison only: every Submit/Ring additionally serializes on the
@@ -70,6 +85,9 @@ type Host struct {
 	notes     []Notification  // pending notifications (execMu)
 	noteBox   *[]Notification // pool box the current notes buffer rides in
 	notifiers atomic.Int32    // queue pairs with a notify handler
+
+	// eng is the pipelined execution engine (nil with ExecutorSerial).
+	eng *engine
 }
 
 // NewHost builds a host interface over the controller. The admin queue
@@ -88,6 +106,18 @@ func NewHost(ctrl *ox.Controller, cfg HostConfig) *Host {
 	h.notes = (*h.noteBox)[:0]
 	h.adminQP = h.openQueuePair(cfg.AdminDepth, ClassMedium)
 	h.adminQP.admin = true
+	switch cfg.Executor {
+	case "", ExecutorSerial:
+	case ExecutorPipelined:
+		h.eng = newEngine(cfg.Workers)
+		// Workers idle on the jobs channel between drains; stop them
+		// when the host itself becomes unreachable (the pipeline is
+		// always empty outside a drain, so no work can be lost).
+		eng := h.eng
+		runtime.SetFinalizer(h, func(*Host) { eng.stop() })
+	default:
+		panic(fmt.Sprintf("hostif: unknown executor %q", cfg.Executor))
+	}
 	return h
 }
 
@@ -209,6 +239,18 @@ func (h *Host) deleteQueuePair(qid int) error {
 // (diagnostics; admin commands are not counted).
 func (h *Host) Executed() int64 { return h.executed.Load() }
 
+// Close releases the host's execution engine: the pipelined executor's
+// worker goroutines exit immediately instead of waiting for the
+// garbage collector's finalizer backstop. Programs that build hosts in
+// a loop (sweeps, benchmarks) should Close each one when done with it.
+// Closing a serial host is a no-op; Close is idempotent. The host must
+// be idle — no Drain/Reap in progress and none issued afterwards.
+func (h *Host) Close() {
+	if h.eng != nil {
+		h.eng.stop()
+	}
+}
+
 // Drain executes every visible command across all queue pairs in
 // arbitration order, filling the completion queues and delivering any
 // due notifications.
@@ -233,8 +275,16 @@ const noHead = math.MaxInt64
 // runs. Partial notification batches are flushed when the drain runs
 // dry (the coalescing-timer analog).
 //
+// With ExecutorPipelined the same grant order feeds the worker pool
+// instead (engine.go); the reorder stage restores this loop's
+// completion order exactly, so both paths satisfy the same contract.
+//
 // Caller holds execMu and delivers takeNotes() after releasing it.
 func (h *Host) drainLocked() {
+	if h.eng != nil {
+		h.drainPipelinedLocked()
+		return
+	}
 	for {
 		best := h.arbitrate()
 		if best == nil {

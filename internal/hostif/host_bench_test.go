@@ -19,6 +19,15 @@ func (n nullNS) Execute(now vclock.Time, cmd *Command) Result {
 	return Result{End: now.Add(n.dur)}
 }
 
+// Footprint implements Namespace: stateless, so any command may overlap
+// with any other (one shared pseudo-domain, disjoint group masks).
+func (n nullNS) Footprint(cmd *Command) Footprint {
+	return Footprint{Domain: nullDomain, Groups: 1 << uint(cmd.LPN&63)}
+}
+
+// nullDomain is the shared footprint domain of all nullNS instances.
+var nullDomain = new(int)
+
 // BenchmarkHostMultiSubmitter measures wall-clock scaling of N
 // goroutines driving N queue pairs: each worker builds a payload per
 // command (the host-side work a real submitter does), stages a

@@ -245,4 +245,76 @@ type Namespace interface {
 	// Execute runs cmd at now. Implementations must be deterministic:
 	// equal (state, now, cmd) sequences yield equal results.
 	Execute(now vclock.Time, cmd *Command) Result
+	// Footprint classifies the media resources cmd will touch before it
+	// executes — the pipelined execution engine's overlap oracle. The
+	// returned footprint must be conservative: two commands whose
+	// footprints do not Conflict may Execute concurrently, and doing so
+	// must leave every result and every virtual-time reservation exactly
+	// as serial seq-order execution would (the determinism contract).
+	Footprint(cmd *Command) Footprint
+}
+
+// Footprint describes the serialization scope of one data command: the
+// timing domain it executes in and the device groups (channels) it
+// touches. The pipelined executor overlaps commands whose footprints
+// are disjoint and serializes the rest in grant order.
+//
+// Domain identifies the set of shared virtual-time resources the
+// command may reserve — conventionally the *ox.Controller of the FTL's
+// device stack, since controller cores, the memory bus and any
+// device-wide FTL lock all live under it. It must be a comparable value
+// (pointers are); commands in different domains never share state and
+// may always overlap. A nil Domain means "unknown": the command
+// conflicts with everything.
+//
+// Within a domain, Exclusive marks commands that must serialize against
+// every other command of the domain (device-wide FTL transactions,
+// write-back-cache admission, WAL appends, GC-triggering writes).
+// Non-exclusive commands carry a Groups bitmask (bit g = device group
+// g): two commands whose masks are disjoint touch disjoint per-group
+// channel buses and per-PU chip timelines, so their reservations
+// commute. A non-exclusive footprint with an empty mask is unknown and
+// is normalized to Exclusive.
+type Footprint struct {
+	Domain    any
+	Groups    uint64
+	Exclusive bool
+}
+
+// ExclusiveFootprint is the whole-domain footprint: the command
+// serializes against every other command of dom.
+func ExclusiveFootprint(dom any) Footprint {
+	return Footprint{Domain: dom, Exclusive: true}
+}
+
+// GroupFootprint scopes a command to a single device group of dom.
+// Groups beyond the mask width (≥ 64) fall back to exclusive.
+func GroupFootprint(dom any, group int) Footprint {
+	if group < 0 || group >= 64 {
+		return ExclusiveFootprint(dom)
+	}
+	return Footprint{Domain: dom, Groups: 1 << uint(group)}
+}
+
+// normalize folds the unknown cases into Exclusive.
+func (f Footprint) normalize() Footprint {
+	if f.Domain == nil || (!f.Exclusive && f.Groups == 0) {
+		f.Exclusive = true
+	}
+	return f
+}
+
+// Conflicts reports whether two (normalized) footprints may not
+// overlap in wall-clock time.
+func (f Footprint) Conflicts(g Footprint) bool {
+	if f.Domain == nil || g.Domain == nil {
+		return true
+	}
+	if f.Domain != g.Domain {
+		return false
+	}
+	if f.Exclusive || g.Exclusive {
+		return true
+	}
+	return f.Groups&g.Groups != 0
 }

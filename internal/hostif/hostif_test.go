@@ -24,6 +24,10 @@ func newFakeNS(dur vclock.Duration) *fakeNS {
 
 func (f *fakeNS) Name() string { return "fake" }
 
+// Footprint implements Namespace: all commands serialize on one
+// resource, so the namespace is one exclusive domain.
+func (f *fakeNS) Footprint(cmd *Command) Footprint { return ExclusiveFootprint(f.res) }
+
 func (f *fakeNS) Execute(now vclock.Time, cmd *Command) Result {
 	_, end := f.res.Acquire(now, f.dur)
 	f.mu.Lock()

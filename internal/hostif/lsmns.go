@@ -54,6 +54,17 @@ func (n *LSMNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
 	}
 }
 
+// Footprint implements Namespace. LightLSM table commands are
+// exclusive within their controller domain: the environment lock, the
+// chunk allocator, the WAL and the adapter's own writer table are
+// shared across every table, so commands of one environment never
+// overlap. (The writer map below is mutated by Execute on the
+// assumption that same-namespace commands are serialized — which this
+// footprint is what guarantees under the pipelined executor.)
+func (n *LSMNamespace) Footprint(cmd *Command) Footprint {
+	return ExclusiveFootprint(n.env.Controller())
+}
+
 func (n *LSMNamespace) writer(h uint64) (lsm.TableWriter, error) {
 	w, ok := n.writers[h]
 	if !ok {

@@ -42,6 +42,34 @@ func (n *ZoneNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
 	}
 }
 
+// Footprint implements Namespace. A zone is confined to one device
+// group, so a zone command's media footprint is exactly that group:
+// the per-group channel bus, the group's per-PU chip timelines and the
+// zone's own state. Commands on zones in different groups share
+// nothing and overlap freely under the pipelined executor — the §2.2
+// "parallel units never interfere" argument, end to end. Writes on a
+// device with a write-back cache are the exception (cache admission is
+// device-global), so they fall back to exclusive; reads never touch
+// the cache tracker and stay group-scoped on any device. Out-of-range
+// zones and foreign opcodes are unknown → exclusive.
+func (n *ZoneNamespace) Footprint(cmd *Command) Footprint {
+	dom := n.tgt.Controller()
+	switch cmd.Op {
+	case OpRead:
+	case OpWrite, OpZoneAppend, OpZoneReset, OpZoneFinish:
+		if !n.tgt.ConcurrentWriteSafe() {
+			return ExclusiveFootprint(dom)
+		}
+	default:
+		return ExclusiveFootprint(dom)
+	}
+	g, ok := n.tgt.ZoneGroup(cmd.Zone)
+	if !ok {
+		return ExclusiveFootprint(dom)
+	}
+	return GroupFootprint(dom, g)
+}
+
 // Execute implements Namespace.
 func (n *ZoneNamespace) Execute(now vclock.Time, cmd *Command) Result {
 	switch cmd.Op {

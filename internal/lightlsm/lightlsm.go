@@ -154,6 +154,12 @@ func (e *Env) BlockSize() int { return e.geo.UnitOfWriteBytes() }
 // BlocksPerChunk reports how many SSTable blocks fit one chunk.
 func (e *Env) BlocksPerChunk() int { return e.geo.StripesPerChunk() }
 
+// Controller reports the OX controller the environment accounts
+// against — the execution domain of every LightLSM table command. Table
+// operations share the environment lock, the allocator and the WAL, so
+// commands of one environment never overlap in wall-clock time.
+func (e *Env) Controller() *ox.Controller { return e.ctrl }
+
 // MaxTableBlocks implements lsm.Env: chunks × blocks-per-chunk.
 func (e *Env) MaxTableBlocks() int { return e.cfg.TableChunks * e.BlocksPerChunk() }
 

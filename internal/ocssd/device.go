@@ -265,6 +265,15 @@ func (d *Device) pu(g, u int) *puState { return &d.pus[g*d.geo.PUsPerGroup+u] }
 // Geometry reports the device geometry (the identify command of §2.2).
 func (d *Device) Geometry() Geometry { return d.geo }
 
+// WriteCacheEnabled reports whether the device models a write-back
+// cache. The cache admission tracker is device-global, serially
+// reusable state: when it is on, concurrent writes — even to disjoint
+// groups — interact through it, so callers that overlap writes for
+// wall-clock speed (the host's pipelined executor) must serialize all
+// writes on a cached device to keep virtual timing deterministic.
+// Reads never mutate the tracker and stay group-scoped either way.
+func (d *Device) WriteCacheEnabled() bool { return d.cache.enabled() }
+
 // Errors returns the asynchronous error notification channel.
 func (d *Device) Errors() <-chan AsyncError { return d.asyncC }
 

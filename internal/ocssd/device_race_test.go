@@ -280,3 +280,105 @@ func BenchmarkAppendReadReset(b *testing.B) {
 		}
 	}
 }
+
+// TestCrossGroupTimingCommutes is the device-level audit behind the
+// host's pipelined executor: on a cache-less device, the same per-group
+// schedule of appends, reads and resets must yield bit-identical
+// virtual completion times whether the groups run one after another on
+// a single goroutine or concurrently on one goroutine per group. It
+// proves no hidden cross-group (cross-PU, cross-channel) timing state
+// exists outside the write-back cache — per-group channel buses and
+// per-PU chip timelines commute, so disjoint-footprint overlap is safe.
+func TestCrossGroupTimingCommutes(t *testing.T) {
+	geo := raceGeometry()
+	geo.CacheMB = 0 // cache admission is the one device-global timeline
+	geo = Finish(geo)
+	const iters = 4
+
+	type opTime struct {
+		G  int
+		It int
+		T  vclock.Time
+	}
+	schedule := func(d *Device, g int, sink func(opTime)) error {
+		spc := geo.SectorsPerChunk()
+		data := make([]byte, spc*geo.Chip.SectorSize)
+		for i := range data {
+			data[i] = byte(g + i)
+		}
+		rd := make([]byte, spc*geo.Chip.SectorSize)
+		ppas := make([]PPA, spc)
+		var now vclock.Time
+		for it := 0; it < iters; it++ {
+			id := ChunkID{Group: g, PU: it % geo.PUsPerGroup, Chunk: it % geo.ChunksPerPU}
+			start, end, err := d.Append(now, id, data)
+			if err != nil {
+				return err
+			}
+			for s := range ppas {
+				ppas[s] = id.PPAOf(start + s)
+			}
+			end2, err := d.VectorRead(end, ppas, rd)
+			if err != nil {
+				return err
+			}
+			end3, err := d.Reset(end2, id)
+			if err != nil {
+				return err
+			}
+			sink(opTime{G: g, It: it, T: end3})
+			now = end3
+		}
+		return nil
+	}
+
+	run := func(concurrent bool) map[opTime]bool {
+		d, err := New(geo, Options{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		times := make(map[opTime]bool)
+		sink := func(ot opTime) {
+			mu.Lock()
+			times[ot] = true
+			mu.Unlock()
+		}
+		if !concurrent {
+			for g := 0; g < geo.Groups; g++ {
+				if err := schedule(d, g, sink); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return times
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, geo.Groups)
+		for g := 0; g < geo.Groups; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if err := schedule(d, g, sink); err != nil {
+					errs <- err
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		return times
+	}
+
+	serial := run(false)
+	conc := run(true)
+	if len(serial) != len(conc) {
+		t.Fatalf("op counts differ: %d vs %d", len(serial), len(conc))
+	}
+	for ot := range serial {
+		if !conc[ot] {
+			t.Fatalf("completion %+v present serially, missing concurrently", ot)
+		}
+	}
+}

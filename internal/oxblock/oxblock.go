@@ -336,6 +336,13 @@ func (d *Device) applyRecord(r ftlcore.Record) error {
 // Geometry reports the underlying device geometry.
 func (d *Device) Geometry() ocssd.Geometry { return d.geo }
 
+// Controller reports the OX controller the device accounts against —
+// the execution domain of every OX-Block command. All commands share
+// the device-wide transaction lock, the WAL and the controller's core
+// pool and memory bus, so the host interface must never overlap two
+// commands of the same controller domain.
+func (d *Device) Controller() *ox.Controller { return d.ctrl }
+
 // LogicalPages reports the exposed capacity in 4 KB pages.
 func (d *Device) LogicalPages() int64 { return d.cfg.LogicalPages }
 

@@ -124,6 +124,12 @@ func (s *Store) Stats() Stats {
 // BufferBytes reports the configured LSS I/O buffer size.
 func (s *Store) BufferBytes() int { return s.cfg.BufferBytes }
 
+// Controller reports the OX controller the store accounts against —
+// the execution domain of every OX-ELEOS command. Flushes cross the
+// controller memory bus and the store-wide lock, so commands of one
+// store never overlap in wall-clock time.
+func (s *Store) Controller() *ox.Controller { return s.ctrl }
+
 // Flush writes one LSS I/O buffer to flash and maps the pages it
 // contains. This is the Figure 7 write path: the buffer is copied from
 // the network stack into the FTL, then from the FTL to the device, and

@@ -76,21 +76,33 @@ type ZoneInfo struct {
 }
 
 // Target is a ZNS namespace over an Open-Channel SSD.
+//
+// Locking is per zone: the zone table is immutable after New (zone
+// count, chunk lists and group assignments never change), and each
+// zone's mutable state — write pointer and state machine — sits behind
+// that zone's own mutex. Commands on different zones therefore never
+// contend in the FTL, and because every zone is confined to one device
+// group, commands on zones in *different groups* share no media timing
+// resource at all (per-group channel bus, per-PU chip timeline). That
+// is the overlap the host's pipelined executor exploits: disjoint-group
+// zone commands run concurrently end-to-end with bit-identical virtual
+// timing. The one device-global exception is the write-back cache
+// admission tracker; see ConcurrentWriteSafe.
 type Target struct {
 	ctrl  *ox.Controller
 	media ox.Media
 	geo   ocssd.Geometry
 	cfg   Config
 
-	mu    sync.Mutex
-	zones []zone
+	zones []zone // immutable table; per-zone state behind zone.mu
 }
 
 type zone struct {
+	mu     sync.Mutex
 	state  ZoneState
 	wp     int64
-	chunks []ocssd.ChunkID
-	group  int
+	chunks []ocssd.ChunkID // immutable
+	group  int             // immutable
 }
 
 // New builds the target, carving every usable chunk into zones.
@@ -110,17 +122,27 @@ func New(ctrl *ox.Controller, cfg Config) (*Target, error) {
 		}
 		perGroup[ci.ID.Group] = append(perGroup[ci.ID.Group], ci.ID)
 	}
+	type zoneSpec struct {
+		chunks []ocssd.ChunkID
+		group  int
+	}
+	var specs []zoneSpec
 	for g, chunks := range perGroup {
 		for len(chunks) >= cfg.ChunksPerZone {
-			t.zones = append(t.zones, zone{
+			specs = append(specs, zoneSpec{
 				chunks: chunks[:cfg.ChunksPerZone],
 				group:  g,
 			})
 			chunks = chunks[cfg.ChunksPerZone:]
 		}
 	}
-	if len(t.zones) == 0 {
+	if len(specs) == 0 {
 		return nil, errors.New("zns: device too small for a single zone")
+	}
+	t.zones = make([]zone, len(specs))
+	for i, s := range specs {
+		t.zones[i].chunks = s.chunks
+		t.zones[i].group = s.group
 	}
 	return t, nil
 }
@@ -135,36 +157,54 @@ func (t *Target) ZoneCapacity() int64 {
 	return int64(t.cfg.ChunksPerZone) * t.geo.ChunkBytes()
 }
 
-// Zones reports the number of zones.
-func (t *Target) Zones() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.zones)
+// Zones reports the number of zones (fixed at construction).
+func (t *Target) Zones() int { return len(t.zones) }
+
+// Controller reports the OX controller the target accounts against —
+// the execution domain the host interface keys zone footprints by.
+func (t *Target) Controller() *ox.Controller { return t.ctrl }
+
+// ZoneGroup reports the device group backing zone idx. The mapping is
+// fixed at construction: a zone never spans groups.
+func (t *Target) ZoneGroup(idx int) (int, bool) {
+	if idx < 0 || idx >= len(t.zones) {
+		return 0, false
+	}
+	return t.zones[idx].group, true
+}
+
+// ConcurrentWriteSafe reports whether zone writes on different groups
+// may overlap in wall-clock time without perturbing virtual timing.
+// They may not when the device models a write-back cache: cache
+// admission is device-global serially-reusable state, so overlapping
+// writes would make its drain order scheduling-dependent. Reads are
+// always safe — they never mutate the cache tracker.
+func (t *Target) ConcurrentWriteSafe() bool {
+	c, ok := t.media.(interface{ WriteCacheEnabled() bool })
+	return ok && !c.WriteCacheEnabled()
 }
 
 // Report returns the zone report (the ZNS zone-management receive).
 func (t *Target) Report() []ZoneInfo {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	out := make([]ZoneInfo, len(t.zones))
 	for i := range t.zones {
-		out[i] = t.infoLocked(i)
+		out[i] = t.info(i)
 	}
 	return out
 }
 
 // Zone reports one zone.
 func (t *Target) Zone(idx int) (ZoneInfo, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if idx < 0 || idx >= len(t.zones) {
 		return ZoneInfo{}, fmt.Errorf("%w: %d", ErrZoneRange, idx)
 	}
-	return t.infoLocked(idx), nil
+	return t.info(idx), nil
 }
 
-func (t *Target) infoLocked(idx int) ZoneInfo {
+func (t *Target) info(idx int) ZoneInfo {
 	z := &t.zones[idx]
+	z.mu.Lock()
+	defer z.mu.Unlock()
 	return ZoneInfo{
 		Index:    idx,
 		State:    z.state,
@@ -188,12 +228,12 @@ func (t *Target) locate(z *zone, off int64) (ocssd.ChunkID, int) {
 // Write appends data at the zone's write pointer; offset must equal the
 // WP (ZNS sequential-write-required) and data must be whole blocks.
 func (t *Target) Write(now vclock.Time, idx int, offset int64, data []byte) (vclock.Time, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if idx < 0 || idx >= len(t.zones) {
 		return now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
 	}
 	z := &t.zones[idx]
+	z.mu.Lock()
+	defer z.mu.Unlock()
 	if offset != z.wp {
 		return now, fmt.Errorf("%w: offset %d, wp %d", ErrWritePointer, offset, z.wp)
 	}
@@ -203,16 +243,19 @@ func (t *Target) Write(now vclock.Time, idx int, offset int64, data []byte) (vcl
 // Append is the ZNS zone-append: data lands at the current WP, whose
 // value is returned (so concurrent appenders need no coordination).
 func (t *Target) Append(now vclock.Time, idx int, data []byte) (int64, vclock.Time, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if idx < 0 || idx >= len(t.zones) {
 		return 0, now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
 	}
-	at := t.zones[idx].wp
+	z := &t.zones[idx]
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	at := z.wp
 	end, err := t.appendLocked(now, idx, data)
 	return at, end, err
 }
 
+// appendLocked advances the zone write pointer. Caller holds the
+// zone's mutex.
 func (t *Target) appendLocked(now vclock.Time, idx int, data []byte) (vclock.Time, error) {
 	z := &t.zones[idx]
 	switch z.state {
@@ -250,19 +293,17 @@ func (t *Target) appendLocked(now vclock.Time, idx int, data []byte) (vclock.Tim
 // Read returns length bytes from the zone starting at offset; the range
 // must be block-aligned and below the write pointer.
 func (t *Target) Read(now vclock.Time, idx int, offset, length int64) ([]byte, vclock.Time, error) {
-	t.mu.Lock()
 	if idx < 0 || idx >= len(t.zones) {
-		t.mu.Unlock()
 		return nil, now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
 	}
 	z := &t.zones[idx]
 	blockBytes := int64(t.BlockSize())
 	if length <= 0 || offset < 0 || offset%blockBytes != 0 || length%blockBytes != 0 {
-		t.mu.Unlock()
 		return nil, now, fmt.Errorf("%w: [%d,+%d)", ErrAlignment, offset, length)
 	}
+	z.mu.Lock()
 	if offset+length > z.wp {
-		t.mu.Unlock()
+		z.mu.Unlock()
 		return nil, now, fmt.Errorf("%w: [%d,+%d) past wp %d", ErrUnwritten, offset, length, z.wp)
 	}
 	type ext struct {
@@ -274,7 +315,7 @@ func (t *Target) Read(now vclock.Time, idx int, offset, length int64) ([]byte, v
 		c, base := t.locate(z, off)
 		exts = append(exts, ext{chunk: c, base: base})
 	}
-	t.mu.Unlock()
+	z.mu.Unlock()
 
 	out := make([]byte, length)
 	end := now
@@ -296,12 +337,12 @@ func (t *Target) Read(now vclock.Time, idx int, offset, length int64) ([]byte, v
 // Reset returns the zone to empty (the ZNS reclaim primitive; chunk
 // resets only, like SSTable deletion in LightLSM).
 func (t *Target) Reset(now vclock.Time, idx int) (vclock.Time, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if idx < 0 || idx >= len(t.zones) {
 		return now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
 	}
 	z := &t.zones[idx]
+	z.mu.Lock()
+	defer z.mu.Unlock()
 	if z.state == ZoneOffline {
 		return now, fmt.Errorf("%w: zone %d offline", ErrZoneState, idx)
 	}
@@ -329,12 +370,12 @@ func (t *Target) Reset(now vclock.Time, idx int) (vclock.Time, error) {
 // Finish transitions a partially written zone to full (no more writes),
 // padding the underlying chunks so everything is durable.
 func (t *Target) Finish(now vclock.Time, idx int) (vclock.Time, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if idx < 0 || idx >= len(t.zones) {
 		return now, fmt.Errorf("%w: %d", ErrZoneRange, idx)
 	}
 	z := &t.zones[idx]
+	z.mu.Lock()
+	defer z.mu.Unlock()
 	if z.state == ZoneOffline {
 		return now, fmt.Errorf("%w: zone %d offline", ErrZoneState, idx)
 	}

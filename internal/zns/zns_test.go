@@ -3,6 +3,7 @@ package zns
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -273,5 +274,144 @@ func TestZoneIsolationAcrossGroups(t *testing.T) {
 	both := vclock.Max(aloneEnd, e2)
 	if float64(both) > 1.1*float64(aloneEnd) {
 		t.Fatalf("cross-group zone writes interfered: %v vs %v", aloneEnd, both)
+	}
+}
+
+// newCachelessTarget builds a target on a device without a write-back
+// cache — the configuration whose cross-group writes commute.
+func newCachelessTarget(t *testing.T) *Target {
+	t.Helper()
+	chip := nand.Geometry{
+		Planes: 2, BlocksPerPlane: 8, PagesPerBlock: 12,
+		SectorsPerPage: 4, SectorSize: 4096, Cell: nand.TLC,
+	}
+	geo := ocssd.Finish(ocssd.Geometry{
+		Groups: 4, PUsPerGroup: 2, ChunksPerPU: 8, Chip: chip,
+		ChannelMBps: 800, CacheMBps: 3200, CacheMB: 0, MaxOpenPerPU: 8,
+	})
+	dev, err := ocssd.New(geo, ocssd.Options{Seed: 1, PowerLossProtected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := ox.NewController(ox.DefaultConfig(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := New(ctrl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+func TestConcurrentWriteSafeTracksCache(t *testing.T) {
+	if newTarget(t).ConcurrentWriteSafe() {
+		t.Fatal("cached device reported write-overlap safe")
+	}
+	if !newCachelessTarget(t).ConcurrentWriteSafe() {
+		t.Fatal("cache-less device reported write-overlap unsafe")
+	}
+}
+
+func TestZoneGroupImmutableMapping(t *testing.T) {
+	tgt := newTarget(t)
+	for _, zi := range tgt.Report() {
+		g, ok := tgt.ZoneGroup(zi.Index)
+		if !ok || g != zi.Group {
+			t.Fatalf("zone %d: ZoneGroup = (%d,%v), report says group %d", zi.Index, g, ok, zi.Group)
+		}
+	}
+	if _, ok := tgt.ZoneGroup(tgt.Zones()); ok {
+		t.Fatal("out-of-range zone resolved a group")
+	}
+	if _, ok := tgt.ZoneGroup(-1); ok {
+		t.Fatal("negative zone resolved a group")
+	}
+}
+
+// TestConcurrentZonesDisjointGroups exercises the per-zone locking
+// under -race: one goroutine per group appends, reads back and resets
+// its own zone, and the virtual completion times must match a serial
+// run of the same schedules exactly (cross-group timing commutes on a
+// cache-less device).
+func TestConcurrentZonesDisjointGroups(t *testing.T) {
+	const rounds = 6
+	type res struct {
+		zone int
+		r    int
+		end  vclock.Time
+	}
+	schedule := func(tgt *Target, zone int, sink func(res)) error {
+		data := blockOf(tgt, byte(zone))
+		var now vclock.Time
+		for r := 0; r < rounds; r++ {
+			off, end, err := tgt.Append(now, zone, data)
+			if err != nil {
+				return err
+			}
+			if _, end, err = tgt.Read(end, zone, off, int64(len(data))); err != nil {
+				return err
+			}
+			if r == rounds-1 {
+				if end, err = tgt.Reset(end, zone); err != nil {
+					return err
+				}
+			}
+			sink(res{zone: zone, r: r, end: end})
+			now = end
+		}
+		return nil
+	}
+	zonesFor := func(tgt *Target) []int {
+		seen := map[int]bool{}
+		var zones []int
+		for _, zi := range tgt.Report() {
+			if !seen[zi.Group] {
+				seen[zi.Group] = true
+				zones = append(zones, zi.Index)
+			}
+		}
+		return zones
+	}
+	run := func(concurrent bool) map[res]bool {
+		tgt := newCachelessTarget(t)
+		out := make(map[res]bool)
+		var mu sync.Mutex
+		sink := func(x res) {
+			mu.Lock()
+			out[x] = true
+			mu.Unlock()
+		}
+		zones := zonesFor(tgt)
+		if !concurrent {
+			for _, z := range zones {
+				if err := schedule(tgt, z, sink); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return out
+		}
+		var wg sync.WaitGroup
+		for _, z := range zones {
+			wg.Add(1)
+			go func(z int) {
+				defer wg.Done()
+				if err := schedule(tgt, z, sink); err != nil {
+					t.Error(err)
+				}
+			}(z)
+		}
+		wg.Wait()
+		return out
+	}
+	serial := run(false)
+	conc := run(true)
+	if len(serial) != len(conc) || len(serial) == 0 {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(conc))
+	}
+	for x := range serial {
+		if !conc[x] {
+			t.Fatalf("serial completion %+v missing from concurrent run", x)
+		}
 	}
 }
