@@ -325,6 +325,33 @@ func BenchmarkAblationZeroCopy(b *testing.B) {
 
 // BenchmarkAblationCheckpointInterval sweeps Ci beyond the paper's two
 // settings to show the recovery/checkpoint-overhead trade-off.
+// BenchmarkCrashRecovery runs a reduced crashstorm — power-cut
+// kill/recover cycles on file-backed devices across all four FTLs —
+// and reports the total virtual recovery time and replay volume. It
+// guards the wall-clock cost of the durable backend's restore path and
+// the allocation discipline of WAL replay.
+func BenchmarkCrashRecovery(b *testing.B) {
+	cfg := exp.DefaultCrashstorm()
+	cfg.Cycles = 10
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Crashstorm(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var recoveryMs float64
+		var recs int64
+		for _, p := range points {
+			recoveryMs += p.RecoveryMs
+			recs += p.ReplayRecs
+		}
+		b.ReportMetric(recoveryMs, "recoveryVirt_ms")
+		b.ReportMetric(float64(recs), "replayedRecords")
+		if i == 0 {
+			b.Log("\n" + exp.CrashstormTable(points).Render())
+		}
+	}
+}
+
 func BenchmarkAblationCheckpointInterval(b *testing.B) {
 	cfg := benchFig3()
 	cfg.FailPoints = []vclock.Duration{20 * vclock.Second}

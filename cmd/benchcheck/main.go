@@ -37,6 +37,7 @@ var tracked = []string{
 	"BenchmarkFigure3Recovery",
 	"BenchmarkFigure7DataCopies",
 	"BenchmarkHostPipelinedExecutor",
+	"BenchmarkCrashRecovery",
 }
 
 type baseline struct {

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,tenants,scale,all")
+	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,tenants,scale,crashstorm,all")
 	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
 	executor := flag.String("executor", "serial", "host command-service engine: serial | pipelined (tables are bit-identical either way)")
 	workers := flag.Int("workers", 0, "pipelined executor worker-pool size (0 = GOMAXPROCS)")
@@ -142,6 +142,19 @@ func main() {
 			fatal(err)
 		}
 		emit("tenants_qos", exp.TenantsQoSTable(qos))
+	}
+	if all || want["crashstorm"] {
+		// 50 power-cut kill/recover cycles per FTL on a file-backed
+		// device; errors out on the first lost acknowledged write.
+		// All metrics are virtual or op counts, so the table joins the
+		// figure tables in the CI byte-diff determinism set.
+		cfg := exp.DefaultCrashstorm()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.Crashstorm(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("crashstorm", exp.CrashstormTable(points))
 	}
 	if all || want["scale"] {
 		// The scale sweep runs both executors itself (serial reference

@@ -11,6 +11,7 @@
 //	oxctl -cmd report
 //	oxctl -cmd placement -mode vertical
 //	oxctl -cmd executor [-executor pipelined]
+//	oxctl -cmd faults
 package main
 
 import (
@@ -19,15 +20,17 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/ocssd"
+	"repro/internal/oxblock"
 	"repro/internal/vclock"
 	"repro/internal/zns"
 )
 
 func main() {
-	cmd := flag.String("cmd", "geometry", "geometry | report | placement | executor")
+	cmd := flag.String("cmd", "geometry", "geometry | report | placement | executor | faults")
 	paper := flag.Bool("paper", false, "use the paper's exact Figure 4 geometry (1.4 TB)")
 	mode := flag.String("mode", "horizontal", "placement mode: horizontal | vertical")
 	executor := flag.String("executor", "pipelined", "engine for -cmd executor: serial | pipelined")
@@ -173,6 +176,68 @@ func main() {
 		fmt.Printf("  barrier stalls  %d\n", log.BarrierStalls)
 		fmt.Printf("  conflict stalls %d\n", log.ConflictStalls)
 		fmt.Printf("  max inflight    %d\n", log.MaxInflight)
+	case "faults":
+		// Build a rig with an aggressive fault injector, hammer it with
+		// writes and reads until chunks grow bad, then read the
+		// LogFaults admin page back over queue 0 — the device's error
+		// accounting is control-plane observable like any other log.
+		rig := exp.DefaultRig()
+		rig.Faults = fault.New(fault.Config{
+			Seed:          7,
+			ReadErrorRate: 0.05,
+			GrowBadAfter:  2,
+			EraseFailRate: 0.01,
+		})
+		_, ctrl, err := rig.Build()
+		fail(err)
+		d, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 4096}, 0)
+		fail(err)
+		host := hostif.NewHost(ctrl, hostif.HostConfig{})
+		admin := host.Admin()
+		nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(d))
+		fail(err)
+		qp, err := admin.CreateIOQueuePair(now, 1, hostif.ClassMedium)
+		fail(err)
+		data := make([]byte, 8*4096)
+		failures := map[hostif.Status]int{}
+		for i := 0; i < 400; i++ {
+			w := qp.AcquireCommand()
+			w.Op, w.NSID, w.LPN, w.Data = hostif.OpWrite, nsid, int64(i%64)*8, data
+			fail(qp.Push(now, w))
+			if comp := qp.MustReap(); comp.Err == nil {
+				now = comp.Done
+			} else {
+				failures[comp.Status]++
+			}
+			r := qp.AcquireCommand()
+			r.Op, r.NSID, r.LPN, r.Pages = hostif.OpRead, nsid, int64(i%64)*8, 8
+			fail(qp.Push(now, r))
+			if comp := qp.MustReap(); comp.Err == nil {
+				now = comp.Done
+			} else {
+				failures[comp.Status]++
+			}
+		}
+		fl, err := admin.FaultLog(now)
+		fail(err)
+		fmt.Printf("fault log (LogFaults over queue 0):\n")
+		fmt.Printf("  media ops        %d\n", fl.Injected.MediaOps)
+		fmt.Printf("  read errors      %d\n", fl.Injected.ReadErrors)
+		fmt.Printf("  program fails    %d\n", fl.Injected.ProgramFails)
+		fmt.Printf("  erase fails      %d\n", fl.Injected.EraseFails)
+		fmt.Printf("  grown bad        %d chunks\n", fl.GrownBadChunks)
+		fmt.Printf("  host completions with error status:\n")
+		for _, s := range []hostif.Status{hostif.StatusMediaRead, hostif.StatusMediaWrite, hostif.StatusOffline, hostif.StatusInternal} {
+			if failures[s] > 0 {
+				fmt.Printf("    %-12s %d\n", s, failures[s])
+			}
+		}
+		if n := len(fl.Events); n > 0 {
+			fmt.Printf("  last %d fault events:\n", min(n, 5))
+			for _, e := range fl.Events[max(0, n-5):] {
+				fmt.Printf("    %v: %s\n", e.Chunk, e.Err)
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "oxctl: unknown command %q\n", *cmd)
 		os.Exit(1)

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/hostif"
 	"repro/internal/nand"
 	"repro/internal/ocssd"
@@ -21,6 +22,11 @@ type RigConfig struct {
 	CacheMB       int
 	Seed          int64
 	PLP           bool
+	// BackendPath persists the device to a file (crashstorm); empty
+	// keeps the device in memory (every figure scenario).
+	BackendPath string
+	// Faults optionally injects media faults (crashstorm).
+	Faults *fault.Injector
 }
 
 // DefaultRig returns the standard scaled testbed.
@@ -68,8 +74,8 @@ func reapLoop(host *hostif.Host, what string, total int, onComplete func(hostif.
 	return nil
 }
 
-// Build constructs the device and controller.
-func (rc RigConfig) Build() (*ocssd.Device, *ox.Controller, error) {
+// geometry expands the rig sizing into the full device geometry.
+func (rc RigConfig) geometry() ocssd.Geometry {
 	chip := nand.Geometry{
 		Planes:         2,
 		BlocksPerPlane: rc.ChunksPerPU,
@@ -79,7 +85,7 @@ func (rc RigConfig) Build() (*ocssd.Device, *ox.Controller, error) {
 		OOBPerPage:     64,
 		Cell:           nand.TLC,
 	}
-	geo := ocssd.Finish(ocssd.Geometry{
+	return ocssd.Finish(ocssd.Geometry{
 		Groups:       rc.Groups,
 		PUsPerGroup:  rc.PUsPerGroup,
 		ChunksPerPU:  rc.ChunksPerPU,
@@ -89,13 +95,40 @@ func (rc RigConfig) Build() (*ocssd.Device, *ox.Controller, error) {
 		CacheMB:      rc.CacheMB,
 		MaxOpenPerPU: 64,
 	})
-	dev, err := ocssd.New(geo, ocssd.Options{Seed: rc.Seed, PowerLossProtected: rc.PLP})
+}
+
+func (rc RigConfig) options() ocssd.Options {
+	return ocssd.Options{
+		Seed:               rc.Seed,
+		PowerLossProtected: rc.PLP,
+		BackendPath:        rc.BackendPath,
+		Faults:             rc.Faults,
+	}
+}
+
+// Build constructs the device and controller.
+func (rc RigConfig) Build() (*ocssd.Device, *ox.Controller, error) {
+	dev, err := ocssd.New(rc.geometry(), rc.options())
 	if err != nil {
 		return nil, nil, fmt.Errorf("exp: building device: %w", err)
 	}
 	ctrl, err := ox.NewController(ox.DefaultConfig(), dev)
 	if err != nil {
 		return nil, nil, fmt.Errorf("exp: building controller: %w", err)
+	}
+	return dev, ctrl, nil
+}
+
+// Reopen restores the device from its file backend (BackendPath must
+// be set) — the crashstorm's power-on after a cut.
+func (rc RigConfig) Reopen() (*ocssd.Device, *ox.Controller, error) {
+	dev, err := ocssd.OpenDevice(rc.geometry(), rc.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: reopening device: %w", err)
+	}
+	ctrl, err := ox.NewController(ox.DefaultConfig(), dev)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: rebuilding controller: %w", err)
 	}
 	return dev, ctrl, nil
 }

@@ -1,0 +1,226 @@
+// Package fault is the deterministic fault-injection layer of the
+// device stack — the simulated counterpart of the QEMU OCSSD device's
+// error-injection knobs. An Injector is seeded once and consulted by
+// the device at every media operation (stripe program, page-read batch,
+// chunk erase); its verdicts are a pure function of the seed and the
+// operation sequence, so a faulty run is exactly as reproducible as a
+// fault-free one.
+//
+// The taxonomy (see DESIGN.md, "Durability & fault model"):
+//
+//   - read errors: a vector read of a chunk fails with ErrReadError
+//     (uncorrectable ECC); after GrowBadAfter errors on the same chunk
+//     the verdict escalates to grow-bad and the device retires the
+//     chunk (OFFLINE in the chunk report),
+//   - program failures: a stripe program fails with ErrProgramFail and
+//     the chunk goes OFFLINE, like a native NAND program failure,
+//   - erase failures: a chunk reset fails with ErrEraseFail, OFFLINE,
+//   - power cut: PowerCut(n) arms a trigger that kills the device at
+//     the n-th subsequent media operation. Every operation from that
+//     point returns ErrPowerCut; with TornWrites, a cut that lands on a
+//     stripe program persists only a prefix of the stripe to the
+//     durable backend — the classic torn write.
+//
+// The injector deliberately knows nothing about the device's address
+// types: chunks are identified by an opaque uint64 key supplied by the
+// caller, which keeps this package dependency-free.
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// Op classifies a media operation for fault matching.
+type Op uint8
+
+// Media operation classes.
+const (
+	OpRead Op = iota + 1
+	OpProgram
+	OpErase
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return "op?"
+	}
+}
+
+// Typed errors surfaced to the FTLs. The device wraps them with the
+// failing chunk address, so errors.Is works through the whole stack up
+// to the host-interface completion status.
+var (
+	// ErrPowerCut is returned by every media operation after the armed
+	// power cut fires: the device is dead until reopened from its
+	// durable backend.
+	ErrPowerCut = errors.New("fault: power lost")
+	// ErrReadError is an injected uncorrectable media read error.
+	ErrReadError = errors.New("fault: uncorrectable read error")
+	// ErrProgramFail is an injected stripe-program failure.
+	ErrProgramFail = errors.New("fault: program failure")
+	// ErrEraseFail is an injected chunk-erase failure.
+	ErrEraseFail = errors.New("fault: erase failure")
+)
+
+// Config parameterizes an Injector. All rates are per media operation
+// of the matching class; zero rates draw no randomness at all, so an
+// injector configured only with a power cut stays bit-deterministic
+// regardless of operation mix.
+type Config struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// ReadErrorRate is the probability that a chunk's page-read batch
+	// fails with ErrReadError.
+	ReadErrorRate float64
+	// GrowBadAfter escalates a chunk to OFFLINE after that many injected
+	// read errors on it (0 = never escalate).
+	GrowBadAfter int
+	// ProgramFailRate is the probability that a stripe program fails
+	// with ErrProgramFail (chunk goes OFFLINE).
+	ProgramFailRate float64
+	// EraseFailRate is the probability that a chunk reset fails with
+	// ErrEraseFail (chunk goes OFFLINE).
+	EraseFailRate float64
+	// TornWrites makes a power cut that lands on a stripe program
+	// persist a strict prefix of the stripe to the backend.
+	TornWrites bool
+}
+
+// Verdict is the injector's decision for one media operation.
+type Verdict struct {
+	// PowerCut reports that the device dies at this operation.
+	PowerCut bool
+	// TornSectors is the number of sectors of the in-flight stripe that
+	// persist when a power cut lands on a program (0 = none; only ever
+	// non-zero with Config.TornWrites).
+	TornSectors int
+	// Err is the injected failure (nil = the operation proceeds).
+	Err error
+	// GrowBad transitions the chunk to OFFLINE alongside Err.
+	GrowBad bool
+}
+
+// Stats counts injector activity; it is the payload of the device's
+// fault log page.
+type Stats struct {
+	MediaOps     int64 // operations consulted
+	ReadErrors   int64 // injected read errors
+	ProgramFails int64 // injected program failures
+	EraseFails   int64 // injected erase failures
+	GrownBad     int64 // chunks escalated to OFFLINE
+	CutArmed     bool  // a power cut is pending
+	CutAfter     int64 // operations until it fires
+	Dead         bool  // the power cut fired
+}
+
+// Injector decides the fate of media operations. Safe for concurrent
+// use; decisions are serialized, so a deterministic operation order
+// yields a deterministic fault sequence.
+type Injector struct {
+	mu       sync.Mutex
+	cfg      Config
+	rng      *rand.Rand
+	readErrs map[uint64]int // per-chunk injected read errors
+	cutAfter int64          // media ops until the cut fires; <0 disarmed
+	dead     bool
+	stats    Stats
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		readErrs: make(map[uint64]int),
+		cutAfter: -1,
+	}
+}
+
+// PowerCut arms the trigger: the n-th media operation from now (n ≥ 1)
+// dies with ErrPowerCut, and every operation after it. Re-arming
+// replaces a pending trigger.
+func (in *Injector) PowerCut(n int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	in.cutAfter = n
+}
+
+// Dead reports whether the power cut has fired.
+func (in *Injector) Dead() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dead
+}
+
+// Stats returns a snapshot of the injector counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.stats
+	s.CutArmed = in.cutAfter > 0
+	s.CutAfter = in.cutAfter
+	s.Dead = in.dead
+	return s
+}
+
+// OnOp decides the fate of one media operation on the chunk identified
+// by key. stripeSectors is the stripe size of a program (ignored for
+// other classes); it bounds Verdict.TornSectors.
+func (in *Injector) OnOp(op Op, key uint64, stripeSectors int) Verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.dead {
+		return Verdict{PowerCut: true, Err: ErrPowerCut}
+	}
+	in.stats.MediaOps++
+	if in.cutAfter > 0 {
+		in.cutAfter--
+		if in.cutAfter == 0 {
+			in.dead = true
+			v := Verdict{PowerCut: true, Err: ErrPowerCut}
+			if op == OpProgram && in.cfg.TornWrites && stripeSectors > 0 {
+				v.TornSectors = in.rng.Intn(stripeSectors)
+			}
+			return v
+		}
+	}
+	switch op {
+	case OpRead:
+		if in.cfg.ReadErrorRate > 0 && in.rng.Float64() < in.cfg.ReadErrorRate {
+			in.stats.ReadErrors++
+			in.readErrs[key]++
+			v := Verdict{Err: ErrReadError}
+			if in.cfg.GrowBadAfter > 0 && in.readErrs[key] >= in.cfg.GrowBadAfter {
+				v.GrowBad = true
+				in.stats.GrownBad++
+				delete(in.readErrs, key) // retired: stop counting
+			}
+			return v
+		}
+	case OpProgram:
+		if in.cfg.ProgramFailRate > 0 && in.rng.Float64() < in.cfg.ProgramFailRate {
+			in.stats.ProgramFails++
+			in.stats.GrownBad++
+			return Verdict{Err: ErrProgramFail, GrowBad: true}
+		}
+	case OpErase:
+		if in.cfg.EraseFailRate > 0 && in.rng.Float64() < in.cfg.EraseFailRate {
+			in.stats.EraseFails++
+			in.stats.GrownBad++
+			return Verdict{Err: ErrEraseFail, GrowBad: true}
+		}
+	}
+	return Verdict{}
+}

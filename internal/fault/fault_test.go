@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPowerCutFiresAtNthOp(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.PowerCut(3)
+	for i := 0; i < 2; i++ {
+		if v := in.OnOp(OpProgram, 0, 24); v.PowerCut || v.Err != nil {
+			t.Fatalf("op %d: unexpected verdict %+v", i, v)
+		}
+	}
+	v := in.OnOp(OpProgram, 0, 24)
+	if !v.PowerCut || !errors.Is(v.Err, ErrPowerCut) {
+		t.Fatalf("third op must cut: %+v", v)
+	}
+	if !in.Dead() {
+		t.Fatal("injector must be dead after the cut")
+	}
+	// Every subsequent op is dead too.
+	if v := in.OnOp(OpRead, 9, 0); !v.PowerCut {
+		t.Fatalf("post-cut op survived: %+v", v)
+	}
+}
+
+func TestTornWriteOnlyOnProgramCut(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		in := New(Config{Seed: seed, TornWrites: true})
+		in.PowerCut(1)
+		v := in.OnOp(OpProgram, 0, 24)
+		if !v.PowerCut {
+			t.Fatal("cut must fire")
+		}
+		if v.TornSectors < 0 || v.TornSectors >= 24 {
+			t.Fatalf("torn sectors %d out of [0,24)", v.TornSectors)
+		}
+	}
+	// A cut on a read never tears.
+	in := New(Config{Seed: 1, TornWrites: true})
+	in.PowerCut(1)
+	if v := in.OnOp(OpRead, 0, 0); v.TornSectors != 0 {
+		t.Fatalf("read cut tore: %+v", v)
+	}
+}
+
+func TestDeterministicVerdictSequence(t *testing.T) {
+	run := func() []Verdict {
+		in := New(Config{Seed: 7, ReadErrorRate: 0.3, ProgramFailRate: 0.2, EraseFailRate: 0.1, GrowBadAfter: 2})
+		var out []Verdict
+		for i := 0; i < 200; i++ {
+			out = append(out, in.OnOp(Op(i%3+1), uint64(i%5), 24))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGrowBadEscalation(t *testing.T) {
+	in := New(Config{Seed: 3, ReadErrorRate: 1.0, GrowBadAfter: 3})
+	grew := 0
+	for i := 0; i < 3; i++ {
+		v := in.OnOp(OpRead, 42, 0)
+		if !errors.Is(v.Err, ErrReadError) {
+			t.Fatalf("read %d: want ErrReadError, got %+v", i, v)
+		}
+		if v.GrowBad {
+			grew++
+			if i != 2 {
+				t.Fatalf("escalated at read %d, want 2", i)
+			}
+		}
+	}
+	if grew != 1 {
+		t.Fatalf("escalations = %d, want 1", grew)
+	}
+	st := in.Stats()
+	if st.ReadErrors != 3 || st.GrownBad != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestZeroRatesDrawNoFaults(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if v := in.OnOp(OpProgram, uint64(i), 24); v != (Verdict{}) {
+			t.Fatalf("op %d: spurious verdict %+v", i, v)
+		}
+	}
+	if st := in.Stats(); st.MediaOps != 1000 || st.ReadErrors+st.ProgramFails+st.EraseFails != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

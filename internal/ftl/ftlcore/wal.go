@@ -95,6 +95,10 @@ type LSN int64
 var (
 	ErrWALFull        = errors.New("ftlcore: WAL out of chunks")
 	ErrRecordTooLarge = errors.New("ftlcore: record larger than a log segment")
+	// ErrCorruptRecord reports a WAL record frame that fails its checksum
+	// mid-log: later records exist in the segment, so this is corruption,
+	// not the torn tail a power cut legitimately leaves at the end.
+	ErrCorruptRecord = errors.New("ftlcore: corrupt WAL record")
 )
 
 // WALConfig tunes the recovery log.
@@ -452,7 +456,19 @@ func replaySegment(media ox.Media, ctrl *ox.Controller, cfg WALConfig, now vcloc
 	for off < len(buf) {
 		rec, n, ok := decodeRecord(buf[off:])
 		if !ok {
-			// Padding or torn tail: skip to the next stripe boundary.
+			if buf[off] != byte(recPad) {
+				// A record frame that fails to decode. Writing stops at a
+				// tear, so a valid record at any later stripe boundary
+				// (records realign there after every sync) proves this is
+				// corruption rather than the torn tail of a power cut.
+				for probe := (off/stripeBytes + 1) * stripeBytes; probe < len(buf); probe += stripeBytes {
+					if _, _, valid := decodeRecord(buf[probe:]); valid {
+						return count, end, fmt.Errorf("%w: %v byte %d", ErrCorruptRecord, chunk, off)
+					}
+				}
+				break // torn tail: the log ends at the last durable record
+			}
+			// Padding: skip to the next stripe boundary.
 			next := (off/stripeBytes + 1) * stripeBytes
 			if next >= len(buf) {
 				break

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/ocssd"
+	"repro/internal/ox"
 	"repro/internal/vclock"
 )
 
@@ -291,5 +292,140 @@ func TestEncodeDecodeRecord(t *testing.T) {
 	// Padding is not a record.
 	if _, _, ok := decodeRecord(make([]byte, 64)); ok {
 		t.Fatal("padding decoded as record")
+	}
+}
+
+// corruptMedia wraps a Media and xors bytes of one chunk on reads, to
+// model bit rot between append and replay.
+type corruptMedia struct {
+	ox.Media
+	chunk ocssd.ChunkID
+	flip  map[int]byte // chunk byte offset → xor mask
+}
+
+func (c *corruptMedia) VectorRead(now vclock.Time, ppas []ocssd.PPA, dst []byte) (vclock.Time, error) {
+	end, err := c.Media.VectorRead(now, ppas, dst)
+	if err != nil {
+		return end, err
+	}
+	sz := c.Media.Geometry().Chip.SectorSize
+	for i, p := range ppas {
+		if p.ChunkOf() != c.chunk {
+			continue
+		}
+		for off, mask := range c.flip {
+			if off/sz == p.Sector {
+				dst[i*sz+off%sz] ^= mask
+			}
+		}
+	}
+	return end, nil
+}
+
+// syncedWAL builds a WAL with n synced single-record stripes, so record
+// i sits at stripe boundary i (the segment header shares stripe 0).
+func syncedWAL(t *testing.T, n int) (*WAL, *ocssd.Device, *ox.Controller) {
+	t.Helper()
+	d, ctrl := testDevice(t, ocssd.Options{Seed: 1})
+	a := NewAllocator(d, nil)
+	w, err := NewWAL(d, ctrl, a, WALConfig{Target: AnyTarget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := vclock.Time(0)
+	for i := 0; i < n; i++ {
+		r := Record{Type: RecTxCommit, TxID: uint64(i + 1), Payload: []byte{byte(i)}}
+		if _, end, err := w.Append(now, r, true); err != nil {
+			t.Fatal(err)
+		} else {
+			now = end
+		}
+	}
+	return w, d, ctrl
+}
+
+func TestWALReplayCorruptMidLogTypedError(t *testing.T) {
+	w, d, ctrl := syncedWAL(t, 3)
+	seg := w.Segments()[0]
+	stripe := d.Geometry().UnitOfWriteBytes()
+	// Flip a byte inside record 2's frame (stripe 1). Records 1 and 3
+	// still decode, so replay must fail typed instead of skipping.
+	cm := &corruptMedia{Media: d, chunk: seg, flip: map[int]byte{stripe + 2: 0xff}}
+	segs, _, _, err := ScanLog(0, cm, ctrl)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("ScanLog: %v, %d segments", err, len(segs))
+	}
+	var got []uint64
+	n, _, err := ReplayLog(0, cm, ctrl, WALConfig{}, segs, 0, 0, func(r Record) error {
+		got = append(got, r.TxID)
+		return nil
+	})
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("want ErrCorruptRecord, got %v (replayed %v)", err, got)
+	}
+	if n != 1 || len(got) != 1 || got[0] != 1 {
+		t.Fatalf("records before the corruption must replay: n=%d got=%v", n, got)
+	}
+}
+
+func TestWALReplayTornTailStopsClean(t *testing.T) {
+	w, d, ctrl := syncedWAL(t, 3)
+	seg := w.Segments()[0]
+	stripe := d.Geometry().UnitOfWriteBytes()
+	// Corrupt the LAST record: no valid record follows, so this is
+	// indistinguishable from a torn tail and replay stops cleanly.
+	cm := &corruptMedia{Media: d, chunk: seg, flip: map[int]byte{2*stripe + 2: 0xff}}
+	segs, _, _, err := ScanLog(0, cm, ctrl)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("ScanLog: %v, %d segments", err, len(segs))
+	}
+	var got []uint64
+	n, _, err := ReplayLog(0, cm, ctrl, WALConfig{}, segs, 0, 0, func(r Record) error {
+		got = append(got, r.TxID)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("torn tail must not be fatal: %v", err)
+	}
+	if n != 2 || len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("want records 1,2 before the tear: n=%d got=%v", n, got)
+	}
+}
+
+// TestWALTornRecordFromCrash drives the real tear: a record larger than
+// one ws_min unit drains partially to media, then power is lost. The
+// persisted prefix fails its checksum and replay stops at the last
+// durable record without an error.
+func TestWALTornRecordFromCrash(t *testing.T) {
+	d, ctrl := testDevice(t, ocssd.Options{Seed: 1, PowerLossProtected: true})
+	a := NewAllocator(d, nil)
+	w, err := NewWAL(d, ctrl, a, WALConfig{Target: AnyTarget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Append(0, Record{Type: RecTxCommit, TxID: 1, Payload: []byte("ok")}, true); err != nil {
+		t.Fatal(err)
+	}
+	// A record spanning multiple units: its first unit reaches media, the
+	// rest dies with controller RAM.
+	big := Record{Type: RecTxCommit, TxID: 2, Payload: bytes.Repeat([]byte{0xab}, 5*w.unitBytes())}
+	if _, _, err := w.Append(0, big, false); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	segs, _, _, err := ScanLog(0, d, ctrl)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("ScanLog: %v, %d segments", err, len(segs))
+	}
+	var got []uint64
+	n, _, err := ReplayLog(0, d, ctrl, WALConfig{}, segs, 0, 0, func(r Record) error {
+		got = append(got, r.TxID)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("crash tear must not be fatal: %v", err)
+	}
+	if n != 1 || len(got) != 1 || got[0] != 1 {
+		t.Fatalf("want only the synced record: n=%d got=%v", n, got)
 	}
 }

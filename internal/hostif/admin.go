@@ -50,6 +50,10 @@ const (
 	// LogTableChunks returns the []ocssd.ChunkID backing the committed
 	// LightLSM table named by Command.Handle.
 	LogTableChunks
+	// LogFaults returns the device fault log (ocssd.FaultLog): injected
+	// fault counters, grown-bad chunk count and the recent retirement
+	// ring, when the media keeps one.
+	LogFaults
 	// LogExecutor returns the execution-engine counters (ExecutorLog):
 	// grants, dispatches, realized overlap, barrier and conflict stalls.
 	LogExecutor
@@ -117,6 +121,11 @@ type logPager interface {
 // mediaStats is the optional Media extension behind LogMediaStats.
 type mediaStats interface {
 	Stats() ocssd.Stats
+}
+
+// faultLogger is the optional Media extension behind LogFaults.
+type faultLogger interface {
+	FaultLog() ocssd.FaultLog
 }
 
 // execAdmin runs one admin command at virtual instant now. Admin
@@ -192,6 +201,12 @@ func (h *Host) logPage(now vclock.Time, cmd *Command) (any, error) {
 			return nil, fmt.Errorf("%w: media has no stats", ErrBadLogPage)
 		}
 		return m.Stats(), nil
+	case LogFaults:
+		m, ok := h.ctrl.Media().(faultLogger)
+		if !ok {
+			return nil, fmt.Errorf("%w: media has no fault log", ErrBadLogPage)
+		}
+		return m.FaultLog(), nil
 	case LogExecutor:
 		return h.executorLog(), nil
 	}
@@ -333,6 +348,15 @@ func (a *AdminClient) MediaStats(now vclock.Time) (ocssd.Stats, error) {
 		return ocssd.Stats{}, err
 	}
 	return v.(ocssd.Stats), nil
+}
+
+// FaultLog returns the device fault log page.
+func (a *AdminClient) FaultLog(now vclock.Time) (ocssd.FaultLog, error) {
+	v, err := a.GetLogPage(now, LogFaults, 0)
+	if err != nil {
+		return ocssd.FaultLog{}, err
+	}
+	return v.(ocssd.FaultLog), nil
 }
 
 // ExecutorStats returns the execution-engine log page: which engine is

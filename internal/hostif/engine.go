@@ -85,6 +85,7 @@ type execJob struct {
 func (j execJob) run() Completion {
 	cmd := j.e.cmd
 	res := j.ns.Execute(j.e.ready, cmd)
+	res.Status = StatusOf(res.Err)
 	return Completion{
 		QueueID:   j.qp.id,
 		Slot:      j.e.slot,

@@ -309,6 +309,8 @@ func (h *Host) drainLocked() {
 func (h *Host) exec(qp *QueuePair, e sqe) Completion {
 	cmd := e.cmd
 	if cmd.Op.IsAdmin() {
+		res := h.execAdmin(e.ready, cmd)
+		res.Status = StatusOf(res.Err)
 		return Completion{
 			QueueID:   qp.id,
 			Slot:      e.slot,
@@ -316,7 +318,7 @@ func (h *Host) exec(qp *QueuePair, e sqe) Completion {
 			NSID:      cmd.NSID,
 			Submitted: e.ready,
 			Done:      e.ready,
-			Result:    h.execAdmin(e.ready, cmd),
+			Result:    res,
 			cmd:       cmd,
 		}
 	}
@@ -342,6 +344,7 @@ func (h *Host) exec(qp *QueuePair, e sqe) Completion {
 			res.End = h.ctrl.HostTransfer(res.End, int64(len(cmd.Dst)))
 		}
 	}
+	res.Status = StatusOf(res.Err)
 	return Completion{
 		QueueID:   qp.id,
 		Slot:      e.slot,

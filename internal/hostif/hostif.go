@@ -39,6 +39,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
+	"repro/internal/ocssd"
 	"repro/internal/vclock"
 )
 
@@ -160,6 +162,78 @@ var (
 	ErrBadLogPage = errors.New("hostif: log page not supported")
 )
 
+// Status classifies a completion's Err into an NVMe-style status class
+// so drivers and recovery paths can switch on failure kind without
+// unwrapping error chains.
+type Status uint8
+
+// Completion status classes.
+const (
+	// StatusOK is a successful command.
+	StatusOK Status = iota
+	// StatusInvalid is a host- or FTL-side rejection: malformed
+	// address, unsupported op, bad namespace — the media was fine.
+	StatusInvalid
+	// StatusMediaRead is an uncorrectable NAND read error.
+	StatusMediaRead
+	// StatusMediaWrite is a program or erase failure; the device has
+	// retired the chunk (it is now offline).
+	StatusMediaWrite
+	// StatusOffline is an access to a chunk already marked offline.
+	StatusOffline
+	// StatusPowerLoss means the device lost power mid-command; no
+	// further commands will succeed until the device is reopened.
+	StatusPowerLoss
+	// StatusInternal is any other failure.
+	StatusInternal
+)
+
+var statusNames = [...]string{
+	StatusOK:         "ok",
+	StatusInvalid:    "invalid",
+	StatusMediaRead:  "media-read",
+	StatusMediaWrite: "media-write",
+	StatusOffline:    "offline",
+	StatusPowerLoss:  "power-loss",
+	StatusInternal:   "internal",
+}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// StatusOf classifies an error the way the completion path does. The
+// media-error classes are driven by the typed errors of the fault
+// injector and the device, so recovery code observes the same taxonomy
+// whether it calls an FTL directly or goes through the host interface.
+func StatusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, fault.ErrPowerCut):
+		return StatusPowerLoss
+	case errors.Is(err, fault.ErrReadError):
+		return StatusMediaRead
+	case errors.Is(err, fault.ErrProgramFail), errors.Is(err, fault.ErrEraseFail):
+		return StatusMediaWrite
+	case errors.Is(err, ocssd.ErrOffline):
+		return StatusOffline
+	case errors.Is(err, ErrBadNSID), errors.Is(err, ErrUnsupported),
+		errors.Is(err, ErrBadHandle), errors.Is(err, ErrAdminOnly),
+		errors.Is(err, ErrIOOnAdmin), errors.Is(err, ErrBadLogPage),
+		errors.Is(err, ocssd.ErrAddress), errors.Is(err, ocssd.ErrWritePointer),
+		errors.Is(err, ocssd.ErrWriteSize), errors.Is(err, ocssd.ErrChunkState),
+		errors.Is(err, ocssd.ErrChunkFull), errors.Is(err, ocssd.ErrUnwritten),
+		errors.Is(err, ocssd.ErrOpenLimit), errors.Is(err, ocssd.ErrDataSize):
+		return StatusInvalid
+	default:
+		return StatusInternal
+	}
+}
+
 // Command is one submission-queue entry. Fields are interpreted per
 // opcode and namespace; unused fields are ignored.
 type Command struct {
@@ -198,6 +272,9 @@ type Result struct {
 	End vclock.Time
 	// Err is the command status (nil on success).
 	Err error
+	// Status classifies Err (StatusOK when nil); filled by the
+	// completion path, so namespace adapters may leave it zero.
+	Status Status
 	// Data holds read results (OpRead).
 	Data []byte
 	// Offset is where an OpZoneAppend landed.

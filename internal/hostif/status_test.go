@@ -1,0 +1,102 @@
+package hostif
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+	"repro/internal/oxblock"
+)
+
+func TestStatusOfTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Status
+	}{
+		{nil, StatusOK},
+		{fault.ErrPowerCut, StatusPowerLoss},
+		{fmt.Errorf("wrapped: %w", fault.ErrReadError), StatusMediaRead},
+		{fault.ErrProgramFail, StatusMediaWrite},
+		{fault.ErrEraseFail, StatusMediaWrite},
+		{ocssd.ErrOffline, StatusOffline},
+		{ErrBadNSID, StatusInvalid},
+		{ocssd.ErrUnwritten, StatusInvalid},
+		{errors.New("mystery"), StatusInternal},
+	}
+	for _, c := range cases {
+		if got := StatusOf(c.err); got != c.want {
+			t.Errorf("StatusOf(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestCompletionCarriesMediaStatus injects NAND read errors under a
+// block namespace and checks the typed status surfaces in completions
+// and that the fault log page reports the injections.
+func TestCompletionCarriesMediaStatus(t *testing.T) {
+	chip := nand.Geometry{
+		Planes: 2, BlocksPerPlane: 16, PagesPerBlock: 12,
+		SectorsPerPage: 4, SectorSize: 4096, Cell: nand.TLC,
+	}
+	geo := ocssd.Finish(ocssd.Geometry{
+		Groups: 2, PUsPerGroup: 2, ChunksPerPU: 16, Chip: chip,
+		ChannelMBps: 800, CacheMBps: 3200, CacheMB: 8, MaxOpenPerPU: 64,
+	})
+	inj := fault.New(fault.Config{Seed: 3, ReadErrorRate: 1, GrowBadAfter: 1 << 30})
+	dev, err := ocssd.New(geo, ocssd.Options{Seed: 1, PowerLossProtected: true, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := ox.NewController(ox.DefaultConfig(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 256}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := NewHost(ctrl, HostConfig{})
+	nsid := attachNS(t, host, NewBlockNamespace(d))
+	qp := openQP(t, host, 4)
+
+	data := make([]byte, 8*4096)
+	wcmd := qp.AcquireCommand()
+	*wcmd = Command{Op: OpWrite, NSID: nsid, LPN: 0, Data: data}
+	if err := qp.Push(now, wcmd); err != nil {
+		t.Fatal(err)
+	}
+	wc := qp.MustReap()
+	if wc.Err != nil {
+		t.Fatal(wc.Err)
+	}
+	if wc.Status != StatusOK {
+		t.Fatalf("write status = %v, want ok", wc.Status)
+	}
+	now = wc.Done
+
+	// Every read fails (rate 1): the completion must classify it.
+	rcmd := qp.AcquireCommand()
+	*rcmd = Command{Op: OpRead, NSID: nsid, LPN: 0, Pages: 8}
+	if err := qp.Push(now, rcmd); err != nil {
+		t.Fatal(err)
+	}
+	rc := qp.MustReap()
+	if rc.Err == nil {
+		t.Fatal("read unexpectedly succeeded under ReadErrorRate=1")
+	}
+	if rc.Status != StatusMediaRead {
+		t.Fatalf("read status = %v (err %v), want media-read", rc.Status, rc.Err)
+	}
+
+	fl, err := host.Admin().FaultLog(rc.Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Injected.ReadErrors == 0 {
+		t.Fatalf("fault log reports no read errors: %+v", fl)
+	}
+}

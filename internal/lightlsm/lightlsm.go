@@ -104,8 +104,8 @@ type tableInfo struct {
 // Statically assert Env implements lsm.Env.
 var _ lsm.Env = (*Env)(nil)
 
-// New opens a LightLSM environment on the controller's media.
-func New(ctrl *ox.Controller, cfg Config) (*Env, error) {
+// baseEnv builds the environment skeleton shared by New and Recover.
+func baseEnv(ctrl *ox.Controller, cfg Config) (*Env, error) {
 	geo := ctrl.Media().Geometry()
 	if cfg.TableChunks <= 0 {
 		cfg.TableChunks = geo.TotalPUs()
@@ -129,12 +129,145 @@ func New(ctrl *ox.Controller, cfg Config) (*Env, error) {
 		tables:   make(map[lsm.TableID]*tableInfo),
 	}
 	e.alloc = ftlcore.NewAllocator(e.media, nil)
-	var err error
+	return e, nil
+}
+
+// New opens a LightLSM environment on the controller's media.
+func New(ctrl *ox.Controller, cfg Config) (*Env, error) {
+	e, err := baseEnv(ctrl, cfg)
+	if err != nil {
+		return nil, err
+	}
 	e.wal, err = ftlcore.NewWAL(e.media, ctrl, e.alloc, ftlcore.WALConfig{Target: ftlcore.AnyTarget(), Epoch: 1})
 	if err != nil {
 		return nil, err
 	}
 	return e, nil
+}
+
+// RecoveryReport summarizes one crash recovery.
+type RecoveryReport struct {
+	ReplayedSegments int
+	ReplayedRecords  int
+	Tables           int
+	Dropped          int // tables pruned because their chunks were reset
+	End              vclock.Time
+}
+
+// Recover reopens a LightLSM environment after a crash. Every commit is
+// one durable metadata-log record (§5: RocksDB drops its MANIFEST), so
+// the table set is rebuilt by replaying RecAppExtent records minus the
+// RecTrim deletions. A deletion is logged lazily (sync=false), so a
+// crash can lose the trim record after the chunks were already reset;
+// such half-deleted tables are detected by checking that every chunk
+// still holds the blocks the commit record claims, and pruned.
+func Recover(now vclock.Time, ctrl *ox.Controller, cfg Config) (*Env, *RecoveryReport, error) {
+	e, err := baseEnv(ctrl, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	segs, maxEpoch, end, err := ftlcore.ScanLog(now, e.media, ctrl)
+	if err != nil {
+		return nil, nil, err
+	}
+	walCfg := ftlcore.WALConfig{Target: ftlcore.AnyTarget()}
+	st := &replayState{
+		claim: make(map[ocssd.ChunkID]int),
+		tseq:  make(map[lsm.TableID]int),
+	}
+	n, end, err := ftlcore.ReplayLog(end, e.media, ctrl, walCfg, segs, 0, 0, func(r ftlcore.Record) error {
+		return e.applyRecord(st, r)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	dropped := e.pruneRecovered(st)
+	e.wal, err = ftlcore.NewWAL(e.media, ctrl, e.alloc, ftlcore.WALConfig{Target: ftlcore.AnyTarget(), Epoch: maxEpoch + 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &RecoveryReport{
+		ReplayedSegments: len(segs),
+		ReplayedRecords:  n,
+		Tables:           len(e.tables),
+		Dropped:          dropped,
+		End:              end,
+	}
+	return e, rep, nil
+}
+
+// replayState tracks chunk ownership in replay order so pruning can
+// resolve double claims: a deletion is logged lazily, so after a crash
+// two commit records may name the same chunk — the later one (by
+// replay order) owns it, because allocation only reuses chunks the
+// earlier table already released.
+type replayState struct {
+	seq   int
+	claim map[ocssd.ChunkID]int // chunk -> seq of its latest claimant
+	tseq  map[lsm.TableID]int   // table -> seq of its commit record
+}
+
+// applyRecord rebuilds the table set from one WAL record. Only called
+// during Recover, before the environment is shared.
+func (e *Env) applyRecord(st *replayState, r ftlcore.Record) error {
+	switch r.Type {
+	case ftlcore.RecAppExtent:
+		if len(r.Payload) < 12 {
+			return fmt.Errorf("lightlsm: short commit record (%d bytes)", len(r.Payload))
+		}
+		id := lsm.TableID(binary.LittleEndian.Uint64(r.Payload[0:]))
+		blocks := int(binary.LittleEndian.Uint32(r.Payload[8:]))
+		nchunks := (len(r.Payload) - 12) / 8
+		chunks := make([]ocssd.ChunkID, nchunks)
+		st.seq++
+		for i := 0; i < nchunks; i++ {
+			chunks[i] = ocssd.Unpack(binary.LittleEndian.Uint64(r.Payload[12+i*8:])).ChunkOf()
+			st.claim[chunks[i]] = st.seq
+		}
+		st.tseq[id] = st.seq
+		e.tables[id] = &tableInfo{chunks: chunks, blocks: blocks}
+		if id > e.nextID {
+			e.nextID = id
+		}
+	case ftlcore.RecTrim:
+		for off := 0; off+8 <= len(r.Payload); off += 8 {
+			delete(e.tables, lsm.TableID(binary.LittleEndian.Uint64(r.Payload[off:])))
+		}
+	}
+	return nil
+}
+
+// pruneRecovered drops recovered tables whose chunks are gone: either
+// the crash landed between the chunk resets of a DeleteTable and its
+// lazily-synced trim record (write pointers too low), or a later
+// commit reused the chunks (ownership conflict).
+func (e *Env) pruneRecovered(st *replayState) int {
+	dropped := 0
+	for id, t := range e.tables {
+		ok := len(t.chunks) > 0
+		for i, c := range t.chunks {
+			if st.claim[c] != st.tseq[id] {
+				ok = false
+				break
+			}
+			// Block b lands on chunk b%n, so chunk i holds
+			// ceil((blocks-i)/n) full stripes.
+			need := (t.blocks - i + len(t.chunks) - 1) / len(t.chunks)
+			if need <= 0 {
+				continue
+			}
+			info, err := e.media.Chunk(c)
+			if err != nil || int(info.WP) < need*e.geo.WSOpt {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			delete(e.tables, id)
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // Stats returns a snapshot of environment statistics.
@@ -390,7 +523,18 @@ func (e *Env) DeleteTable(now vclock.Time, h lsm.TableHandle) (vclock.Time, erro
 	if !ok {
 		return now, fmt.Errorf("%w: %d", ErrUnknownTable, h.ID)
 	}
-	end := now
+	// Log the deletion durably BEFORE erasing anything: once a chunk is
+	// reset the allocator may hand it to a new table, and a crash that
+	// lost the trim record would resurrect this table pointing at the
+	// new table's data. Forcing the record first makes the erase safe —
+	// recovery either sees the trim (table gone) or the chunks were
+	// never touched (table resurrects intact).
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, uint64(h.ID))
+	_, end, err := e.wal.Append(now, ftlcore.Record{Type: ftlcore.RecTrim, TxID: uint64(h.ID), Payload: payload}, true)
+	if err != nil {
+		return end, err
+	}
 	for _, id := range t.chunks {
 		info, err := e.media.Chunk(id)
 		if err != nil {
@@ -407,13 +551,6 @@ func (e *Env) DeleteTable(now vclock.Time, h lsm.TableHandle) (vclock.Time, erro
 		e.mu.Lock()
 		e.stats.ChunkResets++
 		e.mu.Unlock()
-	}
-	// Log the deletion so recovery does not resurrect the table.
-	payload := make([]byte, 8)
-	binary.LittleEndian.PutUint64(payload, uint64(h.ID))
-	_, end, err := e.wal.Append(end, ftlcore.Record{Type: ftlcore.RecTrim, TxID: uint64(h.ID), Payload: payload}, false)
-	if err != nil {
-		return end, err
 	}
 	e.mu.Lock()
 	e.stats.TablesDeleted++

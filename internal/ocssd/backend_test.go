@@ -1,0 +1,395 @@
+package ocssd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// sectorFill is the deterministic content oracle: every sector's fill
+// byte is a pure function of its address.
+func sectorFill(id ChunkID, sector int) byte {
+	return byte(sector*7 + id.Chunk*31 + id.PU*13 + id.Group*3 + 1)
+}
+
+func fillSectors(geo Geometry, id ChunkID, start, n int) []byte {
+	sz := geo.Chip.SectorSize
+	out := make([]byte, n*sz)
+	for s := 0; s < n; s++ {
+		v := sectorFill(id, start+s)
+		blk := out[s*sz : (s+1)*sz]
+		for i := range blk {
+			blk[i] = v
+		}
+	}
+	return out
+}
+
+// checkSector reads one sector from the device and compares it against
+// the content oracle (or zeros for padded sectors).
+func checkSector(t *testing.T, d *Device, p PPA, want byte) {
+	t.Helper()
+	sz := d.Geometry().Chip.SectorSize
+	buf := make([]byte, sz)
+	if _, err := d.VectorRead(0, []PPA{p}, buf); err != nil {
+		t.Fatalf("read %v: %v", p, err)
+	}
+	for i, b := range buf {
+		if b != want {
+			t.Fatalf("%v byte %d = %#x, want %#x", p, i, b, want)
+		}
+	}
+}
+
+func TestBackendRoundTrip(t *testing.T) {
+	geo := smallGeo()
+	path := filepath.Join(t.TempDir(), "dev.img")
+	opts := Options{Seed: 7, PowerLossProtected: true, BackendPath: path}
+	d := newDev(t, geo, opts)
+	spc := geo.SectorsPerChunk()
+
+	closed := ChunkID{0, 0, 0}
+	open := ChunkID{1, 1, 3}
+	worn := ChunkID{0, 1, 2}
+
+	// Fill one chunk completely (ends Closed).
+	for s := 0; s < spc; s += geo.WSMin {
+		if _, _, err := d.Append(0, closed, fillSectors(geo, closed, s, geo.WSMin)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	// Leave another mid-chunk with a buffered partial stripe.
+	openSectors := geo.WSOpt + 2*geo.WSMin
+	for s := 0; s < openSectors; s += geo.WSMin {
+		if _, _, err := d.Append(0, open, fillSectors(geo, open, s, geo.WSMin)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	// Write and reset a third chunk so wear survives the round trip.
+	if _, _, err := d.Append(0, worn, fillSectors(geo, worn, 0, geo.WSMin)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if _, err := d.Reset(0, worn); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if _, err := d.FlushAll(0); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	before := d.Report()
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	d2, err := OpenDevice(geo, opts)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	defer d2.Close()
+	after := d2.Report()
+	if len(before) != len(after) {
+		t.Fatalf("report lengths differ: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("chunk %v restored as %+v, want %+v", before[i].ID, after[i], before[i])
+		}
+	}
+	for s := 0; s < spc; s++ {
+		checkSector(t, d2, closed.PPAOf(s), sectorFill(closed, s))
+	}
+	for s := 0; s < openSectors; s++ {
+		checkSector(t, d2, open.PPAOf(s), sectorFill(open, s))
+	}
+	// FlushAll padded the open chunk to the next stripe boundary: those
+	// sectors must read back as zeros.
+	padded := openSectors + (geo.WSOpt-openSectors%geo.WSOpt)%geo.WSOpt
+	for s := openSectors; s < padded; s++ {
+		checkSector(t, d2, open.PPAOf(s), 0)
+	}
+	// The restored open chunk accepts further appends at its write pointer.
+	if _, _, err := d2.Append(0, open, fillSectors(geo, open, padded, geo.WSMin)); err != nil {
+		t.Fatalf("append after restore: %v", err)
+	}
+}
+
+// TestChunkLogTornTailProperty crashes the chunk-state log at every
+// byte offset: reopening must always succeed and restore exactly the
+// table described by the longest valid record prefix.
+func TestChunkLogTornTailProperty(t *testing.T) {
+	geo := smallGeo()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dev.img")
+	d := newDev(t, geo, Options{Seed: 1, BackendPath: path})
+	ids := []ChunkID{{0, 0, 1}, {0, 1, 5}, {1, 0, 2}}
+	for _, id := range ids {
+		for s := 0; s < geo.SectorsPerChunk(); s += geo.WSOpt {
+			if _, _, err := d.Append(0, id, fillSectors(geo, id, s, geo.WSOpt)); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+	}
+	if _, err := d.Reset(0, ids[0]); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	raw, err := os.ReadFile(LogPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataRaw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (len(raw)-ckHeaderLen)%ckRecordLen != 0 || len(raw) <= ckHeaderLen {
+		t.Fatalf("unexpected log size %d", len(raw))
+	}
+
+	// expectTable replays the first k records by hand.
+	expectTable := func(k int) map[uint32]chunkDurable {
+		out := make(map[uint32]chunkDurable)
+		for r := 0; r < k; r++ {
+			rec := raw[ckHeaderLen+r*ckRecordLen:]
+			out[binary.LittleEndian.Uint32(rec)] = chunkDurable{
+				state: ChunkState(rec[4]),
+				wp:    int(binary.LittleEndian.Uint32(rec[8:])),
+				wear:  int(binary.LittleEndian.Uint32(rec[12:])),
+			}
+		}
+		return out
+	}
+	sameTable := func(t *testing.T, got, want map[uint32]chunkDurable) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("table size %d, want %d", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("chunk %d restored as %+v, want %+v", k, got[k], v)
+			}
+		}
+	}
+
+	crash := filepath.Join(dir, "crash.img")
+	for cut := 0; cut <= len(raw); cut++ {
+		if err := os.WriteFile(crash, dataRaw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(LogPath(crash), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, table, err := openBackend(crash, geo, false)
+		if err != nil {
+			t.Fatalf("cut %d: openBackend: %v", cut, err)
+		}
+		want := map[uint32]chunkDurable{}
+		if cut >= ckHeaderLen {
+			want = expectTable((cut - ckHeaderLen) / ckRecordLen)
+		}
+		sameTable(t, table, want)
+		// The truncated log must accept fresh appends.
+		if err := b.logState(0, ChunkFree, 0, 9); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		b.Close()
+	}
+
+	// A corrupted record mid-log stops the scan at the last good prefix.
+	nrec := (len(raw) - ckHeaderLen) / ckRecordLen
+	for r := 0; r < nrec; r++ {
+		bad := append([]byte(nil), raw...)
+		bad[ckHeaderLen+r*ckRecordLen+5] ^= 0xff
+		if err := os.WriteFile(crash, dataRaw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(LogPath(crash), bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, table, err := openBackend(crash, geo, false)
+		if err != nil {
+			t.Fatalf("record %d: openBackend: %v", r, err)
+		}
+		sameTable(t, table, expectTable(r))
+		b.Close()
+	}
+}
+
+// TestPowerCutNeverLosesAckedWrites sweeps a power cut across every
+// media-op index of a PLP write burst: after reopening from the
+// backend, every acknowledged write must read back intact.
+func TestPowerCutNeverLosesAckedWrites(t *testing.T) {
+	geo := smallGeo()
+	chunks := []ChunkID{{0, 0, 1}, {0, 1, 2}, {1, 0, 3}, {1, 1, 4}}
+	spc := geo.SectorsPerChunk()
+	for cut := int64(1); cut <= 50; cut++ {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("dev%d.img", cut))
+		inj := fault.New(fault.Config{Seed: cut})
+		opts := Options{Seed: 3, PowerLossProtected: true, BackendPath: path, Faults: inj}
+		d := newDev(t, geo, opts)
+		inj.PowerCut(cut)
+
+		wp := map[ChunkID]int{}
+		var acked []PPA
+		dead := false
+		for round := 0; round < 120 && !dead; round++ {
+			id := chunks[round%len(chunks)]
+			if wp[id]+geo.WSMin > spc {
+				continue
+			}
+			_, _, err := d.Append(0, id, fillSectors(geo, id, wp[id], geo.WSMin))
+			switch {
+			case errors.Is(err, fault.ErrPowerCut):
+				dead = true
+				continue
+			case err != nil:
+				t.Fatalf("cut %d: append: %v", cut, err)
+			}
+			for s := 0; s < geo.WSMin; s++ {
+				acked = append(acked, id.PPAOf(wp[id]+s))
+			}
+			wp[id] += geo.WSMin
+			if round%9 == 4 {
+				if _, err := d.Pad(0, id); errors.Is(err, fault.ErrPowerCut) {
+					dead = true
+				} else if err != nil {
+					t.Fatalf("cut %d: pad: %v", cut, err)
+				} else {
+					wp[id] += (geo.WSOpt - wp[id]%geo.WSOpt) % geo.WSOpt
+				}
+			}
+			if round%7 == 2 && len(acked) > 0 {
+				buf := make([]byte, geo.Chip.SectorSize)
+				if _, err := d.VectorRead(0, acked[:1], buf); errors.Is(err, fault.ErrPowerCut) {
+					dead = true
+				} else if err != nil {
+					t.Fatalf("cut %d: read: %v", cut, err)
+				}
+			}
+		}
+		d.Close()
+
+		reopened, err := OpenDevice(geo, Options{Seed: 3, PowerLossProtected: true, BackendPath: path})
+		if err != nil {
+			t.Fatalf("cut %d: OpenDevice: %v", cut, err)
+		}
+		for _, p := range acked {
+			checkSector(t, reopened, p, sectorFill(p.ChunkOf(), p.Sector))
+		}
+		reopened.Close()
+	}
+}
+
+// TestTornWriteCut drops power on a stripe program of an unprotected
+// device with torn writes enabled: the restored write pointer must be
+// stripe-aligned and cover only intact pre-cut data, and sectors at or
+// beyond it must read as unwritten.
+func TestTornWriteCut(t *testing.T) {
+	geo := smallGeo()
+	id := ChunkID{0, 0, 1}
+	for seed := int64(1); seed <= 10; seed++ {
+		path := filepath.Join(t.TempDir(), "dev.img")
+		inj := fault.New(fault.Config{Seed: seed, TornWrites: true})
+		d := newDev(t, geo, Options{Seed: 3, BackendPath: path, Faults: inj})
+		inj.PowerCut(3) // dies on the third stripe program
+
+		var lastErr error
+		written := 0
+		for s := 0; s < geo.SectorsPerChunk(); s += geo.WSOpt {
+			_, _, lastErr = d.Append(0, id, fillSectors(geo, id, s, geo.WSOpt))
+			if lastErr != nil {
+				break
+			}
+			written += geo.WSOpt
+		}
+		if !errors.Is(lastErr, fault.ErrPowerCut) {
+			t.Fatalf("seed %d: want power cut, got %v", seed, lastErr)
+		}
+		d.Close()
+
+		reopened, err := OpenDevice(geo, Options{Seed: 3, BackendPath: path})
+		if err != nil {
+			t.Fatalf("seed %d: OpenDevice: %v", seed, err)
+		}
+		info, err := reopened.Chunk(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.WP%geo.WSOpt != 0 || info.WP != written {
+			t.Fatalf("seed %d: restored wp %d, want %d (stripe-aligned pre-cut data)", seed, info.WP, written)
+		}
+		for s := 0; s < info.WP; s++ {
+			checkSector(t, reopened, id.PPAOf(s), sectorFill(id, s))
+		}
+		if info.WP < geo.SectorsPerChunk() {
+			buf := make([]byte, geo.Chip.SectorSize)
+			if _, err := reopened.VectorRead(0, []PPA{id.PPAOf(info.WP)}, buf); !errors.Is(err, ErrUnwritten) {
+				t.Fatalf("seed %d: torn sector readable: %v", seed, err)
+			}
+		}
+		reopened.Close()
+	}
+}
+
+func TestOpenDeviceGeometryMismatch(t *testing.T) {
+	geo := smallGeo()
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d := newDev(t, geo, Options{Seed: 1, BackendPath: path})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := geo
+	other.Groups = 1
+	other = Finish(other)
+	if _, err := OpenDevice(other, Options{Seed: 1, BackendPath: path}); !errors.Is(err, ErrBackendGeometry) {
+		t.Fatalf("want ErrBackendGeometry, got %v", err)
+	}
+	// A valid-looking but torn header is formatted fresh, not fatal.
+	if err := os.WriteFile(LogPath(path), []byte("OXCKLOG1 short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDevice(geo, Options{Seed: 1, BackendPath: path})
+	if err != nil {
+		t.Fatalf("torn header must format fresh: %v", err)
+	}
+	d2.Close()
+}
+
+func TestInjectedReadErrorsGrowBad(t *testing.T) {
+	geo := smallGeo()
+	inj := fault.New(fault.Config{Seed: 1, ReadErrorRate: 1, GrowBadAfter: 2})
+	d := newDev(t, geo, Options{Seed: 1, Faults: inj})
+	id := ChunkID{0, 0, 1}
+	if _, _, err := d.Append(0, id, fillSectors(geo, id, 0, geo.WSOpt)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	buf := make([]byte, geo.Chip.SectorSize)
+	for i := 0; i < 2; i++ {
+		if _, err := d.VectorRead(0, []PPA{id.PPAOf(0)}, buf); !errors.Is(err, fault.ErrReadError) {
+			t.Fatalf("read %d: want ErrReadError, got %v", i, err)
+		}
+	}
+	info, err := d.Chunk(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != ChunkOffline {
+		t.Fatalf("chunk not retired: %v", info.State)
+	}
+	if _, err := d.VectorRead(0, []PPA{id.PPAOf(0)}, buf); !errors.Is(err, ErrOffline) {
+		t.Fatalf("want ErrOffline after grow-bad, got %v", err)
+	}
+	fl := d.FaultLog()
+	if fl.Injected.ReadErrors != 2 || fl.Injected.GrownBad != 1 || fl.GrownBadChunks != 1 {
+		t.Fatalf("fault log counters: %+v", fl)
+	}
+	if len(fl.Events) == 0 || fl.Events[len(fl.Events)-1].Chunk != id {
+		t.Fatalf("fault log events: %+v", fl.Events)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/nand"
 	"repro/internal/vclock"
 )
@@ -137,6 +138,15 @@ type Options struct {
 	// Crash (capacitor-backed DRAM). Without it, un-programmed sectors
 	// are lost on crash, which is what forces FTLs to use a WAL.
 	PowerLossProtected bool
+	// BackendPath enables the durable file backend: sector data persists
+	// to this file and chunk-state transitions append to the companion
+	// chunk-state log (LogPath). New formats the backend; OpenDevice
+	// restores from it. Empty keeps the device purely in-memory, with
+	// virtual timing identical either way.
+	BackendPath string
+	// Faults wires a deterministic fault injector into every media
+	// operation (nil = fault-free).
+	Faults *fault.Injector
 }
 
 type chunkMeta struct {
@@ -200,14 +210,68 @@ type Device struct {
 	// copyBufs recycles the staging buffers of device-side Copy.
 	copyBufs sync.Pool
 
+	// backend is the durable file store (nil = in-memory only); faults
+	// is the injected-failure oracle (nil = fault-free).
+	backend *backendStore
+	faults  *fault.Injector
+
 	stats devStats
 
 	asyncC chan AsyncError
+
+	faultMu     sync.Mutex
+	faultEvents []FaultEvent
+	// dieOnce gates the power-cut death sequence: concurrent media ops
+	// may all observe the cut, but only one runs the PLP flush (which
+	// takes every PU lock and must never run twice or race itself).
+	dieOnce sync.Once
 }
 
 // New builds a device with the given geometry. The seed drives all
-// failure injection; chips get distinct derived seeds.
+// failure injection; chips get distinct derived seeds. With
+// Options.BackendPath the durable backend is formatted fresh; use
+// OpenDevice to restore an existing backend instead.
 func New(geo Geometry, opts Options) (*Device, error) {
+	d, err := newDevice(geo, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.BackendPath != "" {
+		b, _, err := openBackend(opts.BackendPath, geo, true)
+		if err != nil {
+			return nil, err
+		}
+		d.backend = b
+	}
+	return d, nil
+}
+
+// OpenDevice brings a device up from an existing durable backend: the
+// chunk-state log is scanned (torn tail truncated), every surviving
+// chunk's state, write pointer and wear are restored, and the persisted
+// sector data is re-programmed into the NAND model. Restore is a
+// wall-clock-only operation; virtual time starts at zero as with New.
+func OpenDevice(geo Geometry, opts Options) (*Device, error) {
+	if opts.BackendPath == "" {
+		return nil, errors.New("ocssd: OpenDevice requires Options.BackendPath")
+	}
+	d, err := newDevice(geo, opts)
+	if err != nil {
+		return nil, err
+	}
+	b, table, err := openBackend(opts.BackendPath, geo, false)
+	if err != nil {
+		return nil, err
+	}
+	d.backend = b
+	if err := d.restore(table); err != nil {
+		b.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func newDevice(geo Geometry, opts Options) (*Device, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
@@ -256,11 +320,91 @@ func New(geo Geometry, opts Options) (*Device, error) {
 			}
 		}
 	}
+	d.faults = opts.Faults
 	return d, nil
+}
+
+// restore applies a chunk-state table recovered from the backend log:
+// offline and wear carry over, and Open/Closed chunks get their data
+// re-programmed stripe by stripe from the data file.
+func (d *Device) restore(table map[uint32]chunkDurable) error {
+	geo := d.geo
+	spc := geo.SectorsPerChunk()
+	bits := geo.Chip.Cell.BitsPerCell()
+	spp := geo.Chip.SectorsPerPage
+	pageBytes := geo.Chip.PageBytes()
+	buf := make([]byte, d.stripeBytes())
+	total := geo.Groups * geo.PUsPerGroup * geo.ChunksPerPU
+	for flat := 0; flat < total; flat++ {
+		cd, ok := table[uint32(flat)]
+		if !ok {
+			continue
+		}
+		g := flat / (geo.PUsPerGroup * geo.ChunksPerPU)
+		u := (flat / geo.ChunksPerPU) % geo.PUsPerGroup
+		c := flat % geo.ChunksPerPU
+		pu := d.pu(g, u)
+		m := &pu.chunks[c]
+		if m.state == ChunkOffline && cd.state != ChunkOffline {
+			// Factory-bad under this seed: the durable record cannot
+			// resurrect it (and with a matching seed never claims to).
+			continue
+		}
+		m.wear = cd.wear
+		switch cd.state {
+		case ChunkOffline:
+			m.state = ChunkOffline
+			m.wp = cd.wp
+		case ChunkFree:
+			m.state = ChunkFree
+			m.wp = 0
+		case ChunkOpen, ChunkClosed:
+			wp := cd.wp - cd.wp%geo.WSOpt // records are stripe-aligned; be safe
+			chip := d.chips[g][u]
+			for s := 0; s < wp/geo.WSOpt; s++ {
+				if err := d.backend.readData(uint32(flat), s*geo.WSOpt, buf); err != nil {
+					return err
+				}
+				for p := 0; p < geo.Chip.Planes; p++ {
+					for b := 0; b < bits; b++ {
+						off := (p*bits + b) * spp * geo.Chip.SectorSize
+						if err := chip.Program(p, c, s*bits+b, buf[off:off+pageBytes], nil); err != nil {
+							return fmt.Errorf("ocssd: restore %v: %w", ChunkID{g, u, c}, err)
+						}
+					}
+				}
+			}
+			m.wp = wp
+			m.bufBase = wp
+			m.state = cd.state
+			if m.state == ChunkOpen && wp == spc {
+				m.state = ChunkClosed
+			}
+			if m.state == ChunkOpen {
+				pu.open++
+			}
+		}
+	}
+	return nil
 }
 
 // pu returns the state shard of one parallel unit.
 func (d *Device) pu(g, u int) *puState { return &d.pus[g*d.geo.PUsPerGroup+u] }
+
+// flatChunk is the backend/fault-injector key of a chunk: its index in
+// group-major, PU-major, chunk-minor order.
+func (d *Device) flatChunk(id ChunkID) uint32 {
+	return uint32((id.Group*d.geo.PUsPerGroup+id.PU)*d.geo.ChunksPerPU + id.Chunk)
+}
+
+// alive rejects media operations on a power-cut device. Zero cost when
+// no injector is wired.
+func (d *Device) alive() error {
+	if d.faults != nil && d.faults.Dead() {
+		return fault.ErrPowerCut
+	}
+	return nil
+}
 
 // Geometry reports the device geometry (the identify command of §2.2).
 func (d *Device) Geometry() Geometry { return d.geo }
@@ -293,11 +437,140 @@ func (d *Device) ChannelUtilization(now vclock.Time) []float64 {
 	return out
 }
 
+// maxFaultEvents bounds the fault log page's event ring.
+const maxFaultEvents = 64
+
+// FaultEvent is one chunk-level fault the device recorded (grown-bad
+// retirement, program/erase failure, injected read escalation).
+type FaultEvent struct {
+	Chunk ChunkID
+	Err   string
+}
+
+// FaultLog is the device's fault/error log page: injector counters plus
+// the most recent chunk-level fault events.
+type FaultLog struct {
+	Injected       fault.Stats
+	GrownBadChunks int64
+	Events         []FaultEvent
+}
+
+// FaultLog snapshots the fault/error log page.
+func (d *Device) FaultLog() FaultLog {
+	fl := FaultLog{GrownBadChunks: d.stats.grownBadChunks.Load()}
+	if d.faults != nil {
+		fl.Injected = d.faults.Stats()
+	}
+	d.faultMu.Lock()
+	fl.Events = append([]FaultEvent(nil), d.faultEvents...)
+	d.faultMu.Unlock()
+	return fl
+}
+
 func (d *Device) notify(id ChunkID, err error) {
+	d.faultMu.Lock()
+	if len(d.faultEvents) >= maxFaultEvents {
+		copy(d.faultEvents, d.faultEvents[1:])
+		d.faultEvents = d.faultEvents[:maxFaultEvents-1]
+	}
+	d.faultEvents = append(d.faultEvents, FaultEvent{Chunk: id, Err: err.Error()})
+	d.faultMu.Unlock()
 	select {
 	case d.asyncC <- AsyncError{Chunk: id, Err: err}:
 	default: // drop when nobody is listening
 	}
+}
+
+// retireChunk transitions a chunk to OFFLINE (grown bad), records the
+// transition durably and notifies listeners. Caller holds the PU lock.
+func (d *Device) retireChunk(pu *puState, id ChunkID, err error) {
+	m := &pu.chunks[id.Chunk]
+	if m.state == ChunkOpen {
+		pu.open--
+		pu.putBuf(m.buf)
+		m.buf = nil
+	}
+	m.state = ChunkOffline
+	d.stats.grownBadChunks.Add(1)
+	if d.backend != nil {
+		d.backend.logState(d.flatChunk(id), ChunkOffline, m.wp, m.wear)
+	}
+	d.notify(id, err)
+}
+
+// die finishes a power cut. With PLP, capacitor power flushes every
+// buffered partial stripe (padded to a full stripe) to the durable
+// backend; then the backend stops accepting writes. In-memory state is
+// left as-is — the device is dead, and only what OpenDevice can restore
+// from the backend matters. cur is the PU lock the caller already
+// holds (nil if none). dieOnce guarantees a single execution even when
+// concurrent operations all observe the cut.
+func (d *Device) die(cur *puState) {
+	d.dieOnce.Do(func() {
+		if d.backend == nil {
+			return
+		}
+		if d.opts.PowerLossProtected {
+			scratch := make([]byte, d.stripeBytes())
+			spc := d.geo.SectorsPerChunk()
+			for g := 0; g < d.geo.Groups; g++ {
+				for u := 0; u < d.geo.PUsPerGroup; u++ {
+					pu := d.pu(g, u)
+					if pu != cur {
+						pu.mu.Lock()
+					}
+					for c := range pu.chunks {
+						m := &pu.chunks[c]
+						if m.state != ChunkOpen || len(m.buf) == 0 {
+							continue
+						}
+						n := copy(scratch, m.buf)
+						clear(scratch[n:])
+						flat := d.flatChunk(ChunkID{g, u, c})
+						d.backend.writeData(flat, m.bufBase, scratch)
+						st := ChunkOpen
+						if m.bufBase+d.geo.WSOpt == spc {
+							st = ChunkClosed
+						}
+						d.backend.logState(flat, st, m.bufBase+d.geo.WSOpt, m.wear)
+					}
+					if pu != cur {
+						pu.mu.Unlock()
+					}
+				}
+			}
+		}
+		d.backend.markDead()
+	})
+}
+
+// dieOnProgram is a power cut landing on an in-flight stripe program.
+// With PLP the stripe completes on capacitor power; without it, at most
+// a torn prefix of the stripe's data reaches the backend — and no
+// chunk-state record, so the restored write pointer excludes it.
+func (d *Device) dieOnProgram(pu *puState, id ChunkID, baseSector int, buf []byte, torn int) {
+	if d.backend != nil {
+		flat := d.flatChunk(id)
+		if d.opts.PowerLossProtected {
+			d.backend.writeData(flat, baseSector, buf)
+			st := ChunkOpen
+			if baseSector+d.geo.WSOpt == d.geo.SectorsPerChunk() {
+				st = ChunkClosed
+			}
+			d.backend.logState(flat, st, baseSector+d.geo.WSOpt, pu.chunks[id.Chunk].wear)
+		} else if torn > 0 {
+			d.backend.writeData(flat, baseSector, buf[:torn*d.geo.Chip.SectorSize])
+		}
+	}
+	d.die(pu)
+}
+
+// Close releases the durable backend's file handles (no-op in-memory).
+func (d *Device) Close() error {
+	if d.backend != nil {
+		return d.backend.Close()
+	}
+	return nil
 }
 
 // Chunk reports the chunk-log entry for one chunk.
@@ -358,21 +631,47 @@ func (d *Device) programStripe(at vclock.Time, pu *puState, id ChunkID, baseSect
 	}
 	_, progEnd := d.chipRes[id.Group][id.PU].Acquire(xferEnd, progDur)
 
+	// Fault injection: a stripe program is one media op.
+	if d.faults != nil {
+		v := d.faults.OnOp(fault.OpProgram, uint64(d.flatChunk(id)), geo.WSOpt)
+		if v.PowerCut {
+			d.dieOnProgram(pu, id, baseSector, buf, v.TornSectors)
+			return progEnd, fmt.Errorf("program %v: %w", id, fault.ErrPowerCut)
+		}
+		if v.Err != nil {
+			d.retireChunk(pu, id, v.Err)
+			return progEnd, fmt.Errorf("program %v: %w", id, v.Err)
+		}
+	}
+
 	// State: program each (plane, paired) page of the stripe.
 	for p := 0; p < geo.Chip.Planes; p++ {
 		for b := 0; b < bits; b++ {
 			off := (p*bits + b) * spp * geo.Chip.SectorSize
 			page := firstPage + b
 			if err := chip.Program(p, id.Chunk, page, buf[off:off+pageBytes], nil); err != nil {
-				m := &pu.chunks[id.Chunk]
-				m.state = ChunkOffline
-				d.stats.grownBadChunks.Add(1)
-				d.notify(id, err)
+				d.retireChunk(pu, id, err)
 				return progEnd, fmt.Errorf("program %v: %w", id, err)
 			}
 		}
 	}
 	m := &pu.chunks[id.Chunk]
+	// Persist the programmed stripe and its state transition. Data goes
+	// first: a cut between the two leaves the durable write pointer at
+	// the previous record, which covers only fully persisted data.
+	if d.backend != nil {
+		flat := d.flatChunk(id)
+		if err := d.backend.writeData(flat, baseSector, buf); err != nil {
+			return progEnd, err
+		}
+		st := ChunkOpen
+		if baseSector+geo.WSOpt == geo.SectorsPerChunk() {
+			st = ChunkClosed
+		}
+		if err := d.backend.logState(flat, st, baseSector+geo.WSOpt, m.wear); err != nil {
+			return progEnd, err
+		}
+	}
 	if progEnd > m.flushEnd {
 		m.flushEnd = progEnd
 	}
@@ -467,6 +766,9 @@ func (d *Device) writeChunk(now vclock.Time, pu *puState, id ChunkID, sector int
 // Returns the client-visible virtual completion instant.
 func (d *Device) VectorWrite(now vclock.Time, ppas []PPA, data []byte) (vclock.Time, error) {
 	geo := d.geo
+	if err := d.alive(); err != nil {
+		return now, err
+	}
 	if len(data) != len(ppas)*geo.Chip.SectorSize {
 		return now, fmt.Errorf("%w: %d bytes for %d sectors", ErrDataSize, len(data), len(ppas))
 	}
@@ -513,6 +815,9 @@ func (d *Device) VectorWrite(now vclock.Time, ppas []PPA, data []byte) (vclock.T
 // the starting sector that was assigned along with the completion time.
 func (d *Device) Append(now vclock.Time, id ChunkID, data []byte) (int, vclock.Time, error) {
 	geo := d.geo
+	if err := d.alive(); err != nil {
+		return 0, now, err
+	}
 	if len(data) == 0 || len(data)%(geo.WSMin*geo.Chip.SectorSize) != 0 {
 		return 0, now, fmt.Errorf("%w: %d bytes", ErrWriteSize, len(data))
 	}
@@ -538,6 +843,9 @@ func (d *Device) Append(now vclock.Time, id ChunkID, data []byte) (int, vclock.T
 // padded sectors are wasted space accounted in Stats.PadSectors.
 func (d *Device) Pad(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	geo := d.geo
+	if err := d.alive(); err != nil {
+		return now, err
+	}
 	if err := geo.CheckPPA(id.PPAOf(0)); err != nil {
 		return now, err
 	}
@@ -579,6 +887,9 @@ type chargedPage struct {
 // plus the channel transfer. Returns the virtual completion instant.
 func (d *Device) VectorRead(now vclock.Time, ppas []PPA, dst []byte) (vclock.Time, error) {
 	geo := d.geo
+	if err := d.alive(); err != nil {
+		return now, err
+	}
 	if len(dst) != len(ppas)*geo.Chip.SectorSize {
 		return now, fmt.Errorf("%w: %d bytes for %d sectors", ErrDataSize, len(dst), len(ppas))
 	}
@@ -617,6 +928,22 @@ func (d *Device) VectorRead(now vclock.Time, ppas []PPA, dst []byte) (vclock.Tim
 			if p.Sector >= m.wp {
 				pu.mu.Unlock()
 				return now, fmt.Errorf("%w: %v (wp %d)", ErrUnwritten, p, m.wp)
+			}
+			// Fault injection: one media op per distinct chunk in the run.
+			if d.faults != nil && (k == i || p.Chunk != ppas[k-1].Chunk) {
+				v := d.faults.OnOp(fault.OpRead, uint64(d.flatChunk(p.ChunkOf())), 0)
+				if v.PowerCut {
+					d.die(pu)
+					pu.mu.Unlock()
+					return now, fmt.Errorf("read %v: %w", p, fault.ErrPowerCut)
+				}
+				if v.Err != nil {
+					if v.GrowBad {
+						d.retireChunk(pu, p.ChunkOf(), v.Err)
+					}
+					pu.mu.Unlock()
+					return now, fmt.Errorf("read %v: %w", p, v.Err)
+				}
 			}
 			out := dst[k*sz : (k+1)*sz]
 			// Still in the partial-stripe controller buffer?
@@ -680,6 +1007,9 @@ func (d *Device) VectorRead(now vclock.Time, ppas []PPA, dst []byte) (vclock.Tim
 // pointer at zero; wear increases by one.
 func (d *Device) Reset(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	geo := d.geo
+	if err := d.alive(); err != nil {
+		return now, err
+	}
 	if err := geo.CheckPPA(id.PPAOf(0)); err != nil {
 		return now, err
 	}
@@ -698,10 +1028,31 @@ func (d *Device) Reset(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	// Multi-plane erase: planes erase in parallel, one erase duration.
 	chip := d.chips[id.Group][id.PU]
 	_, end := d.chipRes[id.Group][id.PU].Acquire(now, chip.EraseTime())
-	if err := chip.EraseMulti(id.Chunk); err != nil {
+	// offlineHere marks the chunk grown-bad. The open count was already
+	// settled by the state switch above, so this does not use retireChunk.
+	offlineHere := func(cause error) {
 		m.state = ChunkOffline
+		pu.putBuf(m.buf)
+		m.buf = nil
 		d.stats.grownBadChunks.Add(1)
-		d.notify(id, err)
+		if d.backend != nil {
+			d.backend.logState(d.flatChunk(id), ChunkOffline, m.wp, m.wear)
+		}
+		d.notify(id, cause)
+	}
+	if d.faults != nil {
+		v := d.faults.OnOp(fault.OpErase, uint64(d.flatChunk(id)), 0)
+		if v.PowerCut {
+			d.die(pu)
+			return end, fmt.Errorf("reset %v: %w", id, fault.ErrPowerCut)
+		}
+		if v.Err != nil {
+			offlineHere(v.Err)
+			return end, fmt.Errorf("reset %v: %w", id, v.Err)
+		}
+	}
+	if err := chip.EraseMulti(id.Chunk); err != nil {
+		offlineHere(err)
 		return end, fmt.Errorf("reset %v: %w", id, err)
 	}
 	m.state = ChunkFree
@@ -710,6 +1061,11 @@ func (d *Device) Reset(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	pu.putBuf(m.buf)
 	m.buf = nil
 	m.bufBase = 0
+	if d.backend != nil {
+		if err := d.backend.logState(d.flatChunk(id), ChunkFree, 0, m.wear); err != nil {
+			return end, err
+		}
+	}
 	d.stats.resets.Add(1)
 	return end, nil
 }

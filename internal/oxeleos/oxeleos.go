@@ -31,6 +31,10 @@ var (
 	ErrNotFound   = errors.New("oxeleos: page not found")
 )
 
+// extentRecLen is the encoded size of one page-extent entry in a
+// RecAppExtent WAL record: id(8) ppa(8) offset(4) length(4) pad(4).
+const extentRecLen = 28
+
 // PageDesc describes one logical page inside an LSS I/O buffer.
 type PageDesc struct {
 	ID     int64 // logical page identifier (LLAMA PID)
@@ -74,11 +78,22 @@ type Store struct {
 	// whose pages were all deleted or superseded.
 	liveBytes map[ocssd.ChunkID]int64
 	chunkOf   map[int64][]ocssd.ChunkID // page id -> chunks holding its extent
-	stats     Stats
+	// recoveredSegs are WAL segments of earlier epochs: they are the only
+	// durable copy of the recovered mapping (OX-ELEOS has no checkpoint),
+	// so Clean must never reclaim them.
+	recoveredSegs map[ocssd.ChunkID]bool
+	stats         Stats
 }
 
-// New opens a fresh OX-ELEOS store on the controller's media.
-func New(ctrl *ox.Controller, cfg Config) (*Store, error) {
+// RecoveryReport summarizes one crash recovery.
+type RecoveryReport struct {
+	ReplayedSegments int
+	ReplayedRecords  int
+	End              vclock.Time
+}
+
+// baseStore builds the store skeleton shared by New and Recover.
+func baseStore(ctrl *ox.Controller, cfg Config) (*Store, error) {
 	geo := ctrl.Media().Geometry()
 	if cfg.BufferBytes <= 0 {
 		cfg.BufferBytes = 8 << 20
@@ -93,25 +108,102 @@ func New(ctrl *ox.Controller, cfg Config) (*Store, error) {
 		cfg.CPUPerPageMap = vclock.Microsecond
 	}
 	s := &Store{
-		ctrl:      ctrl,
-		media:     ctrl.Media(),
-		geo:       geo,
-		cfg:       cfg,
-		vmap:      ftlcore.NewVarMap(),
-		liveBytes: make(map[ocssd.ChunkID]int64),
-		chunkOf:   make(map[int64][]ocssd.ChunkID),
+		ctrl:          ctrl,
+		media:         ctrl.Media(),
+		geo:           geo,
+		cfg:           cfg,
+		vmap:          ftlcore.NewVarMap(),
+		liveBytes:     make(map[ocssd.ChunkID]int64),
+		chunkOf:       make(map[int64][]ocssd.ChunkID),
+		recoveredSegs: make(map[ocssd.ChunkID]bool),
 	}
 	s.alloc = ftlcore.NewAllocator(s.media, nil)
-	var err error
+	return s, nil
+}
+
+// New opens a fresh OX-ELEOS store on the controller's media.
+func New(ctrl *ox.Controller, cfg Config) (*Store, error) {
+	s, err := baseStore(ctrl, cfg)
+	if err != nil {
+		return nil, err
+	}
 	s.wal, err = ftlcore.NewWAL(s.media, ctrl, s.alloc, ftlcore.WALConfig{Target: ftlcore.AnyTarget(), Epoch: 1})
 	if err != nil {
 		return nil, err
 	}
-	s.writer, err = ftlcore.NewStripeWriter(s.media, s.alloc, ftlcore.AnyTarget(), cfg.StripeWidth)
+	s.writer, err = ftlcore.NewStripeWriter(s.media, s.alloc, ftlcore.AnyTarget(), s.cfg.StripeWidth)
 	if err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Recover reopens an OX-ELEOS store after a crash: it scans the media
+// for WAL segments, replays every extent record in (epoch, LSN) order —
+// last write wins, deletions replay as trims — and starts a fresh log
+// at a higher epoch. The allocator only pools free chunks, so data and
+// old log segments survive until Clean decides otherwise (and old log
+// segments, being the sole durable mapping, are never cleaned).
+func Recover(now vclock.Time, ctrl *ox.Controller, cfg Config) (*Store, *RecoveryReport, error) {
+	s, err := baseStore(ctrl, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	segs, maxEpoch, end, err := ftlcore.ScanLog(now, s.media, ctrl)
+	if err != nil {
+		return nil, nil, err
+	}
+	walCfg := ftlcore.WALConfig{Target: ftlcore.AnyTarget()}
+	n, end, err := ftlcore.ReplayLog(end, s.media, ctrl, walCfg, segs, 0, 0, s.applyRecord)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, seg := range segs {
+		s.recoveredSegs[seg.Chunk] = true
+	}
+	s.wal, err = ftlcore.NewWAL(s.media, ctrl, s.alloc, ftlcore.WALConfig{Target: ftlcore.AnyTarget(), Epoch: maxEpoch + 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	s.writer, err = ftlcore.NewStripeWriter(s.media, s.alloc, ftlcore.AnyTarget(), s.cfg.StripeWidth)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &RecoveryReport{ReplayedSegments: len(segs), ReplayedRecords: n, End: end}, nil
+}
+
+// applyRecord rebuilds the volatile mapping from one WAL record. Only
+// called during Recover, before the store is shared.
+func (s *Store) applyRecord(r ftlcore.Record) error {
+	switch r.Type {
+	case ftlcore.RecAppExtent:
+		for off := 0; off+extentRecLen <= len(r.Payload); off += extentRecLen {
+			rec := r.Payload[off:]
+			id := int64(binary.LittleEndian.Uint64(rec[0:]))
+			entry := ftlcore.VarEntry{
+				PPA:    ocssd.Unpack(binary.LittleEndian.Uint64(rec[8:])),
+				Offset: int(binary.LittleEndian.Uint32(rec[16:])),
+				Length: int(binary.LittleEndian.Uint32(rec[20:])),
+			}
+			s.dropPage(id)
+			if err := s.vmap.Update(id, entry); err != nil {
+				return err
+			}
+			// Replay charges the whole extent to its starting chunk: the
+			// per-chunk split of the original flush is not logged, and
+			// liveBytes is a reclamation heuristic, not an invariant.
+			c := entry.PPA.ChunkOf()
+			s.liveBytes[c] += int64(entry.Length)
+			s.chunkOf[id] = []ocssd.ChunkID{c}
+		}
+	case ftlcore.RecTrim:
+		for off := 0; off+8 <= len(r.Payload); off += 8 {
+			id := int64(binary.LittleEndian.Uint64(r.Payload[off:]))
+			s.dropPage(id)
+			s.vmap.Delete(id)
+		}
+	}
+	return nil
 }
 
 // Stats returns a snapshot of store statistics.
@@ -277,6 +369,8 @@ func (s *Store) ReadPage(now vclock.Time, id int64) ([]byte, vclock.Time, error)
 }
 
 // Delete unmaps a logical page. Space is reclaimed lazily by Clean.
+// The trim is logged (asynchronously — it rides the next sync) so
+// recovery does not resurrect the page.
 func (s *Store) Delete(now vclock.Time, id int64) (vclock.Time, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -285,8 +379,14 @@ func (s *Store) Delete(now vclock.Time, id int64) (vclock.Time, error) {
 	}
 	s.dropPage(id)
 	s.vmap.Delete(id)
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], uint64(id))
+	_, end, err := s.wal.Append(now, ftlcore.Record{Type: ftlcore.RecTrim, Payload: payload[:]}, false)
+	if err != nil {
+		return end, err
+	}
 	s.stats.Deletes++
-	return s.ctrl.CPUWork(now, s.cfg.CPUPerPageMap), nil
+	return s.ctrl.CPUWork(end, s.cfg.CPUPerPageMap), nil
 }
 
 // Clean resets closed chunks that hold no live bytes (LSS cleaning is
@@ -305,8 +405,16 @@ func (s *Store) Clean(now vclock.Time) (int, vclock.Time, error) {
 	for _, id := range s.wal.Segments() {
 		walHeld[id] = true
 	}
+	// Trims are logged lazily; a chunk is only dead because some trim
+	// said so. Force the log before erasing anything, or a crash could
+	// lose the trim and resurrect extents inside a reused chunk.
+	e, err := s.wal.Sync(end)
+	if err != nil {
+		return 0, end, err
+	}
+	end = e
 	for _, ci := range s.media.Report() {
-		if ci.State != ocssd.ChunkClosed || writerOpen[ci.ID] || walHeld[ci.ID] {
+		if ci.State != ocssd.ChunkClosed || writerOpen[ci.ID] || walHeld[ci.ID] || s.recoveredSegs[ci.ID] {
 			continue
 		}
 		if s.liveBytes[ci.ID] > 0 {

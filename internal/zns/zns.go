@@ -115,8 +115,13 @@ func New(ctrl *ox.Controller, cfg Config) (*Target, error) {
 
 	// Group chunks by OCSSD group, skipping offline ones, and carve
 	// fixed-size zones out of each group (ZNS zones never span groups).
+	// Note: carving follows report order, so a chunk that goes offline
+	// between incarnations shifts the carving; rebuild-after-restore
+	// assumes the offline set is stable across the crash.
 	perGroup := make([][]ocssd.ChunkID, geo.Groups)
+	infoByID := make(map[ocssd.ChunkID]ocssd.ChunkInfo)
 	for _, ci := range t.media.Report() {
+		infoByID[ci.ID] = ci
 		if ci.State == ocssd.ChunkOffline {
 			continue
 		}
@@ -143,8 +148,57 @@ func New(ctrl *ox.Controller, cfg Config) (*Target, error) {
 	for i, s := range specs {
 		t.zones[i].chunks = s.chunks
 		t.zones[i].group = s.group
+		t.rebuildZone(&t.zones[i], infoByID)
 	}
 	return t, nil
+}
+
+// rebuildZone derives a zone's state machine from the chunk report, so
+// a target built over a device restored from its durable backend
+// resumes exactly where the previous incarnation stopped. This is the
+// ZNS counterpart of WAL replay: zone state is a pure function of the
+// chunk write pointers. Blocks rotate round-robin over the zone's n
+// chunks, so if chunk i holds s_i full stripes, the first missing block
+// is B = min_i(i + s_i·n) and the zone write pointer is B blocks. A
+// chunk holding more stripes than B implies (a torn multi-chunk append
+// that died mid-rotation) leaves the zone unappendable past B: the zone
+// surfaces as Full — readable up to the WP — until the host resets it.
+func (t *Target) rebuildZone(z *zone, info map[ocssd.ChunkID]ocssd.ChunkInfo) {
+	n := int64(len(z.chunks))
+	blockBytes := int64(t.BlockSize())
+	torn := false
+	minB := int64(-1)
+	for i, id := range z.chunks {
+		ci := info[id]
+		if ci.State == ocssd.ChunkOffline {
+			z.state = ZoneOffline
+			return
+		}
+		if ci.WP%t.geo.WSOpt != 0 {
+			torn = true // a partial stripe can never be a whole zone block
+		}
+		b := int64(i) + int64(ci.WP/t.geo.WSOpt)*n
+		if minB < 0 || b < minB {
+			minB = b
+		}
+	}
+	for i, id := range z.chunks {
+		if int64(info[id].WP/t.geo.WSOpt) > (minB+n-1-int64(i))/n {
+			torn = true
+		}
+	}
+	z.wp = minB * blockBytes
+	switch {
+	case z.wp >= t.ZoneCapacity():
+		z.wp = t.ZoneCapacity()
+		z.state = ZoneFull
+	case torn:
+		z.state = ZoneFull
+	case z.wp == 0:
+		z.state = ZoneEmpty
+	default:
+		z.state = ZoneOpen
+	}
 }
 
 // BlockSize is the write granularity: the device's unit of write, so
