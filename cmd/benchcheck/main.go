@@ -38,6 +38,7 @@ var tracked = []string{
 	"BenchmarkFigure7DataCopies",
 	"BenchmarkHostPipelinedExecutor",
 	"BenchmarkCrashRecovery",
+	"BenchmarkFabricLoopback",
 }
 
 type baseline struct {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dbbench -clients 4 -ops 20000 -placement vertical
+//	dbbench -addr 127.0.0.1:7710    # remote LightLSM served by oxfabd -ftl lsm
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/dbbench"
 	"repro/internal/exp"
+	"repro/internal/fabrics"
 	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/lsm"
@@ -24,28 +26,48 @@ func main() {
 	clients := flag.Int("clients", 1, "client threads")
 	ops := flag.Int("ops", 16000, "fill operations per client (1 KB values)")
 	readOps := flag.Int("readops", 2000, "read operations per client")
-	placement := flag.String("placement", "horizontal", "SSTable placement: horizontal | vertical")
+	placement := flag.String("placement", "horizontal", "SSTable placement: horizontal | vertical (in-process rig only)")
 	seed := flag.Int64("seed", 7, "workload seed")
+	addr := flag.String("addr", "", "oxfabd address: drive a served LightLSM namespace (oxfabd -ftl lsm) over the fabric")
+	nsid := flag.Int("nsid", 1, "served namespace to drive in -addr mode")
 	flag.Parse()
 
-	p := lightlsm.Horizontal
-	if *placement == "vertical" {
-		p = lightlsm.Vertical
+	var (
+		env  lsm.Env
+		desc string
+	)
+	if *addr != "" {
+		// Remote mode: every SSTable block the database flushes or
+		// reads is a typed command over the fabric connection; the
+		// placement policy lives with the server.
+		cli, err := fabrics.Dial(*addr).OpenLSM(0, *nsid)
+		fail(err)
+		defer cli.Close()
+		env = cli
+		desc = fmt.Sprintf("fabric %s nsid %d", *addr, *nsid)
+	} else {
+		p := lightlsm.Horizontal
+		if *placement == "vertical" {
+			p = lightlsm.Vertical
+		}
+		rig := exp.DefaultRig()
+		rig.PagesPerBlock = 12
+		rig.CacheMB = 4
+		_, ctrl, err := rig.Build()
+		fail(err)
+		lenv, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
+		fail(err)
+		// The database reaches the FTL through host-interface queue
+		// pairs; attachment and queue-pair creation are admin-queue
+		// commands.
+		host := hostif.NewHost(ctrl, hostif.HostConfig{})
+		cli, err := hostif.AttachLSM(host, lenv)
+		fail(err)
+		env = cli
+		desc = fmt.Sprintf("%s placement", p)
 	}
-	rig := exp.DefaultRig()
-	rig.PagesPerBlock = 12
-	rig.CacheMB = 4
-	_, ctrl, err := rig.Build()
-	fail(err)
-	env, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
-	fail(err)
-	// The database reaches the FTL through host-interface queue pairs;
-	// attachment and queue-pair creation are admin-queue commands.
-	host := hostif.NewHost(ctrl, hostif.HostConfig{})
-	cli, err := hostif.AttachLSM(host, env)
-	fail(err)
 	db, err := lsm.Open(lsm.Options{
-		Env:           cli,
+		Env:           env,
 		MemtableBytes: 8 << 20,
 		MaxImmutables: 6,
 		FlushWorkers:  4,
@@ -55,7 +77,7 @@ func main() {
 	fail(err)
 
 	cfg := dbbench.Config{Clients: *clients, OpsPerClient: *ops, Seed: *seed}
-	fmt.Printf("db_bench on LightLSM (%s placement), %d clients, 16 B keys, 1 KB values\n\n", p, *clients)
+	fmt.Printf("db_bench on LightLSM (%s), %d clients, 16 B keys, 1 KB values\n\n", desc, *clients)
 
 	fill, err := dbbench.Run(db, dbbench.FillSequential, cfg, 0)
 	fail(err)

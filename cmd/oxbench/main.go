@@ -23,10 +23,11 @@ import (
 )
 
 func main() {
-	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,tenants,scale,crashstorm,all")
+	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,qdfabric,tenants,scale,crashstorm,fabric,all")
 	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
 	executor := flag.String("executor", "serial", "host command-service engine: serial | pipelined (tables are bit-identical either way)")
 	workers := flag.Int("workers", 0, "pipelined executor worker-pool size (0 = GOMAXPROCS)")
+	addr := flag.String("addr", "", "oxfabd address for -run fabric (default: in-process loopback server; remote runs are not deterministic)")
 	flag.Parse()
 
 	var ex hostif.ExecutorKind
@@ -116,6 +117,19 @@ func main() {
 		}
 		emit("qd_sweep", exp.QDSweepTable(points))
 	}
+	if want["qdfabric"] {
+		// The qd sweep with every command crossing the fabrics wire
+		// layer over loopback. Not part of "all": its table is required
+		// to be byte-identical to qd_sweep, which is exactly what the CI
+		// cross-transport cmp checks.
+		cfg := exp.DefaultQDSweep()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.QDSweepLoopback(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("qd_fabric", exp.QDSweepTable(points))
+	}
 	if all || want["qdwrr"] {
 		cfg := exp.DefaultWRRSweep()
 		cfg.Executor, cfg.Workers = ex, *workers
@@ -155,6 +169,20 @@ func main() {
 			fatal(err)
 		}
 		emit("crashstorm", exp.CrashstormTable(points))
+	}
+	if all || want["fabric"] {
+		// The fabric overload scenario: hundreds of open-loop Poisson
+		// clients over the TCP transport, with connection churn and
+		// backlog shedding. All columns are virtual-time-derived, so the
+		// default (loopback) run joins the CI determinism byte-diff.
+		cfg := exp.DefaultFabric()
+		cfg.Executor, cfg.Workers = ex, *workers
+		cfg.Addr = *addr
+		points, err := exp.Fabric(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fabric", exp.FabricTable(points))
 	}
 	if all || want["scale"] {
 		// The scale sweep runs both executors itself (serial reference

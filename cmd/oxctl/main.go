@@ -3,15 +3,16 @@
 // (AdminGetLogPage) and the Figure 4 placement layouts
 // (LogTableChunks). Every control-plane access is a typed admin
 // command through queue 0 — oxctl is the admin-queue client of the
-// host interface.
+// host interface. With -addr it becomes a fabric client: the same
+// commands run against a served controller (oxfabd) over TCP.
 //
 // Usage:
 //
 //	oxctl -cmd geometry [-paper]
-//	oxctl -cmd report
+//	oxctl -cmd report [-addr 127.0.0.1:7710]
 //	oxctl -cmd placement -mode vertical
 //	oxctl -cmd executor [-executor pipelined]
-//	oxctl -cmd faults
+//	oxctl -cmd faults [-addr 127.0.0.1:7710]   # remote rig needs oxfabd -faults
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/fabrics"
 	"repro/internal/fault"
 	"repro/internal/hostif"
 	"repro/internal/lightlsm"
@@ -29,11 +31,30 @@ import (
 	"repro/internal/zns"
 )
 
+// adminSurface is the control-plane slice oxctl needs; both the
+// in-process hostif.AdminClient and the fabrics.AdminClient satisfy
+// it, which is what makes -addr a drop-in.
+type adminSurface interface {
+	Identify(vclock.Time) (hostif.IdentifyController, error)
+	ChunkReport(vclock.Time) ([]ocssd.ChunkInfo, error)
+	FaultLog(vclock.Time) (ocssd.FaultLog, error)
+	ExecutorStats(vclock.Time) (hostif.ExecutorLog, error)
+}
+
+// ioSession is the data-path slice the faults hammer drives; satisfied
+// by hostif.QueuePair and fabrics.QueuePair alike.
+type ioSession interface {
+	AcquireCommand() *hostif.Command
+	Push(vclock.Time, *hostif.Command) error
+	MustReap() hostif.Completion
+}
+
 func main() {
 	cmd := flag.String("cmd", "geometry", "geometry | report | placement | executor | faults")
 	paper := flag.Bool("paper", false, "use the paper's exact Figure 4 geometry (1.4 TB)")
 	mode := flag.String("mode", "horizontal", "placement mode: horizontal | vertical")
 	executor := flag.String("executor", "pipelined", "engine for -cmd executor: serial | pipelined")
+	addr := flag.String("addr", "", "oxfabd address: run against a served controller instead of an in-process rig")
 	flag.Parse()
 
 	if *paper && *cmd != "geometry" {
@@ -43,7 +64,7 @@ func main() {
 
 	switch *cmd {
 	case "geometry":
-		g := geoFor(*paper)
+		g := geoFor(*paper, *addr)
 		fmt.Println("Open-Channel 2.0 identify:")
 		fmt.Printf("  %s\n", g)
 		fmt.Printf("  ws_min = %d sectors, ws_opt = %d sectors (%d KB unit of write)\n",
@@ -53,7 +74,7 @@ func main() {
 		fmt.Printf("  SSTable sizing rule (§4.3): %d PUs × %d MB chunk = %d MB\n",
 			g.TotalPUs(), g.ChunkBytes()>>20, int64(g.TotalPUs())*g.ChunkBytes()>>20)
 	case "report":
-		admin := adminFor()
+		admin := adminFor(*addr)
 		report, err := admin.ChunkReport(0)
 		fail(err)
 		states := map[ocssd.ChunkState]int{}
@@ -65,6 +86,10 @@ func main() {
 			fmt.Printf("  %-8s %d\n", s, states[s])
 		}
 	case "placement":
+		if *addr != "" {
+			fmt.Fprintln(os.Stderr, "oxctl: -cmd placement needs an in-process rig (it attaches a fresh LightLSM namespace)")
+			os.Exit(1)
+		}
 		_, ctrl, err := exp.DefaultRig().Build()
 		fail(err)
 		p := lightlsm.Horizontal
@@ -105,6 +130,14 @@ func main() {
 			fmt.Printf("  group%-2d: %v\n", g, perGroup[g])
 		}
 	case "executor":
+		if *addr != "" {
+			// Remote mode reads the served controller's live execution
+			// log; the local mode below drives its own workload first.
+			log, err := adminFor(*addr).ExecutorStats(0)
+			fail(err)
+			printExecutor(log)
+			return
+		}
 		// Drive a short disjoint-PU zone workload under the selected
 		// engine, then read the LogExecutor admin page back over queue
 		// 0 — the pipeline's grants, realized overlap and stalls are
@@ -166,38 +199,45 @@ func main() {
 		}
 		log, err := admin.ExecutorStats(last)
 		fail(err)
-		fmt.Printf("execution engine (LogExecutor over queue 0):\n")
-		fmt.Printf("  executor        %s\n", log.Executor)
-		fmt.Printf("  workers         %d\n", log.Workers)
-		fmt.Printf("  grants          %d\n", log.Grants)
-		fmt.Printf("  dispatched      %d\n", log.Dispatched)
-		fmt.Printf("  inline          %d\n", log.Inline)
-		fmt.Printf("  overlapped      %d\n", log.Overlapped)
-		fmt.Printf("  barrier stalls  %d\n", log.BarrierStalls)
-		fmt.Printf("  conflict stalls %d\n", log.ConflictStalls)
-		fmt.Printf("  max inflight    %d\n", log.MaxInflight)
+		printExecutor(log)
 	case "faults":
-		// Build a rig with an aggressive fault injector, hammer it with
-		// writes and reads until chunks grow bad, then read the
-		// LogFaults admin page back over queue 0 — the device's error
-		// accounting is control-plane observable like any other log.
-		rig := exp.DefaultRig()
-		rig.Faults = fault.New(fault.Config{
-			Seed:          7,
-			ReadErrorRate: 0.05,
-			GrowBadAfter:  2,
-			EraseFailRate: 0.01,
-		})
-		_, ctrl, err := rig.Build()
-		fail(err)
-		d, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 4096}, 0)
-		fail(err)
-		host := hostif.NewHost(ctrl, hostif.HostConfig{})
-		admin := host.Admin()
-		nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(d))
-		fail(err)
-		qp, err := admin.CreateIOQueuePair(now, 1, hostif.ClassMedium)
-		fail(err)
+		// Hammer the device with writes and reads until chunks grow
+		// bad, then read the LogFaults admin page back over queue 0 —
+		// the device's error accounting is control-plane observable
+		// like any other log. Locally the rig gets an aggressive fault
+		// injector; with -addr the same hammer runs over the fabric
+		// against a server started with oxfabd -faults.
+		var (
+			qp    ioSession
+			admin adminSurface
+			nsid  = 1
+			now   vclock.Time
+		)
+		if *addr != "" {
+			cli := fabrics.Dial(*addr)
+			fqp, err := cli.QueuePair(0, 1, hostif.ClassMedium, 1)
+			fail(err)
+			defer fqp.Close()
+			qp, admin = fqp, adminFor(*addr)
+		} else {
+			rig := exp.DefaultRig()
+			rig.Faults = fault.New(fault.Config{
+				Seed:          7,
+				ReadErrorRate: 0.05,
+				GrowBadAfter:  2,
+				EraseFailRate: 0.01,
+			})
+			_, ctrl, err := rig.Build()
+			fail(err)
+			d, _, at, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 4096}, 0)
+			fail(err)
+			host := hostif.NewHost(ctrl, hostif.HostConfig{})
+			nsid, err = host.Admin().AttachNamespace(at, hostif.NewBlockNamespace(d))
+			fail(err)
+			hqp, err := host.Admin().CreateIOQueuePair(at, 1, hostif.ClassMedium)
+			fail(err)
+			qp, admin, now = hqp, host.Admin(), at
+		}
 		data := make([]byte, 8*4096)
 		failures := map[hostif.Status]int{}
 		for i := 0; i < 400; i++ {
@@ -244,8 +284,28 @@ func main() {
 	}
 }
 
-// adminFor builds the default rig and returns its admin-queue client.
-func adminFor() *hostif.AdminClient {
+func printExecutor(log hostif.ExecutorLog) {
+	fmt.Printf("execution engine (LogExecutor over queue 0):\n")
+	fmt.Printf("  executor        %s\n", log.Executor)
+	fmt.Printf("  workers         %d\n", log.Workers)
+	fmt.Printf("  grants          %d\n", log.Grants)
+	fmt.Printf("  dispatched      %d\n", log.Dispatched)
+	fmt.Printf("  inline          %d\n", log.Inline)
+	fmt.Printf("  overlapped      %d\n", log.Overlapped)
+	fmt.Printf("  barrier stalls  %d\n", log.BarrierStalls)
+	fmt.Printf("  conflict stalls %d\n", log.ConflictStalls)
+	fmt.Printf("  max inflight    %d\n", log.MaxInflight)
+}
+
+// adminFor returns the control-plane client: a fabric admin connection
+// when addr is set, otherwise the default in-process rig's admin
+// queue.
+func adminFor(addr string) adminSurface {
+	if addr != "" {
+		a, err := fabrics.Dial(addr).Admin()
+		fail(err)
+		return a
+	}
 	_, ctrl, err := exp.DefaultRig().Build()
 	fail(err)
 	return hostif.NewHost(ctrl, hostif.HostConfig{}).Admin()
@@ -253,11 +313,11 @@ func adminFor() *hostif.AdminClient {
 
 // geoFor reads the geometry over the admin queue (or returns the
 // paper's published geometry, which has no simulated device behind it).
-func geoFor(paper bool) ocssd.Geometry {
+func geoFor(paper bool, addr string) ocssd.Geometry {
 	if paper {
 		return ocssd.PaperGeometry()
 	}
-	id, err := adminFor().Identify(0)
+	id, err := adminFor(addr).Identify(0)
 	fail(err)
 	return id.Geometry
 }

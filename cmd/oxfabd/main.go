@@ -1,0 +1,107 @@
+// Command oxfabd serves a simulated OX controller over TCP — the
+// NVMe-over-Fabrics face of the testbed. Each accepted connection is
+// one queue pair (or one admin channel); remote oxctl, oxbench and
+// dbbench processes drive the controller exactly as in-process callers
+// do, with virtual time travelling on the wire.
+//
+// Usage:
+//
+//	oxfabd -addr 127.0.0.1:7710 -ftl block -pages 16384
+//	oxfabd -ftl lsm -placement vertical     # serve LightLSM for dbbench -addr
+//	oxfabd -ftl block -faults               # rig with fault injection for oxctl -cmd faults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/fabrics"
+	"repro/internal/fault"
+	"repro/internal/hostif"
+	"repro/internal/lightlsm"
+	"repro/internal/oxblock"
+	"repro/internal/vclock"
+	"repro/internal/zns"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7710", "listen address")
+	ftl := flag.String("ftl", "block", "served namespace FTL: block | zns | lsm")
+	pages := flag.Int64("pages", 16384, "OX-Block namespace size in 4 KB logical pages")
+	placement := flag.String("placement", "horizontal", "LightLSM SSTable placement: horizontal | vertical")
+	executor := flag.String("executor", "serial", "host command-service engine: serial | pipelined")
+	workers := flag.Int("workers", 0, "pipelined executor worker-pool size (0 = GOMAXPROCS)")
+	faults := flag.Bool("faults", false, "inject media faults (read errors, program fails, grown-bad chunks)")
+	flag.Parse()
+
+	var ex hostif.ExecutorKind
+	switch *executor {
+	case "", "serial":
+		ex = hostif.ExecutorSerial
+	case "pipelined":
+		ex = hostif.ExecutorPipelined
+	default:
+		fail(fmt.Errorf("unknown -executor %q (serial | pipelined)", *executor))
+	}
+
+	rig := exp.DefaultRig()
+	if *faults {
+		rig.Faults = fault.New(fault.Config{
+			Seed:          7,
+			ReadErrorRate: 0.05,
+			GrowBadAfter:  2,
+			EraseFailRate: 0.01,
+		})
+	}
+	_, ctrl, err := rig.Build()
+	fail(err)
+
+	var (
+		ns  hostif.Namespace
+		now vclock.Time
+	)
+	switch *ftl {
+	case "block":
+		d, _, at, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: *pages}, 0)
+		fail(err)
+		ns, now = hostif.NewBlockNamespace(d), at
+	case "zns":
+		tgt, err := zns.New(ctrl, zns.Config{})
+		fail(err)
+		ns = hostif.NewZoneNamespace(tgt)
+	case "lsm":
+		p := lightlsm.Horizontal
+		if *placement == "vertical" {
+			p = lightlsm.Vertical
+		}
+		env, err := lightlsm.New(ctrl, lightlsm.Config{Placement: p})
+		fail(err)
+		ns = hostif.NewLSMNamespace(env)
+	default:
+		fail(fmt.Errorf("unknown -ftl %q (block | zns | lsm)", *ftl))
+	}
+
+	host := hostif.NewHost(ctrl, hostif.HostConfig{
+		ChargeHostLink: true,
+		Executor:       ex,
+		Workers:        *workers,
+	})
+	nsid, err := host.Admin().AttachNamespace(now, ns)
+	fail(err)
+
+	l, err := net.Listen("tcp", *addr)
+	fail(err)
+	fmt.Printf("oxfabd: serving %s namespace %d on %s (executor %s)\n", *ftl, nsid, l.Addr(), ex)
+	srv := fabrics.NewServer(host)
+	fail(srv.Serve(l))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oxfabd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFabricLoopbackEquivalence is the wire layer's semantic-drift
+// gate: the qd sweep driven through the loopback fabrics transport
+// must render byte-for-byte the same CSV as the in-process queue-pair
+// run. Virtual timing is a pure function of the submission history;
+// if the transport added, reordered or retimed anything, the tables
+// would diverge.
+func TestFabricLoopbackEquivalence(t *testing.T) {
+	cfg := DefaultQDSweep()
+	cfg.Depths = []int{1, 4, 16}
+	cfg.Ops = 400
+	cfg.LogicalPages = 4096
+
+	local, err := QDSweep(cfg)
+	if err != nil {
+		t.Fatalf("in-process sweep: %v", err)
+	}
+	fabric, err := QDSweepLoopback(cfg)
+	if err != nil {
+		t.Fatalf("loopback sweep: %v", err)
+	}
+	want := QDSweepTable(local).CSV()
+	got := QDSweepTable(fabric).CSV()
+	if want != got {
+		t.Fatalf("fabric transport drifted from in-process run\nin-process:\n%s\nfabric:\n%s", want, got)
+	}
+}
+
+// smallFabric is a scaled-down scenario config for tests: enough
+// clients and churn to exercise every code path, small enough to run
+// in seconds.
+func smallFabric() FabricConfig {
+	cfg := DefaultFabric()
+	cfg.Clients = 24
+	cfg.OpsPerClient = 12
+	cfg.LogicalPages = 2048
+	cfg.CalOps = 300
+	cfg.Loads = []float64{0.8, 1.8}
+	cfg.ChurnClients = 6
+	cfg.ChurnEvery = 5
+	cfg.BacklogCap = 4
+	return cfg
+}
+
+// TestFabricScenario runs the overload scenario twice at a small scale
+// and checks (1) the overload point actually overloads — it sheds
+// arrivals and its latency exceeds the comfortable point's — and
+// (2) the rendered CSV is byte-identical across runs: the real TCP
+// connections and goroutines underneath must not leak into the
+// virtual-time columns.
+func TestFabricScenario(t *testing.T) {
+	cfg := smallFabric()
+	run := func() ([]FabricPoint, string) {
+		points, err := Fabric(cfg)
+		if err != nil {
+			t.Fatalf("fabric scenario: %v", err)
+		}
+		return points, FabricTable(points).CSV()
+	}
+	points, csv1 := run()
+	_, csv2 := run()
+	if csv1 != csv2 {
+		t.Fatalf("fabric scenario is nondeterministic\nfirst:\n%s\nsecond:\n%s", csv1, csv2)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	under, over := points[0], points[1]
+	if under.Done == 0 || over.Done == 0 {
+		t.Fatalf("no completed ops: under=%d over=%d", under.Done, over.Done)
+	}
+	if over.Shed == 0 {
+		t.Errorf("overload point shed nothing (load %.2f, done %d) — backpressure path unexercised", over.Load, over.Done)
+	}
+	if under.Redials == 0 || over.Redials == 0 {
+		t.Errorf("no connection churn: under=%d over=%d redials", under.Redials, over.Redials)
+	}
+	for i, h := range over.Lat {
+		if h.Count() == 0 {
+			t.Errorf("class column %d has no samples", i)
+		} else if h.Percentile(99) < under.Lat[i].Percentile(99) {
+			t.Errorf("class %d p99 under overload (%v) below comfortable load (%v)",
+				i, h.Percentile(99), under.Lat[i].Percentile(99))
+		}
+	}
+	if !strings.Contains(csv1, "\n") {
+		t.Fatalf("unexpected CSV shape:\n%s", csv1)
+	}
+}

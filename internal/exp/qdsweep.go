@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fabrics"
 	"repro/internal/hostif"
 	"repro/internal/metrics"
 	"repro/internal/oxblock"
@@ -62,9 +63,40 @@ type QDPoint struct {
 	ReadLat  *metrics.Histogram
 }
 
-// prefillBlock writes the namespace's pages sequentially through qp
-// (depth-1 submissions) so later reads hit mapped media.
-func prefillBlock(qp *hostif.QueuePair, nsid int, pages int64, txnPages int, data []byte, now vclock.Time) (vclock.Time, error) {
+// pushSession is the synchronous (depth-1) queue-pair surface:
+// satisfied by hostif.QueuePair and by the fabric client queue pair,
+// so prefill runs identically in-process and over the wire.
+type pushSession interface {
+	AcquireCommand() *hostif.Command
+	Push(vclock.Time, *hostif.Command) error
+	MustReap() hostif.Completion
+}
+
+// qdSession is the full closed-loop surface the measured sweep drives:
+// batched submission plus earliest-completion reaping. The in-process
+// implementation pairs a queue pair with host.ReapAny (localSession);
+// the fabric client queue pair implements it directly, which is what
+// lets the loopback-equivalence test byte-diff the two.
+type qdSession interface {
+	pushSession
+	Submit(*hostif.Command) (uint64, error)
+	Ring(vclock.Time) int
+	ReapEarliest() (hostif.Completion, bool)
+}
+
+// localSession adapts an in-process queue pair to qdSession: with a
+// single I/O queue pair, host.ReapAny's globally-earliest pick is the
+// queue's earliest completion by (Done, slot).
+type localSession struct {
+	*hostif.QueuePair
+	host *hostif.Host
+}
+
+func (s localSession) ReapEarliest() (hostif.Completion, bool) { return s.host.ReapAny() }
+
+// prefillBlock writes the namespace's pages sequentially through the
+// session (depth-1 submissions) so later reads hit mapped media.
+func prefillBlock(qp pushSession, nsid int, pages int64, txnPages int, data []byte, now vclock.Time) (vclock.Time, error) {
 	for lpn := int64(0); lpn+int64(txnPages) <= pages; lpn += int64(txnPages) {
 		cmd := qp.AcquireCommand()
 		cmd.Op, cmd.NSID, cmd.Data, cmd.LPN = hostif.OpWrite, nsid, data, lpn
@@ -109,31 +141,80 @@ func QDSweep(cfg QDSweepConfig) ([]QDPoint, error) {
 	return out, nil
 }
 
-func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
+// QDSweepLoopback runs the identical sweep with every command crossing
+// the fabrics wire layer over the loopback transport. Virtual timing
+// is a pure function of the submission history, which the wire
+// preserves exactly, so the result must be byte-identical to QDSweep —
+// the loopback-equivalence guarantee the fabrics tests and the CI
+// determinism diff pin.
+func QDSweepLoopback(cfg QDSweepConfig) ([]QDPoint, error) {
+	var out []QDPoint
+	for _, depth := range cfg.Depths {
+		p, err := qdRunFabric(cfg, depth)
+		if err != nil {
+			return out, fmt.Errorf("qd fabric sweep depth %d: %w", depth, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// qdRig builds one depth point's testbed: rig, OX-Block namespace and
+// host, returning the host and attach instant.
+func qdRig(cfg QDSweepConfig) (*hostif.Host, int, vclock.Time, error) {
 	rigCfg := DefaultRig()
 	rigCfg.Seed = cfg.Seed
 	_, ctrl, err := rigCfg.Build()
 	if err != nil {
-		return QDPoint{}, err
+		return nil, 0, 0, err
 	}
 	d, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: cfg.LogicalPages}, 0)
 	if err != nil {
-		return QDPoint{}, err
+		return nil, 0, 0, err
 	}
 	host := hostif.NewHost(ctrl, hostConfig(hostif.HostConfig{ChargeHostLink: true}, cfg.Executor, cfg.Workers))
-	admin := host.Admin()
-	nsid, err := admin.AttachNamespace(now, hostif.NewBlockNamespace(d))
+	nsid, err := host.Admin().AttachNamespace(now, hostif.NewBlockNamespace(d))
 	if err != nil {
-		return QDPoint{}, err
+		return nil, 0, 0, err
 	}
-	qp, err := admin.CreateIOQueuePair(now, depth, hostif.ClassMedium)
-	if err != nil {
-		return QDPoint{}, err
-	}
+	return host, nsid, now, nil
+}
 
+func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
+	host, nsid, now, err := qdRig(cfg)
+	if err != nil {
+		return QDPoint{}, err
+	}
+	qp, err := host.Admin().CreateIOQueuePair(now, depth, hostif.ClassMedium)
+	if err != nil {
+		return QDPoint{}, err
+	}
+	return qdMeasure(cfg, depth, nsid, now, localSession{QueuePair: qp, host: host})
+}
+
+// qdRunFabric is qdRun with the queue pair served over the loopback
+// fabric: same rig, same seed, same command sequence — only the
+// transport differs.
+func qdRunFabric(cfg QDSweepConfig, depth int) (QDPoint, error) {
+	host, nsid, now, err := qdRig(cfg)
+	if err != nil {
+		return QDPoint{}, err
+	}
+	srv := fabrics.NewServer(host)
+	defer srv.Close()
+	qp, err := fabrics.Loopback(srv).QueuePair(now, depth, hostif.ClassMedium, 1)
+	if err != nil {
+		return QDPoint{}, err
+	}
+	defer qp.Close()
+	return qdMeasure(cfg, depth, nsid, now, qp)
+}
+
+// qdMeasure is the sweep's measured loop, generic over the transport.
+func qdMeasure(cfg QDSweepConfig, depth, nsid int, now vclock.Time, qp qdSession) (QDPoint, error) {
 	// Prefill the namespace sequentially (depth 1) so reads hit media.
 	data := make([]byte, cfg.TxnPages*4096)
-	now, err = prefillBlock(qp, nsid, cfg.LogicalPages, cfg.TxnPages, data, now)
+	now, err := prefillBlock(qp, nsid, cfg.LogicalPages, cfg.TxnPages, data, now)
 	if err != nil {
 		return QDPoint{}, err
 	}
@@ -168,7 +249,14 @@ func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
 	}
 	var bytes int64
 	end := start
-	err = reapLoop(host, "qd sweep", cfg.Ops, func(comp hostif.Completion) error {
+	for remaining := cfg.Ops; remaining > 0; remaining-- {
+		comp, ok := qp.ReapEarliest()
+		if !ok {
+			return QDPoint{}, fmt.Errorf("qd sweep: completion queue ran dry with %d outstanding", remaining)
+		}
+		if comp.Err != nil {
+			return QDPoint{}, comp.Err
+		}
 		switch comp.Op {
 		case hostif.OpWrite:
 			p.WriteLat.Observe(comp.Latency())
@@ -186,14 +274,10 @@ func qdRun(cfg QDSweepConfig, depth int) (QDPoint, error) {
 			cmd := qp.AcquireCommand()
 			draw(cmd)
 			if err := qp.Push(comp.Done, cmd); err != nil {
-				return err
+				return QDPoint{}, err
 			}
 			issued++
 		}
-		return nil
-	})
-	if err != nil {
-		return QDPoint{}, err
 	}
 	p.Elapsed = end.Sub(start)
 	if p.Elapsed > 0 {

@@ -1,0 +1,666 @@
+package fabrics
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/ftl/ftlcore"
+	"repro/internal/hostif"
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+	"repro/internal/vclock"
+	"repro/internal/zns"
+)
+
+// Client is one fabric initiator. It owns only the dial function;
+// every QueuePair and AdminClient opens its own connection, because
+// one connection is one queue pair.
+type Client struct {
+	dial func() (net.Conn, error)
+}
+
+// Dial returns a client that connects to a fabrics server at a TCP
+// address. No connection is made until a queue pair or admin client is
+// opened.
+func Dial(addr string) *Client {
+	return NewClient(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+}
+
+// NewClient returns a client over a custom dial function — the
+// loopback transport's entry point.
+func NewClient(dial func() (net.Conn, error)) *Client {
+	return &Client{dial: dial}
+}
+
+// connect dials and runs the handshake, returning the accepted
+// queue-pair ID and depth.
+func (c *Client) connect(kind uint8, now vclock.Time, depth int, class hostif.Class, coalesce int) (net.Conn, int, int, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var f frameBuf
+	f.start(frameConnect)
+	f.u8(kind)
+	f.u8(uint8(class))
+	f.u32(uint32(depth))
+	f.u32(uint32(coalesce))
+	f.i64(int64(now))
+	if _, err := conn.Write(f.finish()); err != nil {
+		conn.Close()
+		return nil, 0, 0, err
+	}
+	var rbuf []byte
+	ftype, payload, err := readFrame(conn, &rbuf)
+	if err != nil {
+		conn.Close()
+		return nil, 0, 0, err
+	}
+	d := decoder{b: payload}
+	switch ftype {
+	case frameAccept:
+		qid := int(d.u32())
+		dep := int(d.u32())
+		if err := d.done(); err != nil {
+			conn.Close()
+			return nil, 0, 0, err
+		}
+		return conn, qid, dep, nil
+	case frameError:
+		msg := d.str()
+		conn.Close()
+		return nil, 0, 0, fmt.Errorf("%w: %s", ErrRejected, msg)
+	default:
+		conn.Close()
+		return nil, 0, 0, fmt.Errorf("%w: %d in handshake", ErrBadFrameType, ftype)
+	}
+}
+
+// stagedEntry is one locally staged submission awaiting its Ring.
+type stagedEntry struct {
+	cmd *hostif.Command
+	tag uint32
+}
+
+// recvEntry is one received completion awaiting Reap.
+type recvEntry struct {
+	comp hostif.Completion
+	cmd  *hostif.Command
+	data []byte // pooled buffer backing comp.Data (nil when none)
+}
+
+// QueuePair is the client half of one fabric queue pair: the same
+// Submit / Ring / Reap / Push surface as hostif.QueuePair, over a
+// connection. Slot accounting mirrors the in-process pair exactly —
+// staged, in-flight and received-but-unreaped completions all hold a
+// slot against the depth — so a driver moved onto the fabric sees
+// identical ErrQueueFull backpressure.
+//
+// Differences from the in-process pair, inherent to a network hop:
+// Reap blocks until a completion arrives (there is no host to drain
+// synchronously) and returns false only when nothing is in flight;
+// server-side submission rejections surface as error completions
+// (Status/Err set, echoing the command) rather than Submit errors. A
+// reaped completion's Data is valid until its command storage is
+// recycled by a later completion.
+//
+// Like its in-process counterpart, a queue pair is driven by one actor
+// at a time.
+type QueuePair struct {
+	conn  net.Conn
+	id    int
+	depth int
+	class hostif.Class
+
+	wmu  sync.Mutex // write side: ring frames
+	wbuf frameBuf
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rerr   error // terminal reader error (sticky)
+	closed bool
+
+	// Local command arena with the in-process misuse detection.
+	free  []*hostif.Command
+	state map[*hostif.Command]uint8
+
+	staged   []stagedEntry
+	nextSlot uint64
+	inflight int // rung, completion not yet received
+	held     int // staged + inflight + unreaped (slot gate)
+
+	tagFree  []uint32
+	tagCmd   []*hostif.Command
+	cq       []recvEntry
+	dataFree [][]byte
+}
+
+// QueuePair opens an I/O queue pair: the handshake is the remote
+// AdminCreateIOQP, carrying depth, arbitration class and the
+// completion-coalescing threshold (how many completions the server
+// batches per push; 1 pushes each immediately). now is the virtual
+// instant of the connection.
+func (c *Client) QueuePair(now vclock.Time, depth int, class hostif.Class, coalesce int) (*QueuePair, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	conn, qid, dep, err := c.connect(connKindIO, now, depth, class, coalesce)
+	if err != nil {
+		return nil, err
+	}
+	qp := &QueuePair{
+		conn:   conn,
+		id:     qid,
+		depth:  dep,
+		class:  class,
+		state:  make(map[*hostif.Command]uint8),
+		tagCmd: make([]*hostif.Command, dep),
+	}
+	qp.cond = sync.NewCond(&qp.mu)
+	for t := dep - 1; t >= 0; t-- {
+		qp.tagFree = append(qp.tagFree, uint32(t))
+	}
+	go qp.readLoop()
+	return qp, nil
+}
+
+// ID reports the server-assigned queue-pair identifier.
+func (qp *QueuePair) ID() int { return qp.id }
+
+// Depth reports the accepted queue depth.
+func (qp *QueuePair) Depth() int { return qp.depth }
+
+// Class reports the queue pair's WRR arbitration class.
+func (qp *QueuePair) Class() Class { return qp.class }
+
+// Class aliases the host interface's arbitration class for callers
+// that only import fabrics.
+type Class = hostif.Class
+
+// AcquireCommand returns a Command from the queue pair's local arena,
+// recycled when its completion is reaped — the same closed-loop
+// storage contract as the in-process arena.
+func (qp *QueuePair) AcquireCommand() *hostif.Command {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if n := len(qp.free); n > 0 {
+		cmd := qp.free[n-1]
+		qp.free = qp.free[:n-1]
+		qp.state[cmd] = cmdAcquired
+		return cmd
+	}
+	cmd := new(hostif.Command)
+	qp.state[cmd] = cmdAcquired
+	return cmd
+}
+
+// Local arena states (values shared with hostif's convention).
+const (
+	cmdFree uint8 = iota
+	cmdAcquired
+	cmdInflight
+)
+
+// recycleLocked returns an arena command to the free list.
+func (qp *QueuePair) recycleLocked(cmd *hostif.Command) {
+	if cmd == nil {
+		return
+	}
+	if _, ok := qp.state[cmd]; !ok {
+		return
+	}
+	*cmd = hostif.Command{}
+	qp.state[cmd] = cmdFree
+	qp.free = append(qp.free, cmd)
+}
+
+// Err reports the queue pair's terminal error: nil while healthy,
+// ErrClosed after Close, or the transport/protocol error that killed
+// the connection.
+func (qp *QueuePair) Err() error {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return qp.termErrLocked()
+}
+
+func (qp *QueuePair) termErrLocked() error {
+	if qp.rerr != nil {
+		return qp.rerr
+	}
+	if qp.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Submit stages cmd for the next Ring, holding one of the queue's
+// depth slots until the completion is reaped. It returns the local
+// submission slot (which matches the controller's slot numbering when
+// no command is rejected) or ErrQueueFull when every slot is held —
+// the same backpressure surface as the in-process pair, enforced
+// client-side so it is deterministic and immediate.
+func (qp *QueuePair) Submit(cmd *hostif.Command) (uint64, error) {
+	if cmd.Op.IsAdmin() {
+		return 0, hostif.ErrAdminOnly
+	}
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if err := qp.termErrLocked(); err != nil {
+		return 0, err
+	}
+	st, arena := qp.state[cmd]
+	if arena {
+		switch st {
+		case cmdInflight:
+			return 0, hostif.ErrCommandInFlight
+		case cmdFree:
+			return 0, hostif.ErrCommandRecycled
+		}
+	}
+	if qp.held >= qp.depth {
+		return 0, hostif.ErrQueueFull
+	}
+	tag := qp.tagFree[len(qp.tagFree)-1]
+	qp.tagFree = qp.tagFree[:len(qp.tagFree)-1]
+	qp.tagCmd[tag] = cmd
+	qp.staged = append(qp.staged, stagedEntry{cmd: cmd, tag: tag})
+	qp.held++
+	slot := qp.nextSlot
+	qp.nextSlot++
+	if arena {
+		qp.state[cmd] = cmdInflight
+	}
+	return slot, nil
+}
+
+// Ring sends every staged command to the controller as one doorbell
+// batch at virtual instant now: one frame, one server-side Ring — the
+// wire preserves batched submission exactly. It returns the number of
+// commands sent.
+func (qp *QueuePair) Ring(now vclock.Time) int {
+	qp.wmu.Lock()
+	defer qp.wmu.Unlock()
+	qp.mu.Lock()
+	n := len(qp.staged)
+	if n == 0 || qp.termErrLocked() != nil {
+		qp.mu.Unlock()
+		return 0
+	}
+	qp.wbuf.start(frameRing)
+	qp.wbuf.i64(int64(now))
+	qp.wbuf.u32(uint32(n))
+	for i := range qp.staged {
+		encodeCommand(&qp.wbuf, qp.staged[i].tag, qp.staged[i].cmd)
+	}
+	qp.inflight += n
+	qp.staged = qp.staged[:0]
+	frame := qp.wbuf.finish()
+	// Release mu (but not wmu) before the blocking write: the reader
+	// goroutine needs mu to land completions, and a stalled write only
+	// drains once the peer's pushes are being consumed.
+	qp.mu.Unlock()
+	if _, err := qp.conn.Write(frame); err != nil {
+		qp.fail(err)
+	}
+	return n
+}
+
+// Push submits cmd and rings the doorbell at now — the single-command
+// convenience, mirroring the in-process Push.
+func (qp *QueuePair) Push(now vclock.Time, cmd *hostif.Command) error {
+	if _, err := qp.Submit(cmd); err != nil {
+		return err
+	}
+	qp.Ring(now)
+	return nil
+}
+
+// Reap pops the oldest received completion in push order (the server's
+// completion order), blocking while commands are in flight and nothing
+// has arrived yet. It returns false when no completion can ever come:
+// nothing in flight, or the connection died (check Err).
+func (qp *QueuePair) Reap() (hostif.Completion, bool) {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	for len(qp.cq) == 0 {
+		if qp.inflight == 0 || qp.rerr != nil || qp.closed {
+			return hostif.Completion{}, false
+		}
+		qp.cond.Wait()
+	}
+	return qp.takeLocked(0), true
+}
+
+// MustReap is Reap for drivers whose protocol guarantees a completion
+// is pending; it panics when none can arrive.
+func (qp *QueuePair) MustReap() hostif.Completion {
+	c, ok := qp.Reap()
+	if !ok {
+		panic(fmt.Sprintf("fabrics: MustReap with nothing in flight (%v)", qp.Err()))
+	}
+	return c
+}
+
+// ReapEarliest waits for every in-flight command to complete, then
+// pops the earliest completion by (Done, Slot). Because a fabric ring
+// drains the controller, all of a batch's completions arrive together,
+// so this equals hostif.Host.ReapAny's globally-earliest pick for a
+// single queue pair — the closed-loop driver equivalence the loopback
+// test pins. It returns false when nothing is outstanding or the
+// connection died.
+func (qp *QueuePair) ReapEarliest() (hostif.Completion, bool) {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	for qp.inflight > 0 && qp.rerr == nil && !qp.closed {
+		qp.cond.Wait()
+	}
+	if len(qp.cq) == 0 {
+		return hostif.Completion{}, false
+	}
+	best := 0
+	for i := 1; i < len(qp.cq); i++ {
+		c, b := &qp.cq[i].comp, &qp.cq[best].comp
+		if c.Done < b.Done || (c.Done == b.Done && c.Slot < b.Slot) {
+			best = i
+		}
+	}
+	return qp.takeLocked(best), true
+}
+
+// takeLocked removes cq[i], recycling its arena command and data
+// buffer. Caller holds mu.
+func (qp *QueuePair) takeLocked(i int) hostif.Completion {
+	e := qp.cq[i]
+	qp.cq = append(qp.cq[:i], qp.cq[i+1:]...)
+	if e.data != nil {
+		qp.dataFree = append(qp.dataFree, e.data)
+	}
+	qp.recycleLocked(e.cmd)
+	qp.held--
+	return e.comp
+}
+
+// Outstanding reports slots currently held: staged, in flight, and
+// received but unreaped.
+func (qp *QueuePair) Outstanding() int {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return qp.held
+}
+
+// Close tears the connection down. The server observes the disconnect,
+// completes anything in flight and deletes the queue pair; locally,
+// blocked Reaps return false.
+func (qp *QueuePair) Close() error {
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return nil
+	}
+	qp.closed = true
+	qp.cond.Broadcast()
+	qp.mu.Unlock()
+	return qp.conn.Close()
+}
+
+// fail records a terminal reader error and wakes every waiter.
+func (qp *QueuePair) fail(err error) {
+	qp.mu.Lock()
+	if qp.rerr == nil && !qp.closed {
+		qp.rerr = err
+	}
+	qp.cond.Broadcast()
+	qp.mu.Unlock()
+	qp.conn.Close()
+}
+
+// readLoop is the queue pair's completion consumer: one goroutine per
+// connection, so a blocked Ring write can never deadlock against the
+// server's completion pushes (full-duplex flow).
+func (qp *QueuePair) readLoop() {
+	var rbuf []byte
+	for {
+		ftype, payload, err := readFrame(qp.conn, &rbuf)
+		if err != nil {
+			qp.fail(err)
+			return
+		}
+		switch ftype {
+		case frameCompletions:
+			if err := qp.handleCompletions(payload); err != nil {
+				qp.fail(err)
+				return
+			}
+		case frameError:
+			d := decoder{b: payload}
+			msg := d.str()
+			qp.fail(fmt.Errorf("%w: %s", ErrRejected, msg))
+			return
+		default:
+			qp.fail(fmt.Errorf("%w: %d on I/O connection", ErrBadFrameType, ftype))
+			return
+		}
+	}
+}
+
+// handleCompletions lands one completion push: resolve each entry's
+// tag to its command, copy returned data out of the frame buffer, and
+// queue the completion for Reap.
+func (qp *QueuePair) handleCompletions(payload []byte) error {
+	d := decoder{b: payload}
+	count := int(d.u32())
+	if d.err == nil && (count < 0 || count > len(payload)) {
+		d.fail()
+	}
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	for i := 0; i < count; i++ {
+		var e recvEntry
+		tag, data, err := decodeCompletion(&d, &e.comp)
+		if err != nil {
+			return err
+		}
+		if int(tag) >= len(qp.tagCmd) || qp.tagCmd[tag] == nil {
+			return fmt.Errorf("%w: completion for unknown tag %d", ErrBadPayload, tag)
+		}
+		cmd := qp.tagCmd[tag]
+		qp.tagCmd[tag] = nil
+		qp.tagFree = append(qp.tagFree, tag)
+		qp.inflight--
+		e.cmd = cmd
+		if len(data) > 0 {
+			if e.comp.Op == hostif.OpTableRead {
+				// The lsm.Env contract reads into the caller's buffer.
+				copy(cmd.Dst, data)
+			} else {
+				e.data = qp.getDataLocked(len(data))
+				copy(e.data, data)
+				e.comp.Data = e.data
+			}
+		} else {
+			e.comp.Data = nil
+		}
+		qp.cq = append(qp.cq, e)
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	qp.cond.Broadcast()
+	return nil
+}
+
+// getDataLocked pops a pooled completion-data buffer. Caller holds mu.
+func (qp *QueuePair) getDataLocked(n int) []byte {
+	for i := len(qp.dataFree) - 1; i >= 0; i-- {
+		if cap(qp.dataFree[i]) >= n {
+			b := qp.dataFree[i][:n]
+			qp.dataFree = append(qp.dataFree[:i], qp.dataFree[i+1:]...)
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// AdminClient issues identify and log-page commands to a remote
+// controller over an admin connection, with the same typed surface as
+// the in-process hostif.AdminClient. Queue-pair lifecycle is not here:
+// opening an I/O connection is the remote AdminCreateIOQP, closing it
+// the delete. One admin client is one synchronous actor; calls are
+// serialized internally.
+type AdminClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	wbuf frameBuf
+	rbuf []byte
+}
+
+// Admin opens an admin connection to the remote controller.
+func (c *Client) Admin() (*AdminClient, error) {
+	conn, _, _, err := c.connect(connKindAdmin, 0, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &AdminClient{conn: conn}, nil
+}
+
+// Close closes the admin connection.
+func (a *AdminClient) Close() error { return a.conn.Close() }
+
+// do issues one admin request and decodes the reply synchronously.
+func (a *AdminClient) do(now vclock.Time, op hostif.Op, nsid int, handle uint64, log hostif.LogPage) (any, hostif.Completion, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.wbuf.start(frameAdmin)
+	a.wbuf.u8(uint8(op))
+	a.wbuf.u32(uint32(nsid))
+	a.wbuf.u64(handle)
+	a.wbuf.u8(uint8(log))
+	a.wbuf.i64(int64(now))
+	if _, err := a.conn.Write(a.wbuf.finish()); err != nil {
+		return nil, hostif.Completion{}, err
+	}
+	ftype, payload, err := readFrame(a.conn, &a.rbuf)
+	if err != nil {
+		return nil, hostif.Completion{}, err
+	}
+	d := decoder{b: payload}
+	switch ftype {
+	case frameAdminReply:
+	case frameError:
+		return nil, hostif.Completion{}, fmt.Errorf("%w: %s", ErrRejected, d.str())
+	default:
+		return nil, hostif.Completion{}, fmt.Errorf("%w: %d on admin connection", ErrBadFrameType, ftype)
+	}
+	code := d.u16()
+	msg := d.str()
+	var comp hostif.Completion
+	comp.Op, comp.NSID = op, nsid
+	comp.Done = vclock.Time(d.i64())
+	comp.Handle = d.u64()
+	comp.Blocks = int(d.i32())
+	gobBytes := d.bytes()
+	if err := d.done(); err != nil {
+		return nil, hostif.Completion{}, err
+	}
+	if cerr := errorFor(code, msg); cerr != nil {
+		comp.Err = cerr
+		comp.Status = hostif.StatusOf(cerr)
+		return nil, comp, cerr
+	}
+	var box payloadBox
+	if len(gobBytes) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(gobBytes)).Decode(&box); err != nil {
+			return nil, comp, fmt.Errorf("%w: admin payload: %v", ErrBadPayload, err)
+		}
+	}
+	comp.Admin = box.V
+	return box.V, comp, nil
+}
+
+// payloadAs asserts a decoded admin payload's type, surfacing a typed
+// error instead of a panic when the server sent something else.
+func payloadAs[T any](v any, err error) (T, error) {
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("%w: admin payload is %T", ErrBadPayload, v)
+	}
+	return t, nil
+}
+
+// Identify reports the remote controller's identity.
+func (a *AdminClient) Identify(now vclock.Time) (hostif.IdentifyController, error) {
+	v, _, err := a.do(now, hostif.OpAdminIdentify, 0, 0, 0)
+	return payloadAs[hostif.IdentifyController](v, err)
+}
+
+// IdentifyNamespace reports one namespace's identity and geometry.
+func (a *AdminClient) IdentifyNamespace(now vclock.Time, nsid int) (hostif.NamespaceIdentity, error) {
+	v, _, err := a.do(now, hostif.OpAdminIdentify, nsid, 0, 0)
+	return payloadAs[hostif.NamespaceIdentity](v, err)
+}
+
+// GetLogPage returns the selected log page; nsid is 0 for controller-
+// and device-scoped pages.
+func (a *AdminClient) GetLogPage(now vclock.Time, page hostif.LogPage, nsid int) (any, error) {
+	v, _, err := a.do(now, hostif.OpAdminGetLogPage, nsid, 0, page)
+	return v, err
+}
+
+// ControllerStats returns the controller counters log page.
+func (a *AdminClient) ControllerStats(now vclock.Time) (ox.Stats, error) {
+	return payloadAs[ox.Stats](a.GetLogPage(now, hostif.LogControllerStats, 0))
+}
+
+// Utilization returns memory-bus and core utilization at now.
+func (a *AdminClient) Utilization(now vclock.Time) (hostif.UtilizationLog, error) {
+	return payloadAs[hostif.UtilizationLog](a.GetLogPage(now, hostif.LogUtilization, 0))
+}
+
+// ChunkReport returns the device's Open-Channel chunk report.
+func (a *AdminClient) ChunkReport(now vclock.Time) ([]ocssd.ChunkInfo, error) {
+	return payloadAs[[]ocssd.ChunkInfo](a.GetLogPage(now, hostif.LogChunkReport, 0))
+}
+
+// MediaStats returns the device counters log page.
+func (a *AdminClient) MediaStats(now vclock.Time) (ocssd.Stats, error) {
+	return payloadAs[ocssd.Stats](a.GetLogPage(now, hostif.LogMediaStats, 0))
+}
+
+// FaultLog returns the device fault log page.
+func (a *AdminClient) FaultLog(now vclock.Time) (ocssd.FaultLog, error) {
+	return payloadAs[ocssd.FaultLog](a.GetLogPage(now, hostif.LogFaults, 0))
+}
+
+// ExecutorStats returns the execution-engine log page.
+func (a *AdminClient) ExecutorStats(now vclock.Time) (hostif.ExecutorLog, error) {
+	return payloadAs[hostif.ExecutorLog](a.GetLogPage(now, hostif.LogExecutor, 0))
+}
+
+// NamespaceStats returns a namespace's FTL counters; the concrete type
+// depends on the adapter.
+func (a *AdminClient) NamespaceStats(now vclock.Time, nsid int) (any, error) {
+	return a.GetLogPage(now, hostif.LogNamespaceStats, nsid)
+}
+
+// ZoneReport returns an OX-ZNS namespace's zone report.
+func (a *AdminClient) ZoneReport(now vclock.Time, nsid int) ([]zns.ZoneInfo, error) {
+	return payloadAs[[]zns.ZoneInfo](a.GetLogPage(now, hostif.LogZoneReport, nsid))
+}
+
+// GCStats returns an OX-Block namespace's garbage-collection counters.
+func (a *AdminClient) GCStats(now vclock.Time, nsid int) (ftlcore.GCStats, error) {
+	return payloadAs[ftlcore.GCStats](a.GetLogPage(now, hostif.LogGCStats, nsid))
+}
+
+// TableChunks returns the chunks backing a committed LightLSM table.
+func (a *AdminClient) TableChunks(now vclock.Time, nsid int, table uint64) ([]ocssd.ChunkID, error) {
+	v, _, err := a.do(now, hostif.OpAdminGetLogPage, nsid, table, hostif.LogTableChunks)
+	return payloadAs[[]ocssd.ChunkID](v, err)
+}

@@ -1,0 +1,158 @@
+package fabrics
+
+import (
+	"fmt"
+
+	"repro/internal/hostif"
+	"repro/internal/lsm"
+	"repro/internal/vclock"
+)
+
+// EnvClient implements lsm.Env over a fabric queue pair: the
+// mini-RocksDB drives a LightLSM namespace in another process the way
+// it drives the in-process hostif.EnvClient — every SSTable flush
+// block, block read and table delete is one typed command over the
+// wire. Calls are synchronous (one command in flight, depth 1), so the
+// adapter adds no virtual time of its own.
+type EnvClient struct {
+	qp        *QueuePair
+	nsid      int
+	blockSize int
+	maxBlocks int
+}
+
+// Statically assert EnvClient implements lsm.Env.
+var _ lsm.Env = (*EnvClient)(nil)
+
+// OpenLSM connects the client to a served LightLSM namespace: identify
+// the namespace over an admin connection for the block geometry, then
+// open a depth-1 queue pair for the data path — the fabric analog of
+// hostif.AttachLSM's setup half.
+func (c *Client) OpenLSM(now vclock.Time, nsid int) (*EnvClient, error) {
+	admin, err := c.Admin()
+	if err != nil {
+		return nil, fmt.Errorf("fabrics: opening admin connection: %w", err)
+	}
+	id, err := admin.IdentifyNamespace(now, nsid)
+	admin.Close()
+	if err != nil {
+		return nil, fmt.Errorf("fabrics: identifying namespace %d: %w", nsid, err)
+	}
+	if id.BlockSize == 0 || id.MaxTableBlocks == 0 {
+		return nil, fmt.Errorf("%w: namespace %d (%s) has no table geometry",
+			hostif.ErrUnsupported, nsid, id.Name)
+	}
+	qp, err := c.QueuePair(now, 1, hostif.ClassMedium, 1)
+	if err != nil {
+		return nil, fmt.Errorf("fabrics: opening queue pair: %w", err)
+	}
+	return NewEnvClient(qp, nsid, id), nil
+}
+
+// NewEnvClient builds the env over an already-open queue pair for the
+// namespace attached under nsid, with the block geometry from its
+// admin identity.
+func NewEnvClient(qp *QueuePair, nsid int, id hostif.NamespaceIdentity) *EnvClient {
+	return &EnvClient{
+		qp:        qp,
+		nsid:      nsid,
+		blockSize: id.BlockSize,
+		maxBlocks: id.MaxTableBlocks,
+	}
+}
+
+// Close closes the underlying queue-pair connection.
+func (c *EnvClient) Close() error { return c.qp.Close() }
+
+// do issues one command synchronously through the queue pair's arena.
+func (c *EnvClient) do(now vclock.Time, cmd hostif.Command) (hostif.Completion, error) {
+	ac := c.qp.AcquireCommand()
+	*ac = cmd
+	ac.NSID = c.nsid
+	if err := c.qp.Push(now, ac); err != nil {
+		c.qp.ReleaseCommand(ac)
+		return hostif.Completion{}, err
+	}
+	comp, ok := c.qp.Reap()
+	if !ok {
+		return hostif.Completion{}, c.qp.Err()
+	}
+	return comp, comp.Err
+}
+
+// ReleaseCommand mirrors the hostif arena's discard path for a
+// rejected submit.
+func (qp *QueuePair) ReleaseCommand(cmd *hostif.Command) {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if st, ok := qp.state[cmd]; ok && st == cmdAcquired {
+		qp.recycleLocked(cmd)
+	}
+}
+
+// NSID reports the namespace the client is bound to.
+func (c *EnvClient) NSID() int { return c.nsid }
+
+// BlockSize implements lsm.Env.
+func (c *EnvClient) BlockSize() int { return c.blockSize }
+
+// MaxTableBlocks implements lsm.Env.
+func (c *EnvClient) MaxTableBlocks() int { return c.maxBlocks }
+
+// CreateTable implements lsm.Env.
+func (c *EnvClient) CreateTable(now vclock.Time) (lsm.TableWriter, error) {
+	comp, err := c.do(now, hostif.Command{Op: hostif.OpTableCreate})
+	if err != nil {
+		return nil, err
+	}
+	return &envWriter{env: c, handle: comp.Handle}, nil
+}
+
+// ReadBlock implements lsm.Env.
+func (c *EnvClient) ReadBlock(now vclock.Time, h lsm.TableHandle, block int, dst []byte) (vclock.Time, error) {
+	comp, err := c.do(now, hostif.Command{
+		Op:     hostif.OpTableRead,
+		Handle: uint64(h.ID),
+		Length: int64(h.Blocks),
+		LPN:    int64(block),
+		Dst:    dst,
+	})
+	return comp.Done, err
+}
+
+// DeleteTable implements lsm.Env.
+func (c *EnvClient) DeleteTable(now vclock.Time, h lsm.TableHandle) (vclock.Time, error) {
+	comp, err := c.do(now, hostif.Command{
+		Op:     hostif.OpTableDelete,
+		Handle: uint64(h.ID),
+		Length: int64(h.Blocks),
+	})
+	return comp.Done, err
+}
+
+// envWriter implements lsm.TableWriter over the fabric.
+type envWriter struct {
+	env    *EnvClient
+	handle uint64
+}
+
+// Append implements lsm.TableWriter.
+func (w *envWriter) Append(now vclock.Time, block []byte) (vclock.Time, error) {
+	comp, err := w.env.do(now, hostif.Command{Op: hostif.OpTableAppend, Handle: w.handle, Data: block})
+	return comp.Done, err
+}
+
+// Commit implements lsm.TableWriter.
+func (w *envWriter) Commit(now vclock.Time) (lsm.TableHandle, vclock.Time, error) {
+	comp, err := w.env.do(now, hostif.Command{Op: hostif.OpTableCommit, Handle: w.handle})
+	if err != nil {
+		return lsm.TableHandle{}, comp.Done, err
+	}
+	return lsm.TableHandle{ID: lsm.TableID(comp.Handle), Blocks: comp.Blocks}, comp.Done, nil
+}
+
+// Abort implements lsm.TableWriter.
+func (w *envWriter) Abort(now vclock.Time) (vclock.Time, error) {
+	comp, err := w.env.do(now, hostif.Command{Op: hostif.OpTableAbort, Handle: w.handle})
+	return comp.Done, err
+}

@@ -1,0 +1,35 @@
+package fabrics
+
+import (
+	"encoding/gob"
+
+	"repro/internal/ftl/ftlcore"
+	"repro/internal/hostif"
+	"repro/internal/lightlsm"
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+	"repro/internal/oxblock"
+	"repro/internal/oxeleos"
+	"repro/internal/zns"
+)
+
+// Admin replies carry Result.Admin as a gob-encoded interface value
+// (payloadBox), so every concrete payload an admin command can return —
+// identify structures and all log pages — must be registered. The data
+// path never touches gob; only the control plane pays its cost.
+func init() {
+	gob.Register(hostif.IdentifyController{})
+	gob.Register(hostif.NamespaceIdentity{})
+	gob.Register(hostif.UtilizationLog{})
+	gob.Register(hostif.ExecutorLog{})
+	gob.Register(ox.Stats{})
+	gob.Register(ocssd.Stats{})
+	gob.Register(ocssd.FaultLog{})
+	gob.Register([]ocssd.ChunkInfo(nil))
+	gob.Register([]ocssd.ChunkID(nil))
+	gob.Register([]zns.ZoneInfo(nil))
+	gob.Register(ftlcore.GCStats{})
+	gob.Register(oxblock.Stats{})
+	gob.Register(oxeleos.Stats{})
+	gob.Register(lightlsm.Stats{})
+}

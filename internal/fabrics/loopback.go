@@ -1,0 +1,17 @@
+package fabrics
+
+import "net"
+
+// Loopback returns a client whose connections are in-process pipes
+// served directly by s — the fabric with the network removed. Every
+// frame still crosses the full encode/validate/decode path, so a
+// driver on the loopback exercises the entire wire layer while
+// remaining deterministic; the loopback-equivalence test byte-diffs
+// its output against in-process queue pairs.
+func Loopback(s *Server) *Client {
+	return NewClient(func() (net.Conn, error) {
+		cli, srv := net.Pipe()
+		go s.ServeConn(srv)
+		return cli, nil
+	})
+}

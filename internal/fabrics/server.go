@@ -1,0 +1,514 @@
+package fabrics
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/hostif"
+	"repro/internal/vclock"
+)
+
+// Server serves one host-interface controller over a network listener:
+// the "interconnect handler" in OX's layering. Each accepted connection
+// is one queue pair (I/O connections) or one admin-command channel
+// (admin connections); connections are independent and may be serviced
+// concurrently, exactly like in-process queue pairs driven by
+// concurrent host actors.
+type Server struct {
+	host  *hostif.Host
+	admin *hostif.AdminClient
+
+	// adminMu serializes every use of the shared admin queue client:
+	// connection handshakes, teardown and remote admin commands. The
+	// in-process AdminClient is a single host actor; the server is the
+	// one place many goroutines share it.
+	adminMu sync.Mutex
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+}
+
+// NewServer wraps host for serving. The host keeps working in-process:
+// fabric queue pairs and local queue pairs coexist under the same
+// arbitration.
+func NewServer(host *hostif.Host) *Server {
+	return &Server{
+		host:      host,
+		admin:     host.Admin(),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on l until the listener fails or the
+// server is closed, handling each connection on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close stops the server: listeners stop accepting and every live
+// connection is closed (in-flight commands still complete; their queue
+// pairs are reaped by the connection handlers on the way out).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// track registers a live connection for Close; it reports false when
+// the server is already closed.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// ServeConn serves a single established connection — the loopback
+// transport's entry point — blocking until the peer disconnects. The
+// first frame must be a connect handshake; it selects the connection
+// kind (admin or I/O queue pair).
+func (s *Server) ServeConn(conn net.Conn) {
+	if !s.track(conn) {
+		conn.Close()
+		return
+	}
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	var rbuf []byte
+	ftype, payload, err := readFrame(conn, &rbuf)
+	if err != nil {
+		s.sendError(conn, err)
+		return
+	}
+	if ftype != frameConnect {
+		s.sendError(conn, fmt.Errorf("%w: expected connect, got %d", ErrBadFrameType, ftype))
+		return
+	}
+	d := decoder{b: payload}
+	kind := d.u8()
+	class := hostif.Class(d.u8())
+	depth := int(d.u32())
+	coalesce := int(d.u32())
+	now := vclock.Time(d.i64())
+	if err := d.done(); err != nil {
+		s.sendError(conn, err)
+		return
+	}
+	switch kind {
+	case connKindAdmin:
+		s.serveAdmin(conn, &rbuf)
+	case connKindIO:
+		if class > hostif.ClassLow {
+			s.sendError(conn, fmt.Errorf("%w: unknown arbitration class %d", ErrBadPayload, class))
+			return
+		}
+		s.serveIO(conn, &rbuf, now, depth, class, coalesce)
+	default:
+		s.sendError(conn, fmt.Errorf("%w: unknown connection kind %d", ErrBadPayload, kind))
+	}
+}
+
+// sendError writes a connection-fatal error frame (best effort: the
+// peer may already be gone).
+func (s *Server) sendError(conn net.Conn, err error) {
+	var f frameBuf
+	f.start(frameError)
+	f.str(err.Error())
+	conn.Write(f.finish())
+}
+
+// pendEntry tracks one submitted command's connection-side state until
+// its completion is pushed: the client's tag, the payload buffer the
+// command data was copied into, and the read buffer for OpTableRead.
+type pendEntry struct {
+	tag  uint32
+	data []byte
+	dst  []byte
+}
+
+// ioConn is the server half of one fabric queue pair.
+type ioConn struct {
+	s    *Server
+	conn net.Conn
+	qp   *hostif.QueuePair
+
+	// wmu guards the write side: completion frames are written from the
+	// notify callback, which runs on whichever connection handler drove
+	// the drain — possibly another connection's goroutine.
+	wmu  sync.Mutex
+	wbuf frameBuf
+
+	// pmu guards the pending table and the buffer free list (reader
+	// goroutine inserts, notify callback consumes).
+	pmu     sync.Mutex
+	pend    map[uint64]pendEntry // submission slot → client tag + buffers
+	bufFree [][]byte
+}
+
+// serveIO runs one I/O queue-pair connection: create the queue pair
+// over the admin queue (the handshake is the remote AdminCreateIOQP),
+// push completions from the notify callback, and replay each ring
+// frame as one doorbell batch. On disconnect the queue pair is drained,
+// reaped and deleted so its slots and arbitration state are released.
+func (s *Server) serveIO(conn net.Conn, rbuf *[]byte, now vclock.Time, depth int, class hostif.Class, coalesce int) {
+	s.adminMu.Lock()
+	qp, err := s.admin.CreateIOQueuePair(now, depth, class)
+	s.adminMu.Unlock()
+	if err != nil {
+		s.sendError(conn, err)
+		return
+	}
+	c := &ioConn{
+		s:    s,
+		conn: conn,
+		qp:   qp,
+		pend: make(map[uint64]pendEntry),
+	}
+	defer c.cleanup()
+	qp.SetNotify(coalesce, c.onNotify)
+
+	var f frameBuf
+	f.start(frameAccept)
+	f.u32(uint32(qp.ID()))
+	f.u32(uint32(qp.Depth()))
+	c.wmu.Lock()
+	_, err = conn.Write(f.finish())
+	c.wmu.Unlock()
+	if err != nil {
+		return
+	}
+
+	for {
+		ftype, payload, err := readFrame(conn, rbuf)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.sendError(conn, err)
+			}
+			return
+		}
+		if ftype != frameRing {
+			s.sendError(conn, fmt.Errorf("%w: expected ring, got %d", ErrBadFrameType, ftype))
+			return
+		}
+		if err := c.handleRing(payload); err != nil {
+			s.sendError(conn, err)
+			return
+		}
+	}
+}
+
+// handleRing replays one doorbell batch: decode and submit every
+// command, ring once at the batch's doorbell instant, and drain the
+// host — completions flow back through the notify callback exactly as
+// an in-process driver would see them. Per-command submit rejections
+// (queue full under backpressure, bad namespace) are echoed as error
+// completions carrying the client's tag; only protocol-level damage is
+// connection-fatal.
+func (c *ioConn) handleRing(payload []byte) error {
+	d := decoder{b: payload}
+	now := vclock.Time(d.i64())
+	count := int(d.u32())
+	if d.err == nil && (count < 0 || count > len(payload)) {
+		d.fail()
+	}
+	type reject struct {
+		tag uint32
+		op  hostif.Op
+		ns  int
+		err error
+	}
+	var rejects []reject
+	for i := 0; i < count; i++ {
+		cmd := c.qp.AcquireCommand()
+		tag, dstLen, err := decodeCommand(&d, cmd)
+		if err != nil {
+			c.qp.ReleaseCommand(cmd)
+			return err
+		}
+		var pe pendEntry
+		pe.tag = tag
+		// The frame buffer is reused by the next network read, but the
+		// FTL may retain write payloads (the simulated device stores
+		// them): copy into a connection-pooled buffer that lives until
+		// the completion is pushed.
+		if len(cmd.Data) > 0 {
+			pe.data = c.getBuf(len(cmd.Data))
+			copy(pe.data, cmd.Data)
+			cmd.Data = pe.data
+		}
+		if dstLen > 0 && cmd.Op == hostif.OpTableRead {
+			pe.dst = c.getBuf(dstLen)
+			cmd.Dst = pe.dst
+		}
+		slot, err := c.qp.Submit(cmd)
+		if err != nil {
+			op, ns := cmd.Op, cmd.NSID // ReleaseCommand zeroes the arena command
+			c.qp.ReleaseCommand(cmd)
+			c.putBufs(pe)
+			rejects = append(rejects, reject{tag: tag, op: op, ns: ns, err: err})
+			continue
+		}
+		c.pmu.Lock()
+		c.pend[slot] = pe
+		c.pmu.Unlock()
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	c.qp.Ring(now)
+	c.s.host.Drain()
+	if len(rejects) > 0 {
+		c.wmu.Lock()
+		c.wbuf.start(frameCompletions)
+		c.wbuf.u32(uint32(len(rejects)))
+		for _, r := range rejects {
+			comp := hostif.Completion{
+				Op:        r.op,
+				NSID:      r.ns,
+				Submitted: now,
+				Done:      now,
+				Result:    hostif.Result{End: now, Err: r.err, Status: hostif.StatusOf(r.err)},
+			}
+			encodeCompletion(&c.wbuf, r.tag, &comp, nil)
+		}
+		_, err := c.conn.Write(c.wbuf.finish())
+		c.wmu.Unlock()
+		if err != nil {
+			return nil // read loop will observe the dead connection
+		}
+	}
+	return nil
+}
+
+// onNotify is the queue pair's interrupt handler: reap the coalesced
+// completions and push them to the client in one frame. It runs on
+// whichever goroutine drove the drain (possibly another connection's
+// handler), so all connection write state sits behind wmu. Write
+// failures are ignored — the connection's read loop notices the dead
+// peer and tears the queue pair down.
+func (c *ioConn) onNotify(n hostif.Notification) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf.start(frameCompletions)
+	countOff := len(c.wbuf.b)
+	c.wbuf.u32(0)
+	wrote := 0
+	for i := 0; i < n.Coalesced; i++ {
+		comp, ok := c.qp.Reap()
+		if !ok {
+			break
+		}
+		c.pmu.Lock()
+		pe, havePend := c.pend[comp.Slot]
+		delete(c.pend, comp.Slot)
+		c.pmu.Unlock()
+		data := comp.Data
+		if len(data) == 0 && comp.Op == hostif.OpTableRead && havePend {
+			data = pe.dst
+		}
+		encodeCompletion(&c.wbuf, pe.tag, &comp, data)
+		c.putBufs(pe)
+		wrote++
+	}
+	if wrote == 0 {
+		return
+	}
+	binary.LittleEndian.PutUint32(c.wbuf.b[countOff:], uint32(wrote))
+	c.conn.Write(c.wbuf.finish())
+}
+
+// cleanup tears the queue pair down after a disconnect: detach the
+// notify handler, reap whatever completed (in-flight commands finish —
+// an abrupt disconnect never corrupts device state), then delete the
+// queue pair so its slots, arbitration entry and arena are released.
+func (c *ioConn) cleanup() {
+	c.qp.SetNotify(1, nil)
+	c.s.host.Drain()
+	for {
+		if _, ok := c.qp.Reap(); !ok {
+			break
+		}
+	}
+	c.s.adminMu.Lock()
+	c.s.admin.DeleteIOQueuePair(vclock.Time(0), c.qp)
+	c.s.adminMu.Unlock()
+	c.pmu.Lock()
+	c.pend = nil
+	c.bufFree = nil
+	c.pmu.Unlock()
+}
+
+// getBuf pops a pooled buffer of at least n bytes (length n).
+func (c *ioConn) getBuf(n int) []byte {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	for i := len(c.bufFree) - 1; i >= 0; i-- {
+		if cap(c.bufFree[i]) >= n {
+			b := c.bufFree[i][:n]
+			c.bufFree = append(c.bufFree[:i], c.bufFree[i+1:]...)
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBufs returns a pending entry's buffers to the connection pool.
+func (c *ioConn) putBufs(pe pendEntry) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.pend == nil {
+		return // connection torn down; let the buffers go
+	}
+	if pe.data != nil {
+		c.bufFree = append(c.bufFree, pe.data)
+	}
+	if pe.dst != nil {
+		c.bufFree = append(c.bufFree, pe.dst)
+	}
+}
+
+// payloadBox wraps an admin Result.Admin value for gob: encoding an
+// interface requires a concrete field of interface type, with every
+// concrete payload registered (gob.go).
+type payloadBox struct {
+	V any
+}
+
+// serveAdmin runs one admin connection: a synchronous request/reply
+// loop over the shared admin queue. Only host-memory admin commands
+// are remotable — identify and log pages; queue-pair lifecycle rides
+// the I/O connection handshake, and namespace attachment needs an
+// in-process Namespace value, so both are rejected as unsupported.
+func (s *Server) serveAdmin(conn net.Conn, rbuf *[]byte) {
+	var f frameBuf
+	f.start(frameAccept)
+	f.u32(0)
+	f.u32(0)
+	if _, err := conn.Write(f.finish()); err != nil {
+		return
+	}
+	var pbuf bytes.Buffer
+	for {
+		ftype, payload, err := readFrame(conn, rbuf)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.sendError(conn, err)
+			}
+			return
+		}
+		if ftype != frameAdmin {
+			s.sendError(conn, fmt.Errorf("%w: expected admin, got %d", ErrBadFrameType, ftype))
+			return
+		}
+		d := decoder{b: payload}
+		var cmd hostif.Command
+		cmd.Op = hostif.Op(d.u8())
+		cmd.NSID = int(d.u32())
+		cmd.Handle = d.u64()
+		cmd.Admin.Log = hostif.LogPage(d.u8())
+		now := vclock.Time(d.i64())
+		if err := d.done(); err != nil {
+			s.sendError(conn, err)
+			return
+		}
+		comp, err := s.execRemoteAdmin(now, &cmd)
+		f.start(frameAdminReply)
+		if err == nil {
+			err = comp.Err
+		}
+		code := codeFor(err)
+		msg := ""
+		if code == errOther && err != nil {
+			msg = err.Error()
+		}
+		pbuf.Reset()
+		if err == nil && comp.Admin != nil {
+			if gerr := gob.NewEncoder(&pbuf).Encode(&payloadBox{V: comp.Admin}); gerr != nil {
+				code, msg = errOther, "encoding admin payload: "+gerr.Error()
+				pbuf.Reset()
+			}
+		}
+		f.u16(code)
+		f.str(msg)
+		f.i64(int64(comp.Done))
+		f.u64(comp.Handle)
+		f.i32(int32(comp.Blocks))
+		f.bytes(pbuf.Bytes())
+		if _, err := conn.Write(f.finish()); err != nil {
+			return
+		}
+	}
+}
+
+// execRemoteAdmin issues one remotable admin command through the
+// shared admin queue, serialized against handshakes and teardowns.
+func (s *Server) execRemoteAdmin(now vclock.Time, cmd *hostif.Command) (hostif.Completion, error) {
+	switch cmd.Op {
+	case hostif.OpAdminIdentify, hostif.OpAdminGetLogPage:
+	default:
+		return hostif.Completion{Done: now},
+			fmt.Errorf("%w: %v over fabric admin connection", hostif.ErrUnsupported, cmd.Op)
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	aqp := s.admin.Queue()
+	ac := aqp.AcquireCommand()
+	op, nsid, handle, log := cmd.Op, cmd.NSID, cmd.Handle, cmd.Admin.Log
+	ac.Op, ac.NSID, ac.Handle = op, nsid, handle
+	ac.Admin.Log = log
+	if err := aqp.Push(now, ac); err != nil {
+		aqp.ReleaseCommand(ac)
+		return hostif.Completion{Done: now}, err
+	}
+	comp := aqp.MustReap()
+	return comp, nil
+}

@@ -129,6 +129,20 @@ func (qp *QueuePair) recycleLocked(cmd *Command) {
 	qp.free = append(qp.free, cmd)
 }
 
+// ReleaseCommand returns an acquired-but-unsubmitted arena command to
+// the free list: the discard path for a command whose Submit was
+// rejected (queue full, bad namespace, plane mismatch), so rejection
+// under backpressure does not leak arena slots. In-flight and already-
+// recycled commands are left untouched — their misuse is detected at
+// the next Submit.
+func (qp *QueuePair) ReleaseCommand(cmd *Command) {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if st, ok := qp.state[cmd]; ok && st == cmdAcquired {
+		qp.recycleLocked(cmd)
+	}
+}
+
 // Submit stages cmd in the next free submission slot without ringing
 // the doorbell. It returns the slot, or ErrQueueFull when every slot is
 // held by an in-flight or unreaped command. Plane mismatches are
