@@ -10,11 +10,13 @@ package repro
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/fabrics"
 	"repro/internal/hostif"
 	"repro/internal/landscape"
+	"repro/internal/netfault"
 	"repro/internal/oxblock"
 	"repro/internal/vclock"
 )
@@ -296,6 +298,74 @@ func BenchmarkFabricLoopback(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*2*span/b.Elapsed().Seconds()/1000, "wire_kops_wall")
+}
+
+// BenchmarkFabricReconnect measures the session-resumption path: the
+// netfault proxy kills the connection on every fourth data frame
+// (looping), so each iteration's four write round trips include one
+// full redial — dial, token re-handshake, un-acked command replay,
+// dedup'd completion redelivery. The delta against BenchmarkFabricLoopback
+// is the price of surviving a connection loss.
+func BenchmarkFabricReconnect(b *testing.B) {
+	_, ctrl, err := exp.DefaultRig().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 4096}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	nsid, err := host.Admin().AttachNamespace(now, hostif.NewBlockNamespace(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := fabrics.NewServer(host)
+	defer srv.Close()
+	proxy := netfault.New(fabrics.LoopbackDial(srv), netfault.Config{
+		Script: []netfault.Event{{After: 4, Action: netfault.Kill}},
+		Loop:   true,
+	})
+	cli := fabrics.NewClient(proxy.Dial).WithConfig(fabrics.Config{
+		Redial: fabrics.RedialConfig{MaxAttempts: 10, Base: 50 * time.Microsecond, Cap: time.Millisecond, Seed: 3},
+	})
+	qp, err := cli.QueuePair(now, 1, hostif.ClassMedium, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer qp.Close()
+
+	const span = 64
+	data := make([]byte, 4096)
+	at := now
+	write := func(lpn int64) {
+		cmd := qp.AcquireCommand()
+		cmd.Op, cmd.NSID, cmd.LPN, cmd.Data = hostif.OpWrite, nsid, lpn, data
+		if err := qp.Push(at, cmd); err != nil {
+			b.Fatal(err)
+		}
+		comp := qp.MustReap()
+		if comp.Err != nil {
+			b.Fatal(comp.Err)
+		}
+		at = comp.Done
+	}
+	// Warm-up: map the span, fill the pools, take the first kill.
+	for lpn := int64(0); lpn < span; lpn++ {
+		write(lpn)
+	}
+
+	warm := qp.Stats().Redials
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 4; k++ {
+			write(int64((i*4 + k) % span))
+		}
+	}
+	b.StopTimer()
+	redials := qp.Stats().Redials - warm
+	b.ReportMetric(float64(redials)/float64(b.N), "redials_per_op")
 }
 
 // BenchmarkHostPipelinedExecutor measures the pipelined execution

@@ -39,6 +39,7 @@ var tracked = []string{
 	"BenchmarkHostPipelinedExecutor",
 	"BenchmarkCrashRecovery",
 	"BenchmarkFabricLoopback",
+	"BenchmarkFabricReconnect",
 }
 
 type baseline struct {

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,qdfabric,tenants,scale,crashstorm,fabric,all")
+	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,qdfabric,tenants,scale,crashstorm,fabric,netstorm,all")
 	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
 	executor := flag.String("executor", "serial", "host command-service engine: serial | pipelined (tables are bit-identical either way)")
 	workers := flag.Int("workers", 0, "pipelined executor worker-pool size (0 = GOMAXPROCS)")
@@ -183,6 +183,21 @@ func main() {
 			fatal(err)
 		}
 		emit("fabric", exp.FabricTable(points))
+	}
+	if all || want["netstorm"] {
+		// The network-fault storm: scripted connection kills, drops and
+		// partitions against every fabric-served FTL, with a fault-free
+		// shadow pass pinning zero lost acked writes and zero duplicate
+		// applications. Fault triggers are frame-count-based and the
+		// orchestrator is single-threaded over virtual time, so the
+		// table joins the CI determinism byte-diff.
+		cfg := exp.DefaultNetstorm()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.Netstorm(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("netstorm", exp.NetstormTable(points))
 	}
 	if all || want["scale"] {
 		// The scale sweep runs both executors itself (serial reference

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/exp"
 	"repro/internal/fabrics"
@@ -96,7 +99,22 @@ func main() {
 	fail(err)
 	fmt.Printf("oxfabd: serving %s namespace %d on %s (executor %s)\n", *ftl, nsid, l.Addr(), ex)
 	srv := fabrics.NewServer(host)
-	fail(srv.Serve(l))
+
+	// SIGINT/SIGTERM drain gracefully: stop accepting, flush every
+	// in-flight completion, send each live queue pair a goaway frame
+	// (clients treat it as a clean redial trigger), then exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("oxfabd: %v, draining\n", s)
+		srv.Shutdown()
+	}()
+
+	if err := srv.Serve(l); err != nil && !errors.Is(err, fabrics.ErrClosed) {
+		fail(err)
+	}
+	fmt.Println("oxfabd: drained, exiting")
 }
 
 func fail(err error) {

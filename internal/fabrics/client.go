@@ -3,9 +3,13 @@ package fabrics
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ftl/ftlcore"
 	"repro/internal/hostif"
@@ -15,11 +19,74 @@ import (
 	"repro/internal/zns"
 )
 
-// Client is one fabric initiator. It owns only the dial function;
-// every QueuePair and AdminClient opens its own connection, because
-// one connection is one queue pair.
+// Default wall-clock guard rails. They bound how long a frame exchange
+// may hang on a dead peer, not how long commands take in virtual time.
+const (
+	// DefaultAdminTimeout bounds one admin request/reply round trip and
+	// the connect handshake.
+	DefaultAdminTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds one frame write on an I/O connection.
+	DefaultWriteTimeout = 30 * time.Second
+	// Redial backoff defaults (capped exponential, seeded jitter).
+	defaultRedialBase = 2 * time.Millisecond
+	defaultRedialCap  = 250 * time.Millisecond
+)
+
+// RedialConfig shapes the session-resumption retry loop: capped
+// exponential backoff with seeded jitter. MaxAttempts 0 disables
+// resumption entirely — a connection loss is then terminal, the
+// pre-session behavior.
+type RedialConfig struct {
+	// MaxAttempts is the redial budget per outage (not per queue-pair
+	// lifetime). 0 disables resumption.
+	MaxAttempts int
+	// Base is the first backoff step (default 2ms); doubles per attempt.
+	Base time.Duration
+	// Cap bounds the backoff step (default 250ms).
+	Cap time.Duration
+	// Seed makes the jitter deterministic; mixed with the session token
+	// so concurrent queue pairs don't thunder in lockstep.
+	Seed int64
+}
+
+// Config carries the client's liveness and resilience settings. The
+// zero value keeps the wire liveness features off (no keep-alive, no
+// redial) but applies sane wall-clock timeouts so a dead server can no
+// longer hang a caller forever.
+type Config struct {
+	// KeepAlive is the NVMe-style KATO: the client heartbeats at a
+	// third of it, the server reaps sessions silent past ~1.25x it, and
+	// the client treats a read silence of KATO as a lost connection.
+	// 0 disables keep-alive.
+	KeepAlive time.Duration
+	// AdminTimeout bounds admin round trips and connect handshakes.
+	// 0 means DefaultAdminTimeout; negative disables the deadline.
+	AdminTimeout time.Duration
+	// WriteTimeout bounds I/O-connection frame writes. 0 means
+	// DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
+	// Redial enables session resumption with idempotent replay.
+	Redial RedialConfig
+}
+
+// resolveTimeout maps the Config convention (0 = default, negative =
+// disabled) onto a concrete deadline span (0 = none).
+func resolveTimeout(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Client is one fabric initiator. It owns only the dial function and
+// the resilience config; every QueuePair and AdminClient opens its own
+// connection, because one connection is one queue pair.
 type Client struct {
 	dial func() (net.Conn, error)
+	cfg  Config
 }
 
 // Dial returns a client that connects to a fabrics server at a TCP
@@ -35,12 +102,23 @@ func NewClient(dial func() (net.Conn, error)) *Client {
 	return &Client{dial: dial}
 }
 
+// WithConfig returns a client sharing this one's dial function with
+// the given resilience config.
+func (c *Client) WithConfig(cfg Config) *Client {
+	return &Client{dial: c.dial, cfg: cfg}
+}
+
 // connect dials and runs the handshake, returning the accepted
-// queue-pair ID and depth.
-func (c *Client) connect(kind uint8, now vclock.Time, depth int, class hostif.Class, coalesce int) (net.Conn, int, int, error) {
+// queue-pair ID, depth and session token. token 0 requests a fresh
+// session; non-zero resumes a retained one.
+func (c *Client) connect(kind uint8, now vclock.Time, depth int, class hostif.Class, coalesce int, token uint64) (net.Conn, int, int, uint64, error) {
 	conn, err := c.dial()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
+	}
+	if ht := resolveTimeout(c.cfg.AdminTimeout, DefaultAdminTimeout); ht > 0 {
+		conn.SetDeadline(time.Now().Add(ht))
+		defer conn.SetDeadline(time.Time{})
 	}
 	var f frameBuf
 	f.start(frameConnect)
@@ -49,40 +127,60 @@ func (c *Client) connect(kind uint8, now vclock.Time, depth int, class hostif.Cl
 	f.u32(uint32(depth))
 	f.u32(uint32(coalesce))
 	f.i64(int64(now))
+	f.u32(uint32(c.cfg.KeepAlive / time.Millisecond))
+	f.u64(token)
 	if _, err := conn.Write(f.finish()); err != nil {
 		conn.Close()
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, wrapTimeout(err)
 	}
 	var rbuf []byte
 	ftype, payload, err := readFrame(conn, &rbuf)
 	if err != nil {
 		conn.Close()
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, wrapTimeout(err)
 	}
 	d := decoder{b: payload}
 	switch ftype {
 	case frameAccept:
 		qid := int(d.u32())
 		dep := int(d.u32())
+		tok := d.u64()
 		if err := d.done(); err != nil {
 			conn.Close()
-			return nil, 0, 0, err
+			return nil, 0, 0, 0, err
 		}
-		return conn, qid, dep, nil
+		return conn, qid, dep, tok, nil
 	case frameError:
+		code := d.u16()
 		msg := d.str()
 		conn.Close()
-		return nil, 0, 0, fmt.Errorf("%w: %s", ErrRejected, msg)
+		if code == errSessionUnknown {
+			return nil, 0, 0, 0, fmt.Errorf("%w: %s", ErrSessionUnknown, msg)
+		}
+		return nil, 0, 0, 0, fmt.Errorf("%w: %s", ErrRejected, msg)
 	default:
 		conn.Close()
-		return nil, 0, 0, fmt.Errorf("%w: %d in handshake", ErrBadFrameType, ftype)
+		return nil, 0, 0, 0, fmt.Errorf("%w: %d in handshake", ErrBadFrameType, ftype)
 	}
 }
 
-// stagedEntry is one locally staged submission awaiting its Ring.
-type stagedEntry struct {
-	cmd *hostif.Command
-	tag uint32
+// wrapTimeout surfaces deadline misses as the typed ErrTimeout while
+// passing other transport errors through.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
+}
+
+// pendingCmd is one submitted command the server has not completed:
+// staged (rung false) or in flight (rung true, at = doorbell instant).
+// Rung entries are the replay set after a reconnect.
+type pendingCmd struct {
+	cmd  *hostif.Command
+	at   vclock.Time
+	rung bool
 }
 
 // recvEntry is one received completion awaiting Reap.
@@ -107,35 +205,61 @@ type recvEntry struct {
 // reaped completion's Data is valid until its command storage is
 // recycled by a later completion.
 //
+// Resilience: when the client was built with a Redial budget, a lost
+// connection is not terminal — the pair redials with capped
+// exponential backoff, resumes its server-side session by token, and
+// replays every un-acked rung command at its original doorbell
+// instant. The server dedups sequence numbers already executed, so no
+// acked write is lost or double-applied, and virtual timing is
+// identical to the uninterrupted run. Callers blocked in Reap simply
+// keep waiting across the outage.
+//
 // Like its in-process counterpart, a queue pair is driven by one actor
 // at a time.
 type QueuePair struct {
-	conn  net.Conn
-	id    int
-	depth int
-	class hostif.Class
+	cli      *Client
+	id       int
+	depth    int
+	class    hostif.Class
+	coalesce int
+	token    uint64
 
-	wmu  sync.Mutex // write side: ring frames
+	wmu  sync.Mutex // write side: ring frames, keep-alives, disconnect
 	wbuf frameBuf
 
 	mu     sync.Mutex
 	cond   *sync.Cond
+	conn   net.Conn
+	gen    int   // bumped per reconnect; guards breakConn
+	werr   error // first write error on the current conn (redial context)
 	rerr   error // terminal reader error (sticky)
 	closed bool
+	kaStop chan struct{}
 
 	// Local command arena with the in-process misuse detection.
 	free  []*hostif.Command
 	state map[*hostif.Command]uint8
 
-	staged   []stagedEntry
-	nextSlot uint64
-	inflight int // rung, completion not yet received
-	held     int // staged + inflight + unreaped (slot gate)
+	// Sequence-numbered pending set. Sequence numbers start at 1 and
+	// never repeat; ack is the highest seq below which every completion
+	// has been received (carried on ring frames so the server can prune
+	// its replay cache).
+	pending  map[uint64]*pendingCmd
+	pendFree []*pendingCmd
+	staged   []uint64
+	nextSeq  uint64
+	rung     int // rung, completion not yet received
+	held     int // staged + rung + unreaped (slot gate)
+	ack      uint64
+	ackAhead map[uint64]struct{}
+	lastRing vclock.Time
 
-	tagFree  []uint32
-	tagCmd   []*hostif.Command
+	nextSlot uint64
 	cq       []recvEntry
 	dataFree [][]byte
+
+	redials  int
+	replayed int
 }
 
 // QueuePair opens an I/O queue pair: the handshake is the remote
@@ -147,23 +271,26 @@ func (c *Client) QueuePair(now vclock.Time, depth int, class hostif.Class, coale
 	if depth < 1 {
 		depth = 1
 	}
-	conn, qid, dep, err := c.connect(connKindIO, now, depth, class, coalesce)
+	conn, qid, dep, token, err := c.connect(connKindIO, now, depth, class, coalesce, 0)
 	if err != nil {
 		return nil, err
 	}
 	qp := &QueuePair{
-		conn:   conn,
-		id:     qid,
-		depth:  dep,
-		class:  class,
-		state:  make(map[*hostif.Command]uint8),
-		tagCmd: make([]*hostif.Command, dep),
+		cli:      c,
+		conn:     conn,
+		id:       qid,
+		depth:    dep,
+		class:    class,
+		coalesce: coalesce,
+		token:    token,
+		state:    make(map[*hostif.Command]uint8),
+		pending:  make(map[uint64]*pendingCmd, dep),
+		ackAhead: make(map[uint64]struct{}),
+		lastRing: now,
 	}
 	qp.cond = sync.NewCond(&qp.mu)
-	for t := dep - 1; t >= 0; t-- {
-		qp.tagFree = append(qp.tagFree, uint32(t))
-	}
-	go qp.readLoop()
+	qp.startKA(conn)
+	go qp.sessionLoop(conn)
 	return qp, nil
 }
 
@@ -175,6 +302,24 @@ func (qp *QueuePair) Depth() int { return qp.depth }
 
 // Class reports the queue pair's WRR arbitration class.
 func (qp *QueuePair) Class() Class { return qp.class }
+
+// Token reports the session token the server issued at connect.
+func (qp *QueuePair) Token() uint64 { return qp.token }
+
+// ReconnectStats counts session-resumption work over the pair's life.
+type ReconnectStats struct {
+	// Redials is the number of successful session resumptions.
+	Redials int
+	// Replayed is the total commands re-sent across all resumptions.
+	Replayed int
+}
+
+// Stats reports the pair's resumption counters.
+func (qp *QueuePair) Stats() ReconnectStats {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return ReconnectStats{Redials: qp.redials, Replayed: qp.replayed}
+}
 
 // Class aliases the host interface's arbitration class for callers
 // that only import fabrics.
@@ -217,9 +362,26 @@ func (qp *QueuePair) recycleLocked(cmd *hostif.Command) {
 	qp.free = append(qp.free, cmd)
 }
 
-// Err reports the queue pair's terminal error: nil while healthy,
-// ErrClosed after Close, or the transport/protocol error that killed
-// the connection.
+// getPendingLocked pops a pooled pending entry. Caller holds mu.
+func (qp *QueuePair) getPendingLocked() *pendingCmd {
+	if n := len(qp.pendFree); n > 0 {
+		pc := qp.pendFree[n-1]
+		qp.pendFree = qp.pendFree[:n-1]
+		return pc
+	}
+	return new(pendingCmd)
+}
+
+// putPendingLocked recycles a pending entry. Caller holds mu.
+func (qp *QueuePair) putPendingLocked(pc *pendingCmd) {
+	*pc = pendingCmd{}
+	qp.pendFree = append(qp.pendFree, pc)
+}
+
+// Err reports the queue pair's terminal error: nil while healthy (or
+// mid-resumption), ErrClosed after Close, or the transport/protocol
+// error that killed the connection. RedialEligible discriminates
+// causes a redial budget would have survived.
 func (qp *QueuePair) Err() error {
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
@@ -263,10 +425,12 @@ func (qp *QueuePair) Submit(cmd *hostif.Command) (uint64, error) {
 	if qp.held >= qp.depth {
 		return 0, hostif.ErrQueueFull
 	}
-	tag := qp.tagFree[len(qp.tagFree)-1]
-	qp.tagFree = qp.tagFree[:len(qp.tagFree)-1]
-	qp.tagCmd[tag] = cmd
-	qp.staged = append(qp.staged, stagedEntry{cmd: cmd, tag: tag})
+	qp.nextSeq++
+	seq := qp.nextSeq
+	pc := qp.getPendingLocked()
+	pc.cmd = cmd
+	qp.pending[seq] = pc
+	qp.staged = append(qp.staged, seq)
 	qp.held++
 	slot := qp.nextSlot
 	qp.nextSlot++
@@ -279,7 +443,9 @@ func (qp *QueuePair) Submit(cmd *hostif.Command) (uint64, error) {
 // Ring sends every staged command to the controller as one doorbell
 // batch at virtual instant now: one frame, one server-side Ring — the
 // wire preserves batched submission exactly. It returns the number of
-// commands sent.
+// commands sent. A write failure is not terminal when the client holds
+// a redial budget: the rung entries stay pending and are replayed on
+// resumption.
 func (qp *QueuePair) Ring(now vclock.Time) int {
 	qp.wmu.Lock()
 	defer qp.wmu.Unlock()
@@ -289,23 +455,54 @@ func (qp *QueuePair) Ring(now vclock.Time) int {
 		qp.mu.Unlock()
 		return 0
 	}
+	conn, gen := qp.conn, qp.gen
 	qp.wbuf.start(frameRing)
-	qp.wbuf.i64(int64(now))
+	qp.wbuf.u64(qp.ack)
 	qp.wbuf.u32(uint32(n))
-	for i := range qp.staged {
-		encodeCommand(&qp.wbuf, qp.staged[i].tag, qp.staged[i].cmd)
+	for _, seq := range qp.staged {
+		pc := qp.pending[seq]
+		pc.rung = true
+		pc.at = now
+		encodeCommand(&qp.wbuf, seq, now, pc.cmd)
 	}
-	qp.inflight += n
+	qp.rung += n
 	qp.staged = qp.staged[:0]
+	qp.lastRing = now
 	frame := qp.wbuf.finish()
 	// Release mu (but not wmu) before the blocking write: the reader
 	// goroutine needs mu to land completions, and a stalled write only
 	// drains once the peer's pushes are being consumed.
 	qp.mu.Unlock()
-	if _, err := qp.conn.Write(frame); err != nil {
-		qp.fail(err)
-	}
+	qp.writeConn(conn, gen, frame)
 	return n
+}
+
+// writeConn writes one frame under the configured write deadline.
+// Failures break the connection (waking the reader) rather than
+// failing the pair: the session loop decides whether the cause is
+// redial-eligible. Caller holds wmu.
+func (qp *QueuePair) writeConn(conn net.Conn, gen int, frame []byte) error {
+	if wt := resolveTimeout(qp.cli.cfg.WriteTimeout, DefaultWriteTimeout); wt > 0 {
+		conn.SetWriteDeadline(time.Now().Add(wt))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	if _, err := conn.Write(frame); err != nil {
+		qp.breakConn(conn, gen, wrapTimeout(err))
+		return err
+	}
+	return nil
+}
+
+// breakConn records a write failure against the connection generation
+// it happened on and closes that connection so the reader observes the
+// loss. A stale generation (the session already moved on) is ignored.
+func (qp *QueuePair) breakConn(conn net.Conn, gen int, err error) {
+	qp.mu.Lock()
+	if qp.gen == gen && qp.werr == nil && !qp.closed {
+		qp.werr = err
+	}
+	qp.mu.Unlock()
+	conn.Close()
 }
 
 // Push submits cmd and rings the doorbell at now — the single-command
@@ -320,13 +517,14 @@ func (qp *QueuePair) Push(now vclock.Time, cmd *hostif.Command) error {
 
 // Reap pops the oldest received completion in push order (the server's
 // completion order), blocking while commands are in flight and nothing
-// has arrived yet. It returns false when no completion can ever come:
-// nothing in flight, or the connection died (check Err).
+// has arrived yet — including across a connection outage while the
+// session resumes. It returns false when no completion can ever come:
+// nothing in flight, or the pair terminally failed (check Err).
 func (qp *QueuePair) Reap() (hostif.Completion, bool) {
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
 	for len(qp.cq) == 0 {
-		if qp.inflight == 0 || qp.rerr != nil || qp.closed {
+		if qp.rung == 0 || qp.rerr != nil || qp.closed {
 			return hostif.Completion{}, false
 		}
 		qp.cond.Wait()
@@ -349,12 +547,12 @@ func (qp *QueuePair) MustReap() hostif.Completion {
 // drains the controller, all of a batch's completions arrive together,
 // so this equals hostif.Host.ReapAny's globally-earliest pick for a
 // single queue pair — the closed-loop driver equivalence the loopback
-// test pins. It returns false when nothing is outstanding or the
-// connection died.
+// test pins. It returns false when nothing is outstanding or the pair
+// terminally failed.
 func (qp *QueuePair) ReapEarliest() (hostif.Completion, bool) {
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
-	for qp.inflight > 0 && qp.rerr == nil && !qp.closed {
+	for qp.rung > 0 && qp.rerr == nil && !qp.closed {
 		qp.cond.Wait()
 	}
 	if len(qp.cq) == 0 {
@@ -391,9 +589,9 @@ func (qp *QueuePair) Outstanding() int {
 	return qp.held
 }
 
-// Close tears the connection down. The server observes the disconnect,
-// completes anything in flight and deletes the queue pair; locally,
-// blocked Reaps return false.
+// Close tears the pair down. A best-effort disconnect frame tells the
+// server this is a clean close — tear the session down now rather than
+// retain it for resumption; locally, blocked Reaps return false.
 func (qp *QueuePair) Close() error {
 	qp.mu.Lock()
 	if qp.closed {
@@ -401,54 +599,288 @@ func (qp *QueuePair) Close() error {
 		return nil
 	}
 	qp.closed = true
+	conn := qp.conn
+	ka := qp.kaStop
+	qp.kaStop = nil
 	qp.cond.Broadcast()
 	qp.mu.Unlock()
-	return qp.conn.Close()
+	if ka != nil {
+		close(ka)
+	}
+	qp.wmu.Lock()
+	qp.wbuf.start(frameDisconnect)
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	conn.Write(qp.wbuf.finish())
+	qp.wmu.Unlock()
+	return conn.Close()
 }
 
-// fail records a terminal reader error and wakes every waiter.
+// fail records a terminal error and wakes every waiter.
 func (qp *QueuePair) fail(err error) {
 	qp.mu.Lock()
 	if qp.rerr == nil && !qp.closed {
 		qp.rerr = err
 	}
+	conn := qp.conn
+	ka := qp.kaStop
+	qp.kaStop = nil
 	qp.cond.Broadcast()
 	qp.mu.Unlock()
-	qp.conn.Close()
+	if ka != nil {
+		close(ka)
+	}
+	conn.Close()
 }
 
-// readLoop is the queue pair's completion consumer: one goroutine per
-// connection, so a blocked Ring write can never deadlock against the
-// server's completion pushes (full-duplex flow).
-func (qp *QueuePair) readLoop() {
+// startKA spawns the keep-alive sender for conn: one heartbeat frame
+// every KATO/3 so the server's session timer (KATO + slack) never
+// expires while the client is healthy. No-op when keep-alive is off.
+func (qp *QueuePair) startKA(conn net.Conn) {
+	kato := qp.cli.cfg.KeepAlive
+	if kato <= 0 {
+		return
+	}
+	interval := kato / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	stop := make(chan struct{})
+	qp.mu.Lock()
+	if qp.closed || qp.rerr != nil {
+		qp.mu.Unlock()
+		return
+	}
+	gen := qp.gen
+	qp.kaStop = stop
+	qp.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var f frameBuf
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				f.start(frameKeepAlive)
+				qp.wmu.Lock()
+				err := qp.writeConn(conn, gen, f.finish())
+				qp.wmu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// stopKA halts the current keep-alive sender, if any.
+func (qp *QueuePair) stopKA() {
+	qp.mu.Lock()
+	ka := qp.kaStop
+	qp.kaStop = nil
+	qp.mu.Unlock()
+	if ka != nil {
+		close(ka)
+	}
+}
+
+// terminalCause reports whether err is protocol damage (corrupt or
+// alien frames, explicit rejection) rather than a connection loss.
+// Losses — EOF, resets, closed sockets, truncated frames, missed
+// keep-alive windows — are redial-eligible.
+func terminalCause(err error) bool {
+	for _, t := range []error{
+		ErrBadMagic, ErrBadVersion, ErrBadFrameType, ErrFrameTooLarge,
+		ErrCorruptFrame, ErrBadPayload, ErrBadOpcode, ErrRejected,
+		ErrSessionUnknown,
+	} {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// sessionLoop owns the pair's read side across connections: it
+// consumes completion pushes until the connection dies, classifies the
+// cause, and either resumes the session (redial, re-handshake with the
+// token, replay un-acked commands) or fails the pair terminally.
+func (qp *QueuePair) sessionLoop(conn net.Conn) {
 	var rbuf []byte
 	for {
-		ftype, payload, err := readFrame(qp.conn, &rbuf)
-		if err != nil {
+		err := qp.readConn(conn, &rbuf)
+		conn.Close()
+		qp.stopKA()
+		qp.mu.Lock()
+		if qp.closed {
+			qp.mu.Unlock()
+			return
+		}
+		werr := qp.werr
+		qp.werr = nil
+		qp.mu.Unlock()
+
+		// Classify. A local write error is the richer cause when the
+		// read side only saw the connection close under it.
+		cause := err
+		switch {
+		case errors.Is(err, ErrGoaway):
+			cause = ErrGoaway
+		case terminalCause(err):
 			qp.fail(err)
 			return
+		default:
+			if werr != nil && !terminalCause(werr) {
+				cause = werr
+			}
+			cause = fmt.Errorf("%w: %w", ErrDisconnected, cause)
+		}
+		if qp.cli.cfg.Redial.MaxAttempts <= 0 {
+			qp.fail(cause)
+			return
+		}
+		next, rerr := qp.resume(cause)
+		if rerr != nil {
+			qp.fail(rerr)
+			return
+		}
+		conn = next
+	}
+}
+
+// readConn consumes frames from one connection until it dies, applying
+// the keep-alive read deadline: any KATO of silence counts as a lost
+// connection. Always returns a non-nil reason.
+func (qp *QueuePair) readConn(conn net.Conn, rbuf *[]byte) error {
+	kato := qp.cli.cfg.KeepAlive
+	for {
+		if kato > 0 {
+			conn.SetReadDeadline(time.Now().Add(kato))
+		}
+		ftype, payload, err := readFrame(conn, rbuf)
+		if err != nil {
+			return wrapTimeout(err)
 		}
 		switch ftype {
 		case frameCompletions:
 			if err := qp.handleCompletions(payload); err != nil {
-				qp.fail(err)
-				return
+				return err
 			}
+		case frameKeepAlive:
+			// Server heartbeat echo; the read itself reset the deadline.
+		case frameGoaway:
+			return ErrGoaway
 		case frameError:
 			d := decoder{b: payload}
+			code := d.u16()
 			msg := d.str()
-			qp.fail(fmt.Errorf("%w: %s", ErrRejected, msg))
-			return
+			if code == errSessionUnknown {
+				return fmt.Errorf("%w: %s", ErrSessionUnknown, msg)
+			}
+			return fmt.Errorf("%w: %s", ErrRejected, msg)
 		default:
-			qp.fail(fmt.Errorf("%w: %d on I/O connection", ErrBadFrameType, ftype))
-			return
+			return fmt.Errorf("%w: %d on I/O connection", ErrBadFrameType, ftype)
 		}
 	}
 }
 
+// resume redials with capped exponential backoff and seeded jitter,
+// re-handshakes with the session token, and replays every un-acked
+// rung command at its original doorbell instant in one ring frame.
+// The server dedups already-executed sequence numbers from its session
+// cache, so replay is idempotent and virtual timing is unperturbed.
+func (qp *QueuePair) resume(cause error) (net.Conn, error) {
+	r := qp.cli.cfg.Redial
+	base := r.Base
+	if base <= 0 {
+		base = defaultRedialBase
+	}
+	ceil := r.Cap
+	if ceil <= 0 {
+		ceil = defaultRedialCap
+	}
+	rng := rand.New(rand.NewSource(r.Seed ^ int64(qp.token)*0x9e3779b9))
+	last := cause
+	for attempt := 0; attempt < r.MaxAttempts; attempt++ {
+		d := base << uint(attempt)
+		if d <= 0 || d > ceil {
+			d = ceil
+		}
+		// Jitter to 50%..150% of the step.
+		d = d/2 + time.Duration(rng.Int63n(int64(d)+1))
+		time.Sleep(d)
+
+		qp.mu.Lock()
+		if qp.closed {
+			qp.mu.Unlock()
+			return nil, ErrClosed
+		}
+		token, at := qp.token, qp.lastRing
+		qp.mu.Unlock()
+
+		conn, qid, _, _, err := qp.cli.connect(connKindIO, at, qp.depth, qp.class, qp.coalesce, token)
+		if err != nil {
+			if errors.Is(err, ErrSessionUnknown) {
+				return nil, err
+			}
+			last = err
+			continue
+		}
+
+		// Install the connection and replay under wmu so no Ring can
+		// interleave a frame between the replay set being collected and
+		// the replay frame being written.
+		qp.wmu.Lock()
+		qp.mu.Lock()
+		if qp.closed {
+			qp.mu.Unlock()
+			qp.wmu.Unlock()
+			conn.Close()
+			return nil, ErrClosed
+		}
+		qp.conn = conn
+		qp.gen++
+		gen := qp.gen
+		qp.id = qid
+		qp.redials++
+		replay := make([]uint64, 0, len(qp.pending))
+		for seq, pc := range qp.pending {
+			if pc.rung {
+				replay = append(replay, seq)
+			}
+		}
+		sort.Slice(replay, func(i, j int) bool {
+			a, b := qp.pending[replay[i]], qp.pending[replay[j]]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			return replay[i] < replay[j]
+		})
+		qp.replayed += len(replay)
+		qp.wbuf.start(frameRing)
+		qp.wbuf.u64(qp.ack)
+		qp.wbuf.u32(uint32(len(replay)))
+		for _, seq := range replay {
+			pc := qp.pending[seq]
+			encodeCommand(&qp.wbuf, seq, pc.at, pc.cmd)
+		}
+		frame := qp.wbuf.finish()
+		qp.mu.Unlock()
+		// The replay frame goes out even when empty: it carries the ack
+		// so the server prunes its cache promptly.
+		qp.writeConn(conn, gen, frame)
+		qp.wmu.Unlock()
+		qp.startKA(conn)
+		return conn, nil
+	}
+	return nil, fmt.Errorf("fabrics: session resume abandoned after %d attempts: %w", r.MaxAttempts, last)
+}
+
 // handleCompletions lands one completion push: resolve each entry's
-// tag to its command, copy returned data out of the frame buffer, and
-// queue the completion for Reap.
+// sequence number to its pending command, copy returned data out of
+// the frame buffer, advance the cumulative ack, and queue the
+// completion for Reap.
 func (qp *QueuePair) handleCompletions(payload []byte) error {
 	d := decoder{b: payload}
 	count := int(d.u32())
@@ -459,17 +891,33 @@ func (qp *QueuePair) handleCompletions(payload []byte) error {
 	defer qp.mu.Unlock()
 	for i := 0; i < count; i++ {
 		var e recvEntry
-		tag, data, err := decodeCompletion(&d, &e.comp)
+		seq, data, err := decodeCompletion(&d, &e.comp)
 		if err != nil {
 			return err
 		}
-		if int(tag) >= len(qp.tagCmd) || qp.tagCmd[tag] == nil {
-			return fmt.Errorf("%w: completion for unknown tag %d", ErrBadPayload, tag)
+		pc, ok := qp.pending[seq]
+		if !ok {
+			return fmt.Errorf("%w: completion for unknown seq %d", ErrBadPayload, seq)
 		}
-		cmd := qp.tagCmd[tag]
-		qp.tagCmd[tag] = nil
-		qp.tagFree = append(qp.tagFree, tag)
-		qp.inflight--
+		cmd := pc.cmd
+		delete(qp.pending, seq)
+		if pc.rung {
+			qp.rung--
+		}
+		qp.putPendingLocked(pc)
+		// Advance the cumulative ack across any out-of-order arrivals.
+		if seq == qp.ack+1 {
+			qp.ack++
+			for {
+				if _, ahead := qp.ackAhead[qp.ack+1]; !ahead {
+					break
+				}
+				delete(qp.ackAhead, qp.ack+1)
+				qp.ack++
+			}
+		} else if seq > qp.ack {
+			qp.ackAhead[seq] = struct{}{}
+		}
 		e.cmd = cmd
 		if len(data) > 0 {
 			if e.comp.Op == hostif.OpTableRead {
@@ -509,21 +957,26 @@ func (qp *QueuePair) getDataLocked(n int) []byte {
 // the in-process hostif.AdminClient. Queue-pair lifecycle is not here:
 // opening an I/O connection is the remote AdminCreateIOQP, closing it
 // the delete. One admin client is one synchronous actor; calls are
-// serialized internally.
+// serialized internally. Every round trip runs under the configured
+// AdminTimeout; a miss surfaces as ErrTimeout.
 type AdminClient struct {
-	mu   sync.Mutex
-	conn net.Conn
-	wbuf frameBuf
-	rbuf []byte
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+	wbuf    frameBuf
+	rbuf    []byte
 }
 
 // Admin opens an admin connection to the remote controller.
 func (c *Client) Admin() (*AdminClient, error) {
-	conn, _, _, err := c.connect(connKindAdmin, 0, 0, 0, 0)
+	conn, _, _, _, err := c.connect(connKindAdmin, 0, 0, 0, 0, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &AdminClient{conn: conn}, nil
+	return &AdminClient{
+		conn:    conn,
+		timeout: resolveTimeout(c.cfg.AdminTimeout, DefaultAdminTimeout),
+	}, nil
 }
 
 // Close closes the admin connection.
@@ -533,6 +986,10 @@ func (a *AdminClient) Close() error { return a.conn.Close() }
 func (a *AdminClient) do(now vclock.Time, op hostif.Op, nsid int, handle uint64, log hostif.LogPage) (any, hostif.Completion, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.timeout > 0 {
+		a.conn.SetDeadline(time.Now().Add(a.timeout))
+		defer a.conn.SetDeadline(time.Time{})
+	}
 	a.wbuf.start(frameAdmin)
 	a.wbuf.u8(uint8(op))
 	a.wbuf.u32(uint32(nsid))
@@ -540,17 +997,22 @@ func (a *AdminClient) do(now vclock.Time, op hostif.Op, nsid int, handle uint64,
 	a.wbuf.u8(uint8(log))
 	a.wbuf.i64(int64(now))
 	if _, err := a.conn.Write(a.wbuf.finish()); err != nil {
-		return nil, hostif.Completion{}, err
+		return nil, hostif.Completion{}, wrapTimeout(err)
 	}
 	ftype, payload, err := readFrame(a.conn, &a.rbuf)
 	if err != nil {
-		return nil, hostif.Completion{}, err
+		return nil, hostif.Completion{}, wrapTimeout(err)
 	}
 	d := decoder{b: payload}
 	switch ftype {
 	case frameAdminReply:
 	case frameError:
-		return nil, hostif.Completion{}, fmt.Errorf("%w: %s", ErrRejected, d.str())
+		code := d.u16()
+		msg := d.str()
+		if code == errSessionUnknown {
+			return nil, hostif.Completion{}, fmt.Errorf("%w: %s", ErrSessionUnknown, msg)
+		}
+		return nil, hostif.Completion{}, fmt.Errorf("%w: %s", ErrRejected, msg)
 	default:
 		return nil, hostif.Completion{}, fmt.Errorf("%w: %d on admin connection", ErrBadFrameType, ftype)
 	}

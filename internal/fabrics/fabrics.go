@@ -71,7 +71,32 @@ var (
 	ErrClosed = errors.New("fabrics: connection closed")
 	// ErrRejected wraps a server-side handshake rejection.
 	ErrRejected = errors.New("fabrics: connection rejected by server")
+	// ErrTimeout means a frame exchange missed its deadline (an admin
+	// request against an unresponsive server, a keep-alive window with
+	// no traffic). errors.Is(err, ErrTimeout) discriminates it.
+	ErrTimeout = errors.New("fabrics: request timed out")
+	// ErrDisconnected means the connection died mid-stream — EOF or a
+	// transport error between frames, a truncated frame, a missed
+	// keep-alive window. Redial-eligible: a session-holding queue pair
+	// resumes and replays across it.
+	ErrDisconnected = errors.New("fabrics: connection lost")
+	// ErrGoaway means the server announced a graceful drain and served
+	// every accepted command before going away. Redial-eligible.
+	ErrGoaway = errors.New("fabrics: server going away")
+	// ErrSessionUnknown rejects a session resume whose token names no
+	// retained session (expired, reaped, or never issued). Terminal:
+	// the client cannot replay into a server that forgot the session.
+	ErrSessionUnknown = errors.New("fabrics: unknown session token")
 )
+
+// RedialEligible reports whether err describes a connection loss a
+// session-holding queue pair may redial across (the server either
+// drained gracefully or simply lost the connection), as opposed to a
+// terminal cause: local Close, a protocol violation, or a rejected
+// resume.
+func RedialEligible(err error) bool {
+	return errors.Is(err, ErrDisconnected) || errors.Is(err, ErrGoaway)
+}
 
 // RemoteError is a server-side command failure that has no canonical
 // client-side error value. The NVMe-style status class survives the

@@ -9,9 +9,16 @@ import "net"
 // remaining deterministic; the loopback-equivalence test byte-diffs
 // its output against in-process queue pairs.
 func Loopback(s *Server) *Client {
-	return NewClient(func() (net.Conn, error) {
+	return NewClient(LoopbackDial(s))
+}
+
+// LoopbackDial returns the loopback's raw dial function, for wrapping
+// in interposers (internal/netfault's proxy) before handing it to
+// NewClient.
+func LoopbackDial(s *Server) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
 		cli, srv := net.Pipe()
 		go s.ServeConn(srv)
 		return cli, nil
-	})
+	}
 }

@@ -1,0 +1,368 @@
+package fabrics
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/hostif"
+	"repro/internal/nand"
+	"repro/internal/ocssd"
+	"repro/internal/ox"
+	"repro/internal/oxblock"
+	"repro/internal/vclock"
+)
+
+// resilienceHost builds a small OX-Block host for wire-level tests.
+func resilienceHost(t testing.TB) (*hostif.Host, vclock.Time) {
+	t.Helper()
+	chip := nand.Geometry{
+		Planes:         2,
+		BlocksPerPlane: 16,
+		PagesPerBlock:  12,
+		SectorsPerPage: 4,
+		SectorSize:     4096,
+		OOBPerPage:     64,
+		Cell:           nand.TLC,
+	}
+	geo := ocssd.Finish(ocssd.Geometry{
+		Groups:       2,
+		PUsPerGroup:  2,
+		ChunksPerPU:  16,
+		Chip:         chip,
+		ChannelMBps:  800,
+		CacheMBps:    3200,
+		CacheMB:      8,
+		MaxOpenPerPU: 64,
+	})
+	dev, err := ocssd.New(geo, ocssd.Options{Seed: 1, PowerLossProtected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := ox.NewController(ox.DefaultConfig(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, now, err := oxblock.New(ctrl, oxblock.Config{LogicalPages: 512}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+	if _, err := host.Admin().AttachNamespace(now, hostif.NewBlockNamespace(d)); err != nil {
+		t.Fatal(err)
+	}
+	return host, now
+}
+
+// rawConnect hand-writes an I/O connect frame so the test controls the
+// advertised keep-alive independently of any client machinery (a
+// half-open peer that never heartbeats).
+func rawConnect(t *testing.T, conn net.Conn, now vclock.Time, kato time.Duration, token uint64) (qid int, tok uint64) {
+	t.Helper()
+	var f frameBuf
+	f.start(frameConnect)
+	f.u8(connKindIO)
+	f.u8(uint8(hostif.ClassMedium))
+	f.u32(4) // depth
+	f.u32(1) // coalesce
+	f.i64(int64(now))
+	f.u32(uint32(kato / time.Millisecond))
+	f.u64(token)
+	if _, err := conn.Write(f.finish()); err != nil {
+		t.Fatalf("connect write: %v", err)
+	}
+	var rbuf []byte
+	ftype, payload, err := readFrame(conn, &rbuf)
+	if err != nil {
+		t.Fatalf("handshake read: %v", err)
+	}
+	if ftype != frameAccept {
+		t.Fatalf("handshake frame type %d, want accept", ftype)
+	}
+	d := decoder{b: payload}
+	qid = int(d.u32())
+	d.u32() // depth
+	tok = d.u64()
+	if err := d.done(); err != nil {
+		t.Fatalf("accept decode: %v", err)
+	}
+	return qid, tok
+}
+
+// TestKeepAliveExpiryReapsSession pins the server half of the KATO
+// contract: a connection that advertises a keep-alive timeout and then
+// goes silent is detected, its session reaped (not retained for
+// resumption), and a later resume with its token is rejected with
+// ErrSessionUnknown.
+func TestKeepAliveExpiryReapsSession(t *testing.T) {
+	host, now := resilienceHost(t)
+	srv := NewServer(host)
+	defer srv.Close()
+
+	cli, sconn := net.Pipe()
+	go srv.ServeConn(sconn)
+	_, token := rawConnect(t, cli, now, 40*time.Millisecond, 0)
+	if got := srv.Sessions(); got != 1 {
+		t.Fatalf("sessions after connect = %d, want 1", got)
+	}
+
+	// Silence. The server read deadline is KATO + KATO/4 = 50ms; the
+	// session must be gone, not detached, well before a 5s ceiling.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session not reaped after keep-alive expiry (sessions=%d)", srv.Sessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cli.Close()
+
+	// Resuming the reaped token is a typed rejection.
+	cli2, sconn2 := net.Pipe()
+	defer cli2.Close()
+	go srv.ServeConn(sconn2)
+	var f frameBuf
+	f.start(frameConnect)
+	f.u8(connKindIO)
+	f.u8(uint8(hostif.ClassMedium))
+	f.u32(4)
+	f.u32(1)
+	f.i64(int64(now))
+	f.u32(0)
+	f.u64(token)
+	if _, err := cli2.Write(f.finish()); err != nil {
+		t.Fatalf("resume write: %v", err)
+	}
+	var rbuf []byte
+	ftype, payload, err := readFrame(cli2, &rbuf)
+	if err != nil {
+		t.Fatalf("resume read: %v", err)
+	}
+	if ftype != frameError {
+		t.Fatalf("resume frame type %d, want error", ftype)
+	}
+	d := decoder{b: payload}
+	if code := d.u16(); code != errSessionUnknown {
+		t.Fatalf("resume rejection code %d, want %d", code, errSessionUnknown)
+	}
+}
+
+// TestSessionRetentionReapsDetached pins the retention bound: a
+// session whose connection died abruptly (no clean disconnect) is
+// retained for resumption only up to SessionRetention.
+func TestSessionRetentionReapsDetached(t *testing.T) {
+	host, now := resilienceHost(t)
+	srv := NewServerWithConfig(host, ServerConfig{SessionRetention: 30 * time.Millisecond})
+	defer srv.Close()
+
+	cli, sconn := net.Pipe()
+	go srv.ServeConn(sconn)
+	rawConnect(t, cli, now, 0, 0)
+	if got := srv.Sessions(); got != 1 {
+		t.Fatalf("sessions after connect = %d, want 1", got)
+	}
+	cli.Close() // abrupt: no disconnect frame
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("detached session outlived retention (sessions=%d)", srv.Sessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCleanDisconnectDropsSession: a client Close sends the disconnect
+// frame, so the server tears the session down immediately instead of
+// retaining it.
+func TestCleanDisconnectDropsSession(t *testing.T) {
+	host, now := resilienceHost(t)
+	srv := NewServerWithConfig(host, ServerConfig{SessionRetention: time.Hour})
+	defer srv.Close()
+	cli := Loopback(srv)
+
+	qp, err := cli.QueuePair(now, 4, hostif.ClassMedium, 1)
+	if err != nil {
+		t.Fatalf("queue pair: %v", err)
+	}
+	if got := srv.Sessions(); got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+	qp.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session survived a clean disconnect (sessions=%d)", srv.Sessions())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAdminTimeout pins the satellite fix: an admin request against a
+// server that accepts but never replies fails with the typed
+// ErrTimeout instead of hanging forever.
+func TestAdminTimeout(t *testing.T) {
+	// A fake server: completes the handshake, then swallows frames.
+	dial := func() (net.Conn, error) {
+		cli, srv := net.Pipe()
+		go func() {
+			var rbuf []byte
+			if _, _, err := readFrame(srv, &rbuf); err != nil {
+				return
+			}
+			var f frameBuf
+			f.start(frameAccept)
+			f.u32(0)
+			f.u32(0)
+			f.u64(0)
+			if _, err := srv.Write(f.finish()); err != nil {
+				return
+			}
+			for {
+				if _, _, err := readFrame(srv, &rbuf); err != nil {
+					return
+				}
+			}
+		}()
+		return cli, nil
+	}
+	cli := NewClient(dial).WithConfig(Config{AdminTimeout: 50 * time.Millisecond})
+	admin, err := cli.Admin()
+	if err != nil {
+		t.Fatalf("admin connect: %v", err)
+	}
+	defer admin.Close()
+	start := time.Now()
+	_, err = admin.Identify(0)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("identify against mute server: %v, want ErrTimeout", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("timeout took %v", waited)
+	}
+}
+
+// TestErrClassification pins Err's redial-eligibility contract: a
+// local Close is terminal (ErrClosed), a server-side connection loss
+// is ErrDisconnected, and a goaway is ErrGoaway — the latter two
+// RedialEligible, the first not.
+func TestErrClassification(t *testing.T) {
+	t.Run("local close", func(t *testing.T) {
+		host, now := resilienceHost(t)
+		srv := NewServer(host)
+		defer srv.Close()
+		qp, err := Loopback(srv).QueuePair(now, 4, hostif.ClassMedium, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp.Close()
+		if err := qp.Err(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Err after Close: %v, want ErrClosed", err)
+		}
+		if RedialEligible(qp.Err()) {
+			t.Fatal("local close classified redial-eligible")
+		}
+	})
+	t.Run("mid-stream disconnect", func(t *testing.T) {
+		host, now := resilienceHost(t)
+		srv := NewServer(host)
+		qp, err := Loopback(srv).QueuePair(now, 4, hostif.ClassMedium, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer qp.Close()
+		srv.Close() // hard server death: no goaway
+		deadline := time.Now().Add(5 * time.Second)
+		for qp.Err() == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("queue pair never observed the disconnect")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err := qp.Err(); !errors.Is(err, ErrDisconnected) {
+			t.Fatalf("Err after server death: %v, want ErrDisconnected", err)
+		}
+		if !RedialEligible(qp.Err()) {
+			t.Fatal("mid-stream disconnect not redial-eligible")
+		}
+	})
+	t.Run("goaway", func(t *testing.T) {
+		host, now := resilienceHost(t)
+		srv := NewServer(host)
+		defer srv.Close()
+		qp, err := Loopback(srv).QueuePair(now, 4, hostif.ClassMedium, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer qp.Close()
+		srv.Shutdown()
+		deadline := time.Now().Add(5 * time.Second)
+		for qp.Err() == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("queue pair never observed goaway")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err := qp.Err(); !errors.Is(err, ErrGoaway) {
+			t.Fatalf("Err after Shutdown: %v, want ErrGoaway", err)
+		}
+		if !RedialEligible(qp.Err()) {
+			t.Fatal("goaway not redial-eligible")
+		}
+		if got := srv.Sessions(); got != 0 {
+			t.Fatalf("sessions after Shutdown = %d, want 0", got)
+		}
+	})
+}
+
+// TestGoawayDrainLosesNoCompletions: a batch acknowledged before the
+// drain is fully delivered, and the drain itself flushes anything the
+// server accepted before the goaway frame goes out.
+func TestGoawayDrainLosesNoCompletions(t *testing.T) {
+	host, now := resilienceHost(t)
+	srv := NewServer(host)
+	defer srv.Close()
+	qp, err := Loopback(srv).QueuePair(now, 8, hostif.ClassMedium, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qp.Close()
+
+	const n = 8
+	payload := make([]byte, 4096)
+	for i := 0; i < n; i++ {
+		cmd := qp.AcquireCommand()
+		cmd.Op, cmd.NSID, cmd.LPN, cmd.Data = hostif.OpWrite, 1, int64(i), payload
+		if _, err := qp.Submit(cmd); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if rung := qp.Ring(now); rung != n {
+		t.Fatalf("rang %d, want %d", rung, n)
+	}
+	// Wait until every completion has been pushed and received, then
+	// drain the server: nothing may be lost.
+	comp, ok := qp.ReapEarliest()
+	if !ok || comp.Err != nil {
+		t.Fatalf("first completion: ok=%v err=%v", ok, comp.Err)
+	}
+	srv.Shutdown()
+	got := 1
+	for {
+		comp, ok := qp.Reap()
+		if !ok {
+			break
+		}
+		if comp.Err != nil {
+			t.Fatalf("completion error: %v", comp.Err)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("reaped %d completions across the drain, want %d", got, n)
+	}
+	if err := qp.Err(); !errors.Is(err, ErrGoaway) {
+		t.Fatalf("Err after drain: %v, want ErrGoaway", err)
+	}
+}

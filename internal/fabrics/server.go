@@ -9,10 +9,36 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/hostif"
 	"repro/internal/vclock"
 )
+
+// Server-side resilience defaults.
+const (
+	// DefaultSessionRetention bounds how long a detached session (its
+	// client vanished without a clean disconnect) waits for resumption.
+	DefaultSessionRetention = 60 * time.Second
+	// DefaultDrainGrace bounds how long Shutdown waits for a client to
+	// react to goaway before forcing its connection closed.
+	DefaultDrainGrace = time.Second
+)
+
+// ServerConfig carries the server's liveness and session-retention
+// settings. The zero value applies the defaults.
+type ServerConfig struct {
+	// SessionRetention is how long a detached session is kept for
+	// resumption before being reaped. 0 means DefaultSessionRetention;
+	// negative reaps detached sessions immediately on the next sweep.
+	SessionRetention time.Duration
+	// WriteTimeout bounds one frame write toward a client. 0 means
+	// DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
+	// DrainGrace bounds Shutdown's wait per connection after goaway.
+	// 0 means DefaultDrainGrace.
+	DrainGrace time.Duration
+}
 
 // Server serves one host-interface controller over a network listener:
 // the "interconnect handler" in OX's layering. Each accepted connection
@@ -20,9 +46,21 @@ import (
 // (admin connections); connections are independent and may be serviced
 // concurrently, exactly like in-process queue pairs driven by
 // concurrent host actors.
+//
+// Every I/O connection is backed by a session keyed by a token issued
+// in the accept frame. A connection that dies abruptly detaches from
+// its session instead of destroying it: in-flight commands are drained
+// into the session's completion cache, and a reconnect presenting the
+// token resumes the session — the queue pair is recreated under its
+// original ID and replayed commands are deduplicated against the cache
+// by sequence number, so no acknowledged write is lost or applied
+// twice. Sessions whose keep-alive window lapses, whose client
+// disconnects cleanly, or that stay detached past the retention bound
+// are torn down for good.
 type Server struct {
 	host  *hostif.Host
 	admin *hostif.AdminClient
+	cfg   ServerConfig
 
 	// adminMu serializes every use of the shared admin queue client:
 	// connection handshakes, teardown and remote admin commands. The
@@ -30,29 +68,56 @@ type Server struct {
 	// one place many goroutines share it.
 	adminMu sync.Mutex
 
-	mu        sync.Mutex
-	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]struct{}
-	closed    bool
+	mu         sync.Mutex
+	listeners  map[net.Listener]struct{}
+	conns      map[net.Conn]struct{}
+	ioConns    map[*ioConn]struct{}
+	sessions   map[uint64]*session
+	nextToken  uint64
+	reaperStop chan struct{}
+	draining   bool
+	closed     bool
+	wg         sync.WaitGroup
 }
 
-// NewServer wraps host for serving. The host keeps working in-process:
-// fabric queue pairs and local queue pairs coexist under the same
-// arbitration.
+// NewServer wraps host for serving with the default config. The host
+// keeps working in-process: fabric queue pairs and local queue pairs
+// coexist under the same arbitration.
 func NewServer(host *hostif.Host) *Server {
+	return NewServerWithConfig(host, ServerConfig{})
+}
+
+// NewServerWithConfig wraps host for serving with explicit resilience
+// settings.
+func NewServerWithConfig(host *hostif.Host, cfg ServerConfig) *Server {
 	return &Server{
 		host:      host,
 		admin:     host.Admin(),
+		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
+		ioConns:   make(map[*ioConn]struct{}),
+		sessions:  make(map[uint64]*session),
 	}
 }
 
+func (s *Server) retention() time.Duration {
+	if s.cfg.SessionRetention == 0 {
+		return DefaultSessionRetention
+	}
+	return s.cfg.SessionRetention
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	return resolveTimeout(s.cfg.WriteTimeout, DefaultWriteTimeout)
+}
+
 // Serve accepts connections on l until the listener fails or the
-// server is closed, handling each connection on its own goroutine.
+// server is closed or drained, handling each connection on its own
+// goroutine.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return ErrClosed
 	}
@@ -67,9 +132,9 @@ func (s *Server) Serve(l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopped := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopped {
 				return ErrClosed
 			}
 			return err
@@ -78,9 +143,10 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops the server: listeners stop accepting and every live
+// Close stops the server hard: listeners stop accepting and every live
 // connection is closed (in-flight commands still complete; their queue
-// pairs are reaped by the connection handlers on the way out).
+// pairs are reaped by the connection handlers on the way out). All
+// sessions are dropped — there is nothing left to resume into.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -91,17 +157,78 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.wg.Wait()
+	s.dropAllSessions()
+}
+
+// Shutdown drains the server gracefully: stop accepting, flush every
+// I/O connection's in-flight completions, announce goaway, and wait
+// for the connection handlers to exit. Clients treat goaway as a clean
+// redial trigger; since this server is going away, their redials fail
+// and the pairs terminate with every pushed completion delivered.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	ios := make([]*ioConn, 0, len(s.ioConns))
+	for c := range s.ioConns {
+		ios = append(ios, c)
+	}
+	others := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		owned := false
+		for _, c := range ios {
+			if c.conn == conn {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			others = append(others, conn)
+		}
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range ios {
+		c.goaway()
+	}
+	for _, conn := range others {
+		conn.Close()
+	}
+	s.wg.Wait()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.dropAllSessions()
+}
+
+// Sessions reports the number of live (attached or resumable) sessions
+// — the observable for keep-alive expiry and retention tests.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
 }
 
 // track registers a live connection for Close; it reports false when
-// the server is already closed.
+// the server is already closed or draining.
 func (s *Server) track(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.draining {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
 	return true
 }
 
@@ -109,12 +236,14 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	s.wg.Done()
 }
 
 // ServeConn serves a single established connection — the loopback
 // transport's entry point — blocking until the peer disconnects. The
 // first frame must be a connect handshake; it selects the connection
-// kind (admin or I/O queue pair).
+// kind (admin or I/O queue pair) and, for I/O, carries the keep-alive
+// timeout and an optional session token to resume.
 func (s *Server) ServeConn(conn net.Conn) {
 	if !s.track(conn) {
 		conn.Close()
@@ -139,6 +268,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 	depth := int(d.u32())
 	coalesce := int(d.u32())
 	now := vclock.Time(d.i64())
+	kato := time.Duration(d.u32()) * time.Millisecond
+	token := d.u64()
 	if err := d.done(); err != nil {
 		s.sendError(conn, err)
 		return
@@ -151,7 +282,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			s.sendError(conn, fmt.Errorf("%w: unknown arbitration class %d", ErrBadPayload, class))
 			return
 		}
-		s.serveIO(conn, &rbuf, now, depth, class, coalesce)
+		s.serveIO(conn, &rbuf, now, depth, class, coalesce, kato, token)
 	default:
 		s.sendError(conn, fmt.Errorf("%w: unknown connection kind %d", ErrBadPayload, kind))
 	}
@@ -162,24 +293,310 @@ func (s *Server) ServeConn(conn net.Conn) {
 func (s *Server) sendError(conn net.Conn, err error) {
 	var f frameBuf
 	f.start(frameError)
+	f.u16(codeFor(err))
 	f.str(err.Error())
+	if wt := s.writeTimeout(); wt > 0 {
+		conn.SetWriteDeadline(time.Now().Add(wt))
+	}
 	conn.Write(f.finish())
 }
 
+// savedComp is one cached completion in a session's replay table: the
+// completion as pushed (original virtual instants) plus a
+// session-owned copy of its payload.
+type savedComp struct {
+	comp hostif.Completion
+	data []byte
+}
+
+// session is the durable half of one fabric queue pair: everything a
+// reconnect needs to resume where the lost connection left off. The
+// completion cache is bounded: the client's depth gates how many
+// sequence numbers can be unacknowledged at once, and each ring
+// frame's cumulative ack prunes everything at or below it.
+type session struct {
+	token    uint64
+	qid      int
+	depth    int
+	class    hostif.Class
+	coalesce int
+	kato     time.Duration
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	owner      *ioConn // nil while detached
+	claimed    bool    // reserved by a resuming connection
+	claimers   int     // connections waiting to claim
+	gone       bool    // torn down; resumes are rejected
+	detachedAt time.Time
+
+	acked   uint64 // highest client-acknowledged seq (cache pruned below)
+	maxSeen uint64 // highest seq ever submitted
+	cache   map[uint64]savedComp
+	bufFree [][]byte
+}
+
+func newSessionState(token uint64, qid, depth int, class hostif.Class, coalesce int, kato time.Duration) *session {
+	sess := &session{
+		token:    token,
+		qid:      qid,
+		depth:    depth,
+		class:    class,
+		coalesce: coalesce,
+		kato:     kato,
+		cache:    make(map[uint64]savedComp),
+	}
+	sess.cond = sync.NewCond(&sess.mu)
+	return sess
+}
+
+// cacheCap bounds the replay table. Unacked completions are gated by
+// the client's queue depth; the slack absorbs ack-carrying frames lost
+// to an outage. Exceeding it means the peer is not acking at all —
+// connection-fatal.
+func (sess *session) cacheCap() int { return 4*sess.depth + 64 }
+
+// save records a completed command in the replay table, copying its
+// payload into session-owned storage. It reports false on overflow.
+func (sess *session) save(seq uint64, comp *hostif.Completion, data []byte) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.gone {
+		return true
+	}
+	if len(sess.cache) >= sess.cacheCap() {
+		return false
+	}
+	sc := savedComp{comp: *comp}
+	sc.comp.Data = nil
+	if len(data) > 0 {
+		sc.data = sess.getBufLocked(len(data))
+		copy(sc.data, data)
+	}
+	sess.cache[seq] = sc
+	return true
+}
+
+// prune drops every cached completion at or below the client's
+// cumulative ack.
+func (sess *session) prune(ack uint64) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if ack > sess.acked {
+		sess.acked = ack
+	}
+	for seq, sc := range sess.cache {
+		if seq <= ack {
+			if sc.data != nil {
+				sess.bufFree = append(sess.bufFree, sc.data)
+			}
+			delete(sess.cache, seq)
+		}
+	}
+}
+
+// Sequence-number classification for one ring entry.
+const (
+	seqFresh = iota // never seen: execute
+	seqDup          // executed, completion cached: re-push, don't execute
+	seqStale        // acked or otherwise impossible: protocol violation
+)
+
+// classify dedups one submitted sequence number against the session
+// history, advancing maxSeen for fresh ones.
+func (sess *session) classify(seq uint64) int {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if seq <= sess.acked {
+		return seqStale
+	}
+	if _, ok := sess.cache[seq]; ok {
+		return seqDup
+	}
+	if seq <= sess.maxSeen {
+		return seqStale
+	}
+	sess.maxSeen = seq
+	return seqFresh
+}
+
+// cached returns the replay-table entry for a deduplicated seq.
+func (sess *session) cached(seq uint64) (savedComp, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sc, ok := sess.cache[seq]
+	return sc, ok
+}
+
+// getBufLocked pops a session-pooled buffer. Caller holds sess.mu.
+func (sess *session) getBufLocked(n int) []byte {
+	for i := len(sess.bufFree) - 1; i >= 0; i-- {
+		if cap(sess.bufFree[i]) >= n {
+			b := sess.bufFree[i][:n]
+			sess.bufFree = append(sess.bufFree[:i], sess.bufFree[i+1:]...)
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// attach binds a connection as the session owner.
+func (sess *session) attach(c *ioConn) {
+	sess.mu.Lock()
+	sess.owner = c
+	sess.claimed = false
+	sess.mu.Unlock()
+}
+
+// detachLocked marks the session resumable. Caller holds sess.mu.
+func (sess *session) detachLocked() {
+	sess.owner = nil
+	sess.detachedAt = time.Now()
+	sess.cond.Broadcast()
+}
+
+// newSession mints a session for a fresh connection; nil when the
+// server is draining or closed.
+func (s *Server) newSession(qid, depth int, class hostif.Class, coalesce int, kato time.Duration) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return nil
+	}
+	s.nextToken++
+	sess := newSessionState(s.nextToken, qid, depth, class, coalesce, kato)
+	s.sessions[sess.token] = sess
+	if s.reaperStop == nil {
+		s.reaperStop = make(chan struct{})
+		go s.reapSessions(s.reaperStop)
+	}
+	return sess
+}
+
+// claimSession reserves a detached session for resumption, kicking a
+// stale owner (a half-open previous connection the server has not yet
+// noticed is dead) and waiting for its detach to finish so every
+// in-flight command has been drained into the replay cache.
+func (s *Server) claimSession(token uint64) (*session, error) {
+	s.mu.Lock()
+	sess := s.sessions[token]
+	s.mu.Unlock()
+	if sess == nil {
+		return nil, fmt.Errorf("%w: token %#x", ErrSessionUnknown, token)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for {
+		if sess.gone {
+			return nil, fmt.Errorf("%w: token %#x expired", ErrSessionUnknown, token)
+		}
+		if sess.owner == nil && !sess.claimed {
+			sess.claimed = true
+			return sess, nil
+		}
+		if sess.owner != nil {
+			sess.owner.conn.Close()
+		}
+		sess.claimers++
+		sess.cond.Wait()
+		sess.claimers--
+	}
+}
+
+// dropSession tears a session down for good.
+func (s *Server) dropSession(sess *session) {
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	sess.gone = true
+	sess.owner = nil
+	sess.cond.Broadcast()
+	sess.mu.Unlock()
+	s.mu.Lock()
+	delete(s.sessions, sess.token)
+	s.mu.Unlock()
+}
+
+func (s *Server) dropAllSessions() {
+	s.mu.Lock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	if s.reaperStop != nil {
+		close(s.reaperStop)
+		s.reaperStop = nil
+	}
+	s.mu.Unlock()
+	for _, sess := range all {
+		s.dropSession(sess)
+	}
+}
+
+// reapSessions sweeps detached sessions past the retention bound.
+func (s *Server) reapSessions(stop chan struct{}) {
+	period := s.retention() / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		candidates := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			candidates = append(candidates, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range candidates {
+			sess.mu.Lock()
+			expired := sess.owner == nil && !sess.claimed && sess.claimers == 0 &&
+				!sess.gone && time.Since(sess.detachedAt) > s.retention()
+			if expired {
+				sess.gone = true
+				sess.cond.Broadcast()
+			}
+			sess.mu.Unlock()
+			if expired {
+				s.mu.Lock()
+				delete(s.sessions, sess.token)
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
 // pendEntry tracks one submitted command's connection-side state until
-// its completion is pushed: the client's tag, the payload buffer the
-// command data was copied into, and the read buffer for OpTableRead.
+// its completion is pushed: the client's sequence number, the payload
+// buffer the command data was copied into, and the read buffer for
+// OpTableRead.
 type pendEntry struct {
-	tag  uint32
+	seq  uint64
 	data []byte
 	dst  []byte
 }
 
-// ioConn is the server half of one fabric queue pair.
+// ioConn is the server half of one fabric queue-pair connection (one
+// incarnation of a session).
 type ioConn struct {
 	s    *Server
 	conn net.Conn
 	qp   *hostif.QueuePair
+	sess *session
+
+	// ringMu serializes ring processing against goaway: a drain never
+	// interleaves with a doorbell batch, so every accepted command's
+	// completion is pushed before the goaway frame.
+	ringMu sync.Mutex
 
 	// wmu guards the write side: completion frames are written from the
 	// notify callback, which runs on whichever connection handler drove
@@ -190,36 +607,98 @@ type ioConn struct {
 	// pmu guards the pending table and the buffer free list (reader
 	// goroutine inserts, notify callback consumes).
 	pmu     sync.Mutex
-	pend    map[uint64]pendEntry // submission slot → client tag + buffers
+	pend    map[uint64]pendEntry // submission slot → seq + buffers
 	bufFree [][]byte
 }
 
-// serveIO runs one I/O queue-pair connection: create the queue pair
-// over the admin queue (the handshake is the remote AdminCreateIOQP),
-// push completions from the notify callback, and replay each ring
-// frame as one doorbell batch. On disconnect the queue pair is drained,
-// reaped and deleted so its slots and arbitration state are released.
-func (s *Server) serveIO(conn net.Conn, rbuf *[]byte, now vclock.Time, depth int, class hostif.Class, coalesce int) {
-	s.adminMu.Lock()
-	qp, err := s.admin.CreateIOQueuePair(now, depth, class)
-	s.adminMu.Unlock()
-	if err != nil {
-		s.sendError(conn, err)
-		return
+// Connection-exit modes: how serveIO's teardown treats the session.
+const (
+	exitDetach = iota // connection lost: drain into cache, keep session
+	exitClean         // client disconnect frame or KA expiry: drop session
+)
+
+// serveIO runs one I/O queue-pair connection. A fresh connect (token
+// 0) creates the queue pair over the admin queue and mints a session;
+// a resume claims the retained session and recreates the queue pair
+// under its original ID, so arbitration tie-breaks are unchanged.
+// Completions are pushed from the notify callback; each ring frame
+// replays as doorbell batches grouped by virtual instant and is
+// deduplicated against the session's replay cache.
+func (s *Server) serveIO(conn net.Conn, rbuf *[]byte, now vclock.Time, depth int, class hostif.Class, coalesce int, kato time.Duration, token uint64) {
+	var sess *session
+	var qp *hostif.QueuePair
+	var err error
+	if token == 0 {
+		s.adminMu.Lock()
+		qp, err = s.admin.CreateIOQueuePair(now, depth, class)
+		s.adminMu.Unlock()
+		if err != nil {
+			s.sendError(conn, err)
+			return
+		}
+		sess = s.newSession(qp.ID(), qp.Depth(), class, coalesce, kato)
+		if sess == nil {
+			s.adminMu.Lock()
+			s.admin.DeleteIOQueuePair(now, qp)
+			s.adminMu.Unlock()
+			s.sendError(conn, fmt.Errorf("%w: server draining", ErrClosed))
+			return
+		}
+	} else {
+		sess, err = s.claimSession(token)
+		if err != nil {
+			s.sendError(conn, err)
+			return
+		}
+		s.adminMu.Lock()
+		qp, err = s.admin.RecreateIOQueuePair(now, sess.qid, sess.depth, sess.class)
+		s.adminMu.Unlock()
+		if err != nil {
+			// The session's queue pair cannot be resurrected; the
+			// session is unusable.
+			s.dropSession(sess)
+			s.sendError(conn, err)
+			return
+		}
+		coalesce = sess.coalesce
 	}
 	c := &ioConn{
 		s:    s,
 		conn: conn,
 		qp:   qp,
+		sess: sess,
 		pend: make(map[uint64]pendEntry),
 	}
-	defer c.cleanup()
+	sess.attach(c)
+	s.mu.Lock()
+	if s.draining || s.closed {
+		// Shutdown's goaway snapshot may already be done: refuse the
+		// connection rather than leave it outside the drain.
+		s.mu.Unlock()
+		s.adminMu.Lock()
+		s.admin.DeleteIOQueuePair(now, qp)
+		s.adminMu.Unlock()
+		s.dropSession(sess)
+		s.sendError(conn, fmt.Errorf("%w: server draining", ErrClosed))
+		return
+	}
+	s.ioConns[c] = struct{}{}
+	s.mu.Unlock()
+	exit := exitDetach
+	defer func() {
+		s.mu.Lock()
+		delete(s.ioConns, c)
+		draining := s.draining
+		s.mu.Unlock()
+		c.finish(exit, draining)
+	}()
 	qp.SetNotify(coalesce, c.onNotify)
 
 	var f frameBuf
 	f.start(frameAccept)
 	f.u32(uint32(qp.ID()))
 	f.u32(uint32(qp.Depth()))
+	f.u64(sess.token)
 	c.wmu.Lock()
 	_, err = conn.Write(f.finish())
 	c.wmu.Unlock()
@@ -228,54 +707,147 @@ func (s *Server) serveIO(conn net.Conn, rbuf *[]byte, now vclock.Time, depth int
 	}
 
 	for {
+		// The keep-alive contract: the client heartbeats at KATO/3, so
+		// KATO plus slack of silence means the peer is gone — reap the
+		// session rather than hold its queue pair hostage.
+		if sess.kato > 0 {
+			conn.SetReadDeadline(time.Now().Add(sess.kato + sess.kato/4))
+		}
 		ftype, payload, err := readFrame(conn, rbuf)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				exit = exitClean // KA expiry: the session dies with the silence
+				return
+			}
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, ErrTruncatedFrame) {
 				s.sendError(conn, err)
+				exit = exitClean
 			}
 			return
 		}
-		if ftype != frameRing {
-			s.sendError(conn, fmt.Errorf("%w: expected ring, got %d", ErrBadFrameType, ftype))
+		switch ftype {
+		case frameRing:
+			c.ringMu.Lock()
+			err := c.handleRing(payload)
+			c.ringMu.Unlock()
+			if err != nil {
+				s.sendError(conn, err)
+				exit = exitClean
+				return
+			}
+		case frameKeepAlive:
+			// Echo so an idle client's read deadline is refreshed too.
+			c.wmu.Lock()
+			c.wbuf.start(frameKeepAlive)
+			c.writeLocked(c.wbuf.finish())
+			c.wmu.Unlock()
+		case frameDisconnect:
+			exit = exitClean
 			return
-		}
-		if err := c.handleRing(payload); err != nil {
-			s.sendError(conn, err)
+		default:
+			s.sendError(conn, fmt.Errorf("%w: %d on I/O connection", ErrBadFrameType, ftype))
+			exit = exitClean
 			return
 		}
 	}
 }
 
-// handleRing replays one doorbell batch: decode and submit every
-// command, ring once at the batch's doorbell instant, and drain the
-// host — completions flow back through the notify callback exactly as
-// an in-process driver would see them. Per-command submit rejections
-// (queue full under backpressure, bad namespace) are echoed as error
-// completions carrying the client's tag; only protocol-level damage is
+// writeLocked writes one frame under the configured write deadline.
+// Caller holds wmu. Failures are ignored by callers — the read loop
+// observes the dead connection.
+func (c *ioConn) writeLocked(frame []byte) error {
+	if wt := c.s.writeTimeout(); wt > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(wt))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := c.conn.Write(frame)
+	return err
+}
+
+// goaway flushes in-flight completions and announces a graceful drain.
+// ringMu guarantees no doorbell batch is mid-flight: everything
+// submitted has completed and been pushed (the notify callback writes
+// under wmu before goaway takes it), so the goaway frame is the last
+// thing the client reads.
+func (c *ioConn) goaway() {
+	c.ringMu.Lock()
+	defer c.ringMu.Unlock()
+	c.s.host.Drain()
+	var f frameBuf
+	f.start(frameGoaway)
+	c.wmu.Lock()
+	c.writeLocked(f.finish())
+	c.wmu.Unlock()
+	grace := c.s.cfg.DrainGrace
+	if grace <= 0 {
+		grace = DefaultDrainGrace
+	}
+	// Bound the handler's exit: the client closes on goaway; if it
+	// never does, the read deadline forces the teardown.
+	c.conn.SetReadDeadline(time.Now().Add(grace))
+}
+
+// handleRing replays one doorbell batch: decode every command, dedup
+// its sequence number against the session history, submit the fresh
+// ones, and ring once per distinct doorbell instant (a live batch has
+// exactly one; a resume replay preserves each command's original
+// instant, so re-executed commands land at the virtual times they
+// originally rang). Completions flow back through the notify callback
+// exactly as an in-process driver would see them. Per-command submit
+// rejections (queue full under backpressure, bad namespace) are echoed
+// as error completions carrying the client's seq; deduplicated seqs
+// are re-pushed from the replay cache; only protocol-level damage is
 // connection-fatal.
 func (c *ioConn) handleRing(payload []byte) error {
 	d := decoder{b: payload}
-	now := vclock.Time(d.i64())
+	ack := d.u64()
 	count := int(d.u32())
 	if d.err == nil && (count < 0 || count > len(payload)) {
 		d.fail()
 	}
+	if d.err == nil {
+		c.sess.prune(ack)
+	}
 	type reject struct {
-		tag uint32
+		seq uint64
+		at  vclock.Time
 		op  hostif.Op
 		ns  int
 		err error
 	}
 	var rejects []reject
+	var dedup []uint64
+	ringing := false
+	var ringAt vclock.Time
+	flush := func() {
+		if ringing {
+			c.qp.Ring(ringAt)
+			c.s.host.Drain()
+			ringing = false
+		}
+	}
 	for i := 0; i < count; i++ {
 		cmd := c.qp.AcquireCommand()
-		tag, dstLen, err := decodeCommand(&d, cmd)
+		seq, at, dstLen, err := decodeCommand(&d, cmd)
 		if err != nil {
 			c.qp.ReleaseCommand(cmd)
 			return err
 		}
+		switch c.sess.classify(seq) {
+		case seqDup:
+			c.qp.ReleaseCommand(cmd)
+			dedup = append(dedup, seq)
+			continue
+		case seqStale:
+			c.qp.ReleaseCommand(cmd)
+			return fmt.Errorf("%w: seq %d replayed below the session ack", ErrBadPayload, seq)
+		}
+		if ringing && at != ringAt {
+			flush()
+		}
 		var pe pendEntry
-		pe.tag = tag
+		pe.seq = seq
 		// The frame buffer is reused by the next network read, but the
 		// FTL may retain write payloads (the simulated device stores
 		// them): copy into a connection-pooled buffer that lives until
@@ -294,33 +866,44 @@ func (c *ioConn) handleRing(payload []byte) error {
 			op, ns := cmd.Op, cmd.NSID // ReleaseCommand zeroes the arena command
 			c.qp.ReleaseCommand(cmd)
 			c.putBufs(pe)
-			rejects = append(rejects, reject{tag: tag, op: op, ns: ns, err: err})
+			rejects = append(rejects, reject{seq: seq, at: at, op: op, ns: ns, err: err})
 			continue
 		}
 		c.pmu.Lock()
 		c.pend[slot] = pe
 		c.pmu.Unlock()
+		ringing = true
+		ringAt = at
 	}
 	if err := d.done(); err != nil {
 		return err
 	}
-	c.qp.Ring(now)
-	c.s.host.Drain()
-	if len(rejects) > 0 {
+	flush()
+	if len(dedup)+len(rejects) > 0 {
 		c.wmu.Lock()
 		c.wbuf.start(frameCompletions)
-		c.wbuf.u32(uint32(len(rejects)))
+		c.wbuf.u32(uint32(len(dedup) + len(rejects)))
+		for _, seq := range dedup {
+			sc, ok := c.sess.cached(seq)
+			if !ok {
+				// Pruned between classify and here by this frame's own
+				// ack — impossible, since dedup seqs are above it.
+				c.wmu.Unlock()
+				return fmt.Errorf("%w: seq %d vanished from replay cache", ErrBadPayload, seq)
+			}
+			encodeCompletion(&c.wbuf, seq, &sc.comp, sc.data)
+		}
 		for _, r := range rejects {
 			comp := hostif.Completion{
 				Op:        r.op,
 				NSID:      r.ns,
-				Submitted: now,
-				Done:      now,
-				Result:    hostif.Result{End: now, Err: r.err, Status: hostif.StatusOf(r.err)},
+				Submitted: r.at,
+				Done:      r.at,
+				Result:    hostif.Result{End: r.at, Err: r.err, Status: hostif.StatusOf(r.err)},
 			}
-			encodeCompletion(&c.wbuf, r.tag, &comp, nil)
+			encodeCompletion(&c.wbuf, r.seq, &comp, nil)
 		}
-		_, err := c.conn.Write(c.wbuf.finish())
+		err := c.writeLocked(c.wbuf.finish())
 		c.wmu.Unlock()
 		if err != nil {
 			return nil // read loop will observe the dead connection
@@ -330,11 +913,12 @@ func (c *ioConn) handleRing(payload []byte) error {
 }
 
 // onNotify is the queue pair's interrupt handler: reap the coalesced
-// completions and push them to the client in one frame. It runs on
-// whichever goroutine drove the drain (possibly another connection's
-// handler), so all connection write state sits behind wmu. Write
-// failures are ignored — the connection's read loop notices the dead
-// peer and tears the queue pair down.
+// completions, record each in the session's replay cache, and push
+// them to the client in one frame. It runs on whichever goroutine
+// drove the drain (possibly another connection's handler), so all
+// connection write state sits behind wmu. Write failures are ignored —
+// the cached completions survive for the session's next incarnation,
+// and the connection's read loop notices the dead peer.
 func (c *ioConn) onNotify(n hostif.Notification) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -342,6 +926,7 @@ func (c *ioConn) onNotify(n hostif.Notification) {
 	countOff := len(c.wbuf.b)
 	c.wbuf.u32(0)
 	wrote := 0
+	overflow := false
 	for i := 0; i < n.Coalesced; i++ {
 		comp, ok := c.qp.Reap()
 		if !ok {
@@ -355,28 +940,55 @@ func (c *ioConn) onNotify(n hostif.Notification) {
 		if len(data) == 0 && comp.Op == hostif.OpTableRead && havePend {
 			data = pe.dst
 		}
-		encodeCompletion(&c.wbuf, pe.tag, &comp, data)
+		if !c.sess.save(pe.seq, &comp, data) {
+			overflow = true
+		}
+		encodeCompletion(&c.wbuf, pe.seq, &comp, data)
 		c.putBufs(pe)
 		wrote++
+	}
+	if overflow {
+		// The peer is not acking: the replay table cannot grow safely.
+		// Kill both the connection and the session.
+		c.s.dropSession(c.sess)
+		c.conn.Close()
+		return
 	}
 	if wrote == 0 {
 		return
 	}
 	binary.LittleEndian.PutUint32(c.wbuf.b[countOff:], uint32(wrote))
-	c.conn.Write(c.wbuf.finish())
+	c.writeLocked(c.wbuf.finish())
 }
 
-// cleanup tears the queue pair down after a disconnect: detach the
-// notify handler, reap whatever completed (in-flight commands finish —
-// an abrupt disconnect never corrupts device state), then delete the
-// queue pair so its slots, arbitration entry and arena are released.
-func (c *ioConn) cleanup() {
+// finish tears the connection's queue pair down after a disconnect:
+// detach the notify handler, reap whatever completed (in-flight
+// commands finish — an abrupt disconnect never corrupts device state)
+// into the session's replay cache, then delete the queue pair so its
+// slots, arbitration entry and arena are released. The session itself
+// survives a detach for later resumption; a clean exit (disconnect
+// frame, keep-alive expiry, protocol violation, server drain) drops
+// it.
+func (c *ioConn) finish(exit int, draining bool) {
 	c.qp.SetNotify(1, nil)
 	c.s.host.Drain()
 	for {
-		if _, ok := c.qp.Reap(); !ok {
+		comp, ok := c.qp.Reap()
+		if !ok {
 			break
 		}
+		c.pmu.Lock()
+		pe, havePend := c.pend[comp.Slot]
+		delete(c.pend, comp.Slot)
+		c.pmu.Unlock()
+		if havePend {
+			data := comp.Data
+			if len(data) == 0 && comp.Op == hostif.OpTableRead {
+				data = pe.dst
+			}
+			c.sess.save(pe.seq, &comp, data)
+		}
+		c.putBufs(pe)
 	}
 	c.s.adminMu.Lock()
 	c.s.admin.DeleteIOQueuePair(vclock.Time(0), c.qp)
@@ -385,6 +997,13 @@ func (c *ioConn) cleanup() {
 	c.pend = nil
 	c.bufFree = nil
 	c.pmu.Unlock()
+	if exit == exitDetach && !draining {
+		c.sess.mu.Lock()
+		c.sess.detachLocked()
+		c.sess.mu.Unlock()
+	} else {
+		c.s.dropSession(c.sess)
+	}
 }
 
 // getBuf pops a pooled buffer of at least n bytes (length n).
@@ -433,6 +1052,7 @@ func (s *Server) serveAdmin(conn net.Conn, rbuf *[]byte) {
 	f.start(frameAccept)
 	f.u32(0)
 	f.u32(0)
+	f.u64(0)
 	if _, err := conn.Write(f.finish()); err != nil {
 		return
 	}
@@ -440,12 +1060,16 @@ func (s *Server) serveAdmin(conn net.Conn, rbuf *[]byte) {
 	for {
 		ftype, payload, err := readFrame(conn, rbuf)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
 				s.sendError(conn, err)
 			}
 			return
 		}
-		if ftype != frameAdmin {
+		switch ftype {
+		case frameAdmin:
+		case frameDisconnect:
+			return
+		default:
 			s.sendError(conn, fmt.Errorf("%w: expected admin, got %d", ErrBadFrameType, ftype))
 			return
 		}
@@ -483,6 +1107,9 @@ func (s *Server) serveAdmin(conn net.Conn, rbuf *[]byte) {
 		f.u64(comp.Handle)
 		f.i32(int32(comp.Blocks))
 		f.bytes(pbuf.Bytes())
+		if wt := s.writeTimeout(); wt > 0 {
+			conn.SetWriteDeadline(time.Now().Add(wt))
+		}
 		if _, err := conn.Write(f.finish()); err != nil {
 			return
 		}

@@ -28,9 +28,18 @@ import (
 // length sanity first, CRC second, payload decode last — each failure
 // mode has its own typed error so transport code and tests can
 // discriminate exactly like the WAL's torn-tail probe.
+//
+// Version 2 adds the resilience machinery: connect carries a
+// keep-alive timeout and a session token, ring entries carry a
+// session-scoped sequence number and their own doorbell instant (so a
+// replayed batch re-executes at its original virtual time), the ring
+// header carries a cumulative acknowledgement that prunes the server's
+// replay cache, and three control frames (keep-alive, goaway,
+// disconnect) distinguish liveness probes, graceful drain and clean
+// close from a mid-stream disconnect.
 
 const (
-	wireVersion = 1
+	wireVersion = 2
 	headerBytes = 12
 	// maxFrameBytes caps a frame's declared payload: large enough for
 	// an 8 MB LSS buffer flush batch, small enough that a corrupt
@@ -42,11 +51,15 @@ var wireMagic = [2]byte{'O', 'X'}
 
 // Frame types.
 const (
-	// frameConnect opens a connection: kind, class, depth, coalesce.
+	// frameConnect opens a connection: kind, class, depth, coalesce,
+	// instant, keep-alive timeout, session token (0 = new session).
 	frameConnect = iota + 1
-	// frameAccept answers a connect with the created queue-pair ID.
+	// frameAccept answers a connect with the queue-pair ID, depth and
+	// the session token the client resumes with after a disconnect.
 	frameAccept
-	// frameRing carries one doorbell batch: instant + command entries.
+	// frameRing carries one doorbell batch: a cumulative completion
+	// acknowledgement plus command entries, each with its sequence
+	// number and doorbell instant.
 	frameRing
 	// frameCompletions carries completion entries (server push).
 	frameCompletions
@@ -56,8 +69,49 @@ const (
 	frameAdminReply
 	// frameError reports a connection-fatal typed error.
 	frameError
-	frameTypeMax = frameError
+	// frameKeepAlive is the NVMe-style liveness heartbeat: the client
+	// sends it at a fraction of its keep-alive timeout, the server
+	// echoes it. Empty payload.
+	frameKeepAlive
+	// frameGoaway announces a graceful server drain: every accepted
+	// ring's completions have been flushed, nothing further will be
+	// served. Clients treat it as a clean redial trigger. Empty payload.
+	frameGoaway
+	// frameDisconnect is a clean client close: the server tears the
+	// session down immediately instead of retaining it for resumption.
+	// Empty payload.
+	frameDisconnect
+	frameTypeMax = frameDisconnect
 )
+
+// FrameHeaderSize is the fixed frame-header length in bytes — exported
+// for frame-boundary-aware network middleware (internal/netfault).
+const FrameHeaderSize = headerBytes
+
+// FrameInfo parses a frame header without touching the payload: the
+// declared payload length and whether the frame carries command or
+// completion traffic (ring, completions, admin request/reply — the
+// frames a deterministic fault schedule counts; handshake and
+// keep-alive frames pass uncounted). It validates only magic and
+// length sanity; CRC and payload interpretation stay with the
+// endpoints.
+func FrameInfo(hdr []byte) (payloadLen int, data bool, err error) {
+	if len(hdr) < headerBytes {
+		return 0, false, fmt.Errorf("%w: %d-byte header", ErrTruncatedFrame, len(hdr))
+	}
+	if hdr[0] != wireMagic[0] || hdr[1] != wireMagic[1] {
+		return 0, false, fmt.Errorf("%w: %02x%02x", ErrBadMagic, hdr[0], hdr[1])
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxFrameBytes {
+		return 0, false, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	switch hdr[3] {
+	case frameRing, frameCompletions, frameAdmin, frameAdminReply:
+		return int(n), true, nil
+	}
+	return int(n), false, nil
+}
 
 // Connection kinds (frameConnect).
 const (
@@ -67,7 +121,8 @@ const (
 
 // Per-command error codes: the typed host-interface errors that have
 // canonical client-side values. Everything else travels as errOther
-// with its status class and message.
+// with its status class and message. The codes past errOther are
+// fabrics-level handshake rejections (frameError only).
 const (
 	errNone = iota
 	errQueueFull
@@ -77,6 +132,10 @@ const (
 	errBadLogPage
 	errQueueClosed
 	errOther
+	// errSessionUnknown rejects a resume handshake whose token names no
+	// retained session (expired, reaped or never issued) — terminal for
+	// the client, which cannot replay into a server that forgot it.
+	errSessionUnknown
 )
 
 // codeFor maps a server-side error to its wire code.
@@ -96,6 +155,8 @@ func codeFor(err error) uint16 {
 		return errBadLogPage
 	case errors.Is(err, hostif.ErrQueueClosed):
 		return errQueueClosed
+	case errors.Is(err, ErrSessionUnknown):
+		return errSessionUnknown
 	default:
 		return errOther
 	}
@@ -121,6 +182,8 @@ func errorFor(code uint16, msg string) error {
 		return hostif.ErrBadLogPage
 	case errQueueClosed:
 		return hostif.ErrQueueClosed
+	case errSessionUnknown:
+		return fmt.Errorf("%w: %s", ErrSessionUnknown, msg)
 	default:
 		return &RemoteError{Code: code, Msg: msg}
 	}
@@ -172,7 +235,7 @@ func readFrame(r io.Reader, buf *[]byte) (ftype byte, payload []byte, err error)
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("%w: reading header: %v", ErrTruncatedFrame, err)
+		return 0, nil, fmt.Errorf("%w: reading header: %w", ErrTruncatedFrame, err)
 	}
 	if hdr[0] != wireMagic[0] || hdr[1] != wireMagic[1] {
 		return 0, nil, fmt.Errorf("%w: %02x%02x", ErrBadMagic, hdr[0], hdr[1])
@@ -193,7 +256,7 @@ func readFrame(r io.Reader, buf *[]byte) (ftype byte, payload []byte, err error)
 	}
 	payload = (*buf)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("%w: reading %d-byte payload: %v", ErrTruncatedFrame, n, err)
+		return 0, nil, fmt.Errorf("%w: reading %d-byte payload: %w", ErrTruncatedFrame, n, err)
 	}
 	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(hdr[8:12]) {
 		return 0, nil, fmt.Errorf("%w: got %08x want %08x", ErrCorruptFrame,
@@ -308,10 +371,14 @@ func validOp(op hostif.Op) bool {
 	return false
 }
 
-// encodeCommand appends one ring-batch command entry. dstLen tells the
-// server how many bytes an OpTableRead expects back.
-func encodeCommand(f *frameBuf, tag uint32, cmd *hostif.Command) {
-	f.u32(tag)
+// encodeCommand appends one ring-batch command entry: the session
+// sequence number, the command's own doorbell instant (a replayed
+// entry keeps its original instant so re-execution lands at the same
+// virtual time), and the command fields. dstLen tells the server how
+// many bytes an OpTableRead expects back.
+func encodeCommand(f *frameBuf, seq uint64, at vclock.Time, cmd *hostif.Command) {
+	f.u64(seq)
+	f.i64(int64(at))
 	f.u8(uint8(cmd.Op))
 	f.u32(uint32(cmd.NSID))
 	f.i64(cmd.LPN)
@@ -333,8 +400,9 @@ func encodeCommand(f *frameBuf, tag uint32, cmd *hostif.Command) {
 // the frame buffer (valid until the next read on the connection);
 // cmd.Dst is left nil — the caller provides the read buffer sized by
 // the returned dstLen. cmd.Descs reuses the slice already in cmd.
-func decodeCommand(d *decoder, cmd *hostif.Command) (tag uint32, dstLen int, err error) {
-	tag = d.u32()
+func decodeCommand(d *decoder, cmd *hostif.Command) (seq uint64, at vclock.Time, dstLen int, err error) {
+	seq = d.u64()
+	at = vclock.Time(d.i64())
 	op := hostif.Op(d.u8())
 	cmd.Op = op
 	cmd.NSID = int(d.u32())
@@ -360,21 +428,21 @@ func decodeCommand(d *decoder, cmd *hostif.Command) (tag uint32, dstLen int, err
 	}
 	cmd.Data = d.bytes()
 	if d.err != nil {
-		return 0, 0, d.err
+		return 0, 0, 0, d.err
 	}
 	if !validOp(op) {
-		return 0, 0, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(op))
+		return 0, 0, 0, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(op))
 	}
 	if dstLen < 0 || dstLen > maxFrameBytes {
-		return 0, 0, fmt.Errorf("%w: dst length %d", ErrBadPayload, dstLen)
+		return 0, 0, 0, fmt.Errorf("%w: dst length %d", ErrBadPayload, dstLen)
 	}
-	return tag, dstLen, nil
+	return seq, at, dstLen, nil
 }
 
 // encodeCompletion appends one completion entry; data is the payload
 // travelling back to the client (read results).
-func encodeCompletion(f *frameBuf, tag uint32, c *hostif.Completion, data []byte) {
-	f.u32(tag)
+func encodeCompletion(f *frameBuf, seq uint64, c *hostif.Completion, data []byte) {
+	f.u64(seq)
 	f.u8(uint8(c.Op))
 	f.u8(uint8(c.Status))
 	errMsg := ""
@@ -396,8 +464,8 @@ func encodeCompletion(f *frameBuf, tag uint32, c *hostif.Completion, data []byte
 
 // decodeCompletion reads one completion entry. The returned data
 // aliases the frame buffer.
-func decodeCompletion(d *decoder, c *hostif.Completion) (tag uint32, data []byte, err error) {
-	tag = d.u32()
+func decodeCompletion(d *decoder, c *hostif.Completion) (seq uint64, data []byte, err error) {
+	seq = d.u64()
 	c.Op = hostif.Op(d.u8())
 	c.Status = hostif.Status(d.u8())
 	code := d.u16()
@@ -414,5 +482,5 @@ func decodeCompletion(d *decoder, c *hostif.Completion) (tag uint32, data []byte
 		return 0, nil, d.err
 	}
 	c.Err = errorFor(code, msg)
-	return tag, data, nil
+	return seq, data, nil
 }

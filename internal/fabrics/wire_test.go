@@ -16,9 +16,9 @@ import (
 func sampleFrame() []byte {
 	var f frameBuf
 	f.start(frameRing)
-	f.i64(12345)
+	f.u64(0) // cumulative ack
 	f.u32(1)
-	encodeCommand(&f, 7, &hostif.Command{
+	encodeCommand(&f, 7, 12345, &hostif.Command{
 		Op:   hostif.OpWrite,
 		NSID: 1,
 		LPN:  42,
@@ -140,18 +140,18 @@ func TestDecodeCommandRoundtrip(t *testing.T) {
 	}
 	var f frameBuf
 	f.start(frameRing)
-	encodeCommand(&f, 31, &in)
+	encodeCommand(&f, 31, 777, &in)
 	d := decoder{b: f.finish()[headerBytes:]}
 	var out hostif.Command
-	tag, dstLen, err := decodeCommand(&d, &out)
+	seq, at, dstLen, err := decodeCommand(&d, &out)
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
 	if err := d.done(); err != nil {
 		t.Fatalf("done: %v", err)
 	}
-	if tag != 31 || dstLen != 0 {
-		t.Fatalf("tag=%d dstLen=%d", tag, dstLen)
+	if seq != 31 || at != 777 || dstLen != 0 {
+		t.Fatalf("seq=%d at=%d dstLen=%d", seq, at, dstLen)
 	}
 	if out.Op != in.Op || out.NSID != in.NSID || out.LPN != in.LPN ||
 		out.Pages != in.Pages || out.Zone != in.Zone || out.Length != in.Length ||
@@ -167,7 +167,7 @@ func TestDecodeCommandRoundtrip(t *testing.T) {
 func TestDecodeCommandCorruption(t *testing.T) {
 	var f frameBuf
 	f.start(frameRing)
-	encodeCommand(&f, 1, &hostif.Command{Op: hostif.OpRead, NSID: 1, Pages: 4,
+	encodeCommand(&f, 1, 0, &hostif.Command{Op: hostif.OpRead, NSID: 1, Pages: 4,
 		Descs: []hostif.PageDesc{{ID: 1}}})
 	payload := append([]byte(nil), f.finish()[headerBytes:]...)
 
@@ -175,7 +175,7 @@ func TestDecodeCommandCorruption(t *testing.T) {
 		for n := 0; n < len(payload); n++ {
 			d := decoder{b: payload[:n]}
 			var cmd hostif.Command
-			if _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadPayload) {
+			if _, _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadPayload) {
 				t.Fatalf("prefix %d: got %v, want %v", n, err, ErrBadPayload)
 			}
 		}
@@ -183,47 +183,47 @@ func TestDecodeCommandCorruption(t *testing.T) {
 	t.Run("admin opcode in ring", func(t *testing.T) {
 		var f frameBuf
 		f.start(frameRing)
-		encodeCommand(&f, 1, &hostif.Command{Op: hostif.OpAdminIdentify})
+		encodeCommand(&f, 1, 0, &hostif.Command{Op: hostif.OpAdminIdentify})
 		d := decoder{b: f.finish()[headerBytes:]}
 		var cmd hostif.Command
-		if _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadOpcode) {
+		if _, _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadOpcode) {
 			t.Fatalf("got %v, want %v", err, ErrBadOpcode)
 		}
 	})
 	t.Run("unknown opcode", func(t *testing.T) {
 		var f frameBuf
 		f.start(frameRing)
-		encodeCommand(&f, 1, &hostif.Command{Op: 250})
+		encodeCommand(&f, 1, 0, &hostif.Command{Op: 250})
 		d := decoder{b: f.finish()[headerBytes:]}
 		var cmd hostif.Command
-		if _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadOpcode) {
+		if _, _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadOpcode) {
 			t.Fatalf("got %v, want %v", err, ErrBadOpcode)
 		}
 	})
 	t.Run("absurd desc count", func(t *testing.T) {
 		mut := append([]byte(nil), payload...)
-		// dstLen sits after tag(4) op(1) nsid(4) lpn(8) pages(4) zone(4)
-		// length(8) handle(8) = offset 41; nDescs follows at 45.
-		binary.LittleEndian.PutUint32(mut[45:], 1<<30)
+		// dstLen sits after seq(8) at(8) op(1) nsid(4) lpn(8) pages(4)
+		// zone(4) length(8) handle(8) = offset 53; nDescs follows at 57.
+		binary.LittleEndian.PutUint32(mut[57:], 1<<30)
 		d := decoder{b: mut}
 		var cmd hostif.Command
-		if _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadPayload) {
+		if _, _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadPayload) {
 			t.Fatalf("got %v, want %v", err, ErrBadPayload)
 		}
 	})
 	t.Run("absurd dst length", func(t *testing.T) {
 		mut := append([]byte(nil), payload...)
-		binary.LittleEndian.PutUint32(mut[41:], maxFrameBytes+1)
+		binary.LittleEndian.PutUint32(mut[53:], maxFrameBytes+1)
 		d := decoder{b: mut}
 		var cmd hostif.Command
-		if _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadPayload) {
+		if _, _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadPayload) {
 			t.Fatalf("got %v, want %v", err, ErrBadPayload)
 		}
 	})
 	t.Run("trailing garbage", func(t *testing.T) {
 		d := decoder{b: append(append([]byte(nil), payload...), 0xEE)}
 		var cmd hostif.Command
-		if _, _, err := decodeCommand(&d, &cmd); err != nil {
+		if _, _, _, err := decodeCommand(&d, &cmd); err != nil {
 			t.Fatalf("decode: %v", err)
 		}
 		if err := d.done(); !errors.Is(err, ErrBadPayload) {
@@ -326,15 +326,15 @@ func FuzzReadFrame(f *testing.F) {
 func FuzzDecodeCommand(f *testing.F) {
 	var fb frameBuf
 	fb.start(frameRing)
-	encodeCommand(&fb, 1, &hostif.Command{Op: hostif.OpWrite, Data: []byte("x")})
+	encodeCommand(&fb, 1, 0, &hostif.Command{Op: hostif.OpWrite, Data: []byte("x")})
 	f.Add(append([]byte(nil), fb.finish()[headerBytes:]...))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := decoder{b: data}
 		var cmd hostif.Command
-		tag, dstLen, err := decodeCommand(&d, &cmd)
+		seq, _, dstLen, err := decodeCommand(&d, &cmd)
 		if err == nil && (dstLen < 0 || dstLen > maxFrameBytes) {
-			t.Fatalf("accepted dstLen %d (tag %d)", dstLen, tag)
+			t.Fatalf("accepted dstLen %d (seq %d)", dstLen, seq)
 		}
 	})
 }

@@ -18,7 +18,9 @@ type AdminParams struct {
 	// Depth and Class size an OpAdminCreateIOQP.
 	Depth int
 	Class Class
-	// QID names the target of an OpAdminDeleteIOQP.
+	// QID names the target of an OpAdminDeleteIOQP, or — on an
+	// OpAdminCreateIOQP — requests recreation of a previously deleted
+	// queue pair under its original ID (0 allocates a fresh ID).
 	QID int
 	// Attach is the namespace of an OpAdminNamespaceAttach.
 	Attach Namespace
@@ -167,6 +169,15 @@ func (h *Host) execAdmin(now vclock.Time, cmd *Command) Result {
 	case OpAdminGetLogPage:
 		res.Admin, res.Err = h.logPage(now, cmd)
 	case OpAdminCreateIOQP:
+		if cmd.Admin.QID != 0 {
+			qp, err := h.reopenQueuePair(cmd.Admin.QID, cmd.Admin.Depth, cmd.Admin.Class)
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			res.Admin = qp
+			return res
+		}
 		res.Admin = h.openQueuePair(cmd.Admin.Depth, cmd.Admin.Class)
 	case OpAdminDeleteIOQP:
 		res.Err = h.deleteQueuePair(cmd.Admin.QID)
@@ -285,6 +296,25 @@ func (a *AdminClient) CreateIOQueuePair(now vclock.Time, depth int, class Class)
 	comp, err := a.do(now, Command{
 		Op:    OpAdminCreateIOQP,
 		Admin: AdminParams{Depth: depth, Class: class},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return comp.Admin.(*QueuePair), nil
+}
+
+// RecreateIOQueuePair recreates a deleted I/O queue pair under its
+// original ID qid — session-scoped queue-pair resurrection for fabric
+// reconnects. The ID must have been issued by an earlier create and
+// must not be live; the recreated pair keeps the original arbitration
+// tie-break identity.
+func (a *AdminClient) RecreateIOQueuePair(now vclock.Time, qid, depth int, class Class) (*QueuePair, error) {
+	if qid <= 0 {
+		return nil, fmt.Errorf("%w: queue %d is not recreatable", ErrBadQueueID, qid)
+	}
+	comp, err := a.do(now, Command{
+		Op:    OpAdminCreateIOQP,
+		Admin: AdminParams{QID: qid, Depth: depth, Class: class},
 	})
 	if err != nil {
 		return nil, err

@@ -192,6 +192,39 @@ func (h *Host) openQueuePair(depth int, class Class) *QueuePair {
 	return qp
 }
 
+// reopenQueuePair recreates a previously deleted I/O queue pair under
+// its original ID — the resumption path of a fabric session whose
+// connection died: the recreated pair is the same logical queue
+// continuing, so it keeps the arbitration tie-break identity its
+// earlier incarnation held. The ID must have been issued before and
+// must not be live (ErrBadQueueID / ErrQueueBusy otherwise); the
+// never-reused discipline of nextQID is preserved because only IDs the
+// host itself once handed out can come back. Reached through
+// OpAdminCreateIOQP with a non-zero QID.
+func (h *Host) reopenQueuePair(qid, depth int, class Class) (*QueuePair, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	h.setupMu.Lock()
+	defer h.setupMu.Unlock()
+	if qid <= 0 || qid >= h.nextQID {
+		return nil, fmt.Errorf("%w: queue %d was never issued", ErrBadQueueID, qid)
+	}
+	cur := h.queuePairs()
+	for _, qp := range cur {
+		if qp.id == qid {
+			return nil, fmt.Errorf("%w: queue %d is live", ErrQueueBusy, qid)
+		}
+	}
+	qp := &QueuePair{host: h, id: qid, depth: depth, class: class}
+	qp.headReady.Store(noHead)
+	next := make([]*QueuePair, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = qp
+	h.qps.Store(&next)
+	return qp, nil
+}
+
 // deleteQueuePair removes the idle I/O queue pair qid from arbitration
 // and closes it to further submission. Queue IDs are never reused, so
 // arbitration tie-breaks stay stable across deletions. Reached through

@@ -1,0 +1,81 @@
+package hostif
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// TestRecreateIOQueuePair pins the session-resumption queue-pair
+// lifecycle: a deleted queue pair can be recreated under its original
+// ID, the recreated pair works end to end, and the never-reused ID
+// discipline still rejects IDs that were never issued or are live.
+func TestRecreateIOQueuePair(t *testing.T) {
+	ctrl := testController(t)
+	ns := newFakeNS(10 * vclock.Microsecond)
+	h := NewHost(ctrl, HostConfig{})
+	if _, err := h.Admin().AttachNamespace(0, ns); err != nil {
+		t.Fatal(err)
+	}
+	admin := h.Admin()
+
+	qp, err := admin.CreateIOQueuePair(0, 4, ClassHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qid := qp.ID()
+
+	// Live ID cannot be recreated.
+	if _, err := admin.RecreateIOQueuePair(0, qid, 4, ClassHigh); !errors.Is(err, ErrQueueBusy) {
+		t.Fatalf("recreate of live queue: %v, want ErrQueueBusy", err)
+	}
+	// Never-issued IDs are rejected.
+	if _, err := admin.RecreateIOQueuePair(0, qid+100, 4, ClassHigh); !errors.Is(err, ErrBadQueueID) {
+		t.Fatalf("recreate of unissued queue: %v, want ErrBadQueueID", err)
+	}
+	// The admin queue (ID 0) is never recreatable.
+	if _, err := admin.RecreateIOQueuePair(0, 0, 4, ClassHigh); !errors.Is(err, ErrBadQueueID) {
+		t.Fatalf("recreate of queue 0: %v, want ErrBadQueueID", err)
+	}
+
+	if err := admin.DeleteIOQueuePair(0, qp); err != nil {
+		t.Fatal(err)
+	}
+	re, err := admin.RecreateIOQueuePair(0, qid, 4, ClassLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.ID() != qid {
+		t.Fatalf("recreated queue ID %d, want %d", re.ID(), qid)
+	}
+	if re.Class() != ClassLow {
+		t.Fatalf("recreated queue class %v, want ClassLow", re.Class())
+	}
+	// Fresh creates continue the monotonic ID sequence past the
+	// recreated ID.
+	fresh, err := admin.CreateIOQueuePair(0, 1, ClassMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID() <= qid {
+		t.Fatalf("fresh queue ID %d not past recreated %d", fresh.ID(), qid)
+	}
+
+	// The recreated pair executes commands like any other.
+	if err := re.Push(0, &Command{Op: OpWrite, LPN: 7}); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+	comp, ok := re.Reap()
+	if !ok || comp.Err != nil {
+		t.Fatalf("reap on recreated queue: ok=%v err=%v", ok, comp.Err)
+	}
+	if comp.QueueID != qid {
+		t.Fatalf("completion queue ID %d, want %d", comp.QueueID, qid)
+	}
+	// Double-recreate while live fails again.
+	if _, err := admin.RecreateIOQueuePair(0, qid, 4, ClassLow); !errors.Is(err, ErrQueueBusy) {
+		t.Fatalf("recreate of recreated live queue: %v, want ErrQueueBusy", err)
+	}
+}
