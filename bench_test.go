@@ -8,6 +8,8 @@
 package repro
 
 import (
+	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -16,6 +18,8 @@ import (
 	"repro/internal/fabrics"
 	"repro/internal/hostif"
 	"repro/internal/landscape"
+	"repro/internal/lightlsm"
+	"repro/internal/lsm"
 	"repro/internal/netfault"
 	"repro/internal/oxblock"
 	"repro/internal/vclock"
@@ -509,4 +513,73 @@ func BenchmarkAblationCheckpointInterval(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkOffloadGet measures the computational-storage point-lookup
+// paths side by side: each iteration issues 64 offloaded gets
+// (OpOffloadGet — the key goes down, only flags+value come back) and
+// 64 host-side gets (the whole SSTable block crosses the host link)
+// against identically pre-filled LightLSM-backed databases. Wall-clock
+// and allocs/op track the offload machinery's overhead; the custom
+// metrics report each path's virtual latency per lookup.
+func BenchmarkOffloadGet(b *testing.B) {
+	const keys, valueSize, getsPerOp = 512, 4096, 64
+	build := func(offloaded bool) (*lsm.DB, vclock.Time) {
+		_, ctrl, err := exp.DefaultRig().Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		env, err := lightlsm.New(ctrl, lightlsm.Config{TableChunks: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+		cli, err := hostif.AttachLSM(host, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := lsm.Options{Env: cli, MemtableBytes: 256 << 10, Seed: 7}
+		if offloaded {
+			opts.Lookup = cli.OffloadGet
+		}
+		db, err := lsm.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		value := make([]byte, valueSize)
+		rng := rand.New(rand.NewSource(11))
+		var now vclock.Time
+		for i := 0; i < keys; i++ {
+			rng.Read(value)
+			if now, err = db.Put(now, []byte(fmt.Sprintf("key-%04d", i)), value); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if now, err = db.Flush(now); err != nil {
+			b.Fatal(err)
+		}
+		return db, db.WaitIdle(now)
+	}
+	hostDB, hostNow := build(false)
+	devDB, devNow := build(true)
+	lookups := func(db *lsm.DB, now vclock.Time, round int) (vclock.Time, vclock.Duration) {
+		start := now
+		for k := 0; k < getsPerOp; k++ {
+			key := []byte(fmt.Sprintf("key-%04d", (round*getsPerOp+k)*7%keys))
+			_, end, err := db.Get(now, key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now = end
+		}
+		return now, vclock.Duration(now-start) / getsPerOp
+	}
+	b.ResetTimer()
+	var hostLat, devLat vclock.Duration
+	for i := 0; i < b.N; i++ {
+		hostNow, hostLat = lookups(hostDB, hostNow, i)
+		devNow, devLat = lookups(devDB, devNow, i)
+	}
+	b.ReportMetric(hostLat.Seconds()*1e6, "hostGet_us")
+	b.ReportMetric(devLat.Seconds()*1e6, "devGet_us")
 }

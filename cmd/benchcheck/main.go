@@ -40,6 +40,7 @@ var tracked = []string{
 	"BenchmarkCrashRecovery",
 	"BenchmarkFabricLoopback",
 	"BenchmarkFabricReconnect",
+	"BenchmarkOffloadGet",
 }
 
 type baseline struct {

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,qdfabric,tenants,scale,crashstorm,fabric,netstorm,all")
+	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,qdfabric,tenants,scale,crashstorm,fabric,netstorm,offload,offloadfabric,all")
 	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
 	executor := flag.String("executor", "serial", "host command-service engine: serial | pipelined (tables are bit-identical either way)")
 	workers := flag.Int("workers", 0, "pipelined executor worker-pool size (0 = GOMAXPROCS)")
@@ -198,6 +198,33 @@ func main() {
 			fatal(err)
 		}
 		emit("netstorm", exp.NetstormTable(points))
+	}
+	if all || want["offload"] {
+		// The computational-storage crossover: KV lookups, filtered
+		// scans and compaction, host-side vs in-device, swept over value
+		// size and predicate selectivity. Every column is virtual-time-
+		// or counter-derived, so the table joins the CI determinism
+		// byte-diff.
+		cfg := exp.DefaultOffload()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.Offload(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("offload", exp.OffloadTable(points))
+	}
+	if want["offloadfabric"] {
+		// The offload crossover with every command crossing the fabrics
+		// wire layer over loopback. Not part of "all": its table is
+		// required to be byte-identical to offload, which is exactly
+		// what the CI cross-transport cmp checks.
+		cfg := exp.DefaultOffload()
+		cfg.Executor, cfg.Workers = ex, *workers
+		points, err := exp.OffloadLoopback(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("offload_fabric", exp.OffloadTable(points))
 	}
 	if all || want["scale"] {
 		// The scale sweep runs both executors itself (serial reference

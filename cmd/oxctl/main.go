@@ -13,11 +13,13 @@
 //	oxctl -cmd placement -mode vertical
 //	oxctl -cmd executor [-executor pipelined]
 //	oxctl -cmd faults [-addr 127.0.0.1:7710]   # remote rig needs oxfabd -faults
+//	oxctl -cmd offload [-addr 127.0.0.1:7710]  # remote rig needs a LightLSM namespace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"repro/internal/exp"
@@ -25,7 +27,9 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hostif"
 	"repro/internal/lightlsm"
+	"repro/internal/lsm"
 	"repro/internal/ocssd"
+	"repro/internal/offload"
 	"repro/internal/oxblock"
 	"repro/internal/vclock"
 	"repro/internal/zns"
@@ -39,6 +43,7 @@ type adminSurface interface {
 	ChunkReport(vclock.Time) ([]ocssd.ChunkInfo, error)
 	FaultLog(vclock.Time) (ocssd.FaultLog, error)
 	ExecutorStats(vclock.Time) (hostif.ExecutorLog, error)
+	OffloadStats(vclock.Time, int) (offload.Stats, error)
 }
 
 // ioSession is the data-path slice the faults hammer drives; satisfied
@@ -50,7 +55,7 @@ type ioSession interface {
 }
 
 func main() {
-	cmd := flag.String("cmd", "geometry", "geometry | report | placement | executor | faults")
+	cmd := flag.String("cmd", "geometry", "geometry | report | placement | executor | faults | offload")
 	paper := flag.Bool("paper", false, "use the paper's exact Figure 4 geometry (1.4 TB)")
 	mode := flag.String("mode", "horizontal", "placement mode: horizontal | vertical")
 	executor := flag.String("executor", "pipelined", "engine for -cmd executor: serial | pipelined")
@@ -278,10 +283,68 @@ func main() {
 				fmt.Printf("    %v: %s\n", e.Chunk, e.Err)
 			}
 		}
+	case "offload":
+		// Read the computational-storage log page (LogOffload) over
+		// queue 0. With -addr the page comes from the served
+		// controller's namespace 1; locally oxctl drives a short
+		// offloaded KV workload first — point lookups and compactions
+		// resolved inside the device — so the counters have something
+		// to say.
+		if *addr != "" {
+			st, err := adminFor(*addr).OffloadStats(0, 1)
+			fail(err)
+			printOffload(st)
+			return
+		}
+		_, ctrl, err := exp.DefaultRig().Build()
+		fail(err)
+		env, err := lightlsm.New(ctrl, lightlsm.Config{TableChunks: 1})
+		fail(err)
+		host := hostif.NewHost(ctrl, hostif.HostConfig{ChargeHostLink: true})
+		cli, err := hostif.AttachLSM(host, env)
+		fail(err)
+		db, err := lsm.Open(lsm.Options{
+			Env:           cli,
+			MemtableBytes: 64 << 10,
+			Seed:          7,
+			Lookup:        cli.OffloadGet,
+			Compactor:     cli.OffloadCompact,
+		})
+		fail(err)
+		rng := rand.New(rand.NewSource(11))
+		value := make([]byte, 2048)
+		var now vclock.Time
+		for i := 0; i < 600; i++ {
+			rng.Read(value)
+			now, err = db.Put(now, []byte(fmt.Sprintf("key-%04d", rng.Intn(200))), value)
+			fail(err)
+		}
+		now, err = db.Flush(now)
+		fail(err)
+		now = db.WaitIdle(now)
+		for i := 0; i < 200; i++ {
+			if _, end, err := db.Get(now, []byte(fmt.Sprintf("key-%04d", i))); err == nil {
+				now = end
+			}
+		}
+		st, err := host.Admin().OffloadStats(now, cli.NSID())
+		fail(err)
+		printOffload(st)
 	default:
 		fmt.Fprintf(os.Stderr, "oxctl: unknown command %q\n", *cmd)
 		os.Exit(1)
 	}
+}
+
+func printOffload(st offload.Stats) {
+	fmt.Printf("computational storage (LogOffload over queue 0):\n")
+	fmt.Printf("  gets            %d (%d hits)\n", st.Gets, st.GetHits)
+	fmt.Printf("  scans           %d (%d of %d pages matched)\n", st.Scans, st.PagesMatched, st.PagesScanned)
+	fmt.Printf("  compactions     %d (%d blocks merged)\n", st.Compactions, st.BlocksMerged)
+	fmt.Printf("  bytes out       %d KB over the host link\n", st.BytesOut>>10)
+	fmt.Printf("  bytes direct    %d KB host-side equivalent\n", st.BytesDirect>>10)
+	fmt.Printf("  bytes saved     %d KB\n", st.BytesSaved()>>10)
+	fmt.Printf("  compute busy    %v in-device\n", st.ComputeBusy)
 }
 
 func printExecutor(log hostif.ExecutorLog) {

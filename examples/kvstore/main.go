@@ -1,6 +1,9 @@
 // kvstore: the miniature RocksDB running on the LightLSM FTL — the
 // paper's application-specific environment with horizontal or vertical
-// SSTable placement (run with -placement vertical to compare).
+// SSTable placement (run with -placement vertical to compare). With
+// -offload, point lookups and compactions resolve inside the device
+// (OpOffloadGet / OpOffloadCompact): only values and table metadata
+// cross the host link instead of whole SSTable blocks.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 func main() {
 	placement := flag.String("placement", "horizontal", "horizontal | vertical")
+	offload := flag.Bool("offload", false, "resolve point lookups and compactions in-device (computational storage)")
 	flag.Parse()
 	p := lightlsm.Horizontal
 	if *placement == "vertical" {
@@ -44,17 +48,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := lsm.Open(lsm.Options{Env: cli, MemtableBytes: 1 << 20, Seed: 1})
+	// A small memtable so the demo's 5000 pairs actually force flushes
+	// and compactions (and give the offloaded paths work to do).
+	opts := lsm.Options{Env: cli, MemtableBytes: 16 << 10, Seed: 1}
+	if *offload {
+		// Offloaded variant: positive table probes and table merges run
+		// inside the device through the same queue pair.
+		opts.Lookup = cli.OffloadGet
+		opts.Compactor = cli.OffloadCompact
+	}
+	db, err := lsm.Open(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Load 5000 key-value pairs (forcing flushes and compactions), then
-	// read some back and scan a range.
+	// Load 5000 key-value pairs, then overwrite a third of them so the
+	// L0 tables overlap and real merge compactions run (sequential-only
+	// fill would just trivially move tables down); finally read some
+	// back and scan a range.
 	now := vclock.Time(0)
 	for i := 0; i < 5000; i++ {
 		k := fmt.Sprintf("user%06d", i)
 		v := fmt.Sprintf("profile-%d", i*i)
+		if now, err = db.Put(now, []byte(k), []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 5000; i += 3 {
+		k := fmt.Sprintf("user%06d", i)
+		v := fmt.Sprintf("profile-%d-v2", i*i)
 		if now, err = db.Put(now, []byte(k), []byte(v)); err != nil {
 			log.Fatal(err)
 		}
@@ -88,4 +110,12 @@ func main() {
 		s.Flushes, s.Compactions, s.TablesL0, s.TablesL1, s.TablesL2)
 	fmt.Printf("FTL: %d blocks written, %d read, %d chunk resets (SSTable deletes)\n",
 		es.BlocksWritten, es.BlocksRead, es.ChunkResets)
+	if *offload {
+		st, err := host.Admin().OffloadStats(now, cli.NSID())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("offload: %d gets (%d hits), %d compactions, %d KB saved on the host link\n",
+			st.Gets, st.GetHits, st.Compactions, st.BytesSaved()>>10)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ftl/ftlcore"
 	"repro/internal/hostif"
 	"repro/internal/ocssd"
+	"repro/internal/offload"
 	"repro/internal/ox"
 	"repro/internal/vclock"
 	"repro/internal/zns"
@@ -1125,4 +1126,9 @@ func (a *AdminClient) GCStats(now vclock.Time, nsid int) (ftlcore.GCStats, error
 func (a *AdminClient) TableChunks(now vclock.Time, nsid int, table uint64) ([]ocssd.ChunkID, error) {
 	v, _, err := a.do(now, hostif.OpAdminGetLogPage, nsid, table, hostif.LogTableChunks)
 	return payloadAs[[]ocssd.ChunkID](v, err)
+}
+
+// OffloadStats returns a namespace's computational-storage counters.
+func (a *AdminClient) OffloadStats(now vclock.Time, nsid int) (offload.Stats, error) {
+	return payloadAs[offload.Stats](a.GetLogPage(now, hostif.LogOffload, nsid))
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hostif"
 	"repro/internal/lsm"
+	"repro/internal/offload"
 	"repro/internal/vclock"
 )
 
@@ -118,6 +119,51 @@ func (c *EnvClient) ReadBlock(now vclock.Time, h lsm.TableHandle, block int, dst
 		Dst:    dst,
 	})
 	return comp.Done, err
+}
+
+// OffloadGet issues an in-device point lookup over the fabric: only
+// the (flags, value) result crosses the wire instead of a full SSTable
+// block. The signature matches lsm.Options.Lookup.
+func (c *EnvClient) OffloadGet(now vclock.Time, h lsm.TableHandle, block int, key []byte) (value []byte, deleted, found bool, end vclock.Time, err error) {
+	comp, err := c.do(now, hostif.Command{
+		Op:     hostif.OpOffloadGet,
+		Handle: uint64(h.ID),
+		Length: int64(h.Blocks),
+		LPN:    int64(block),
+		Data:   key,
+	})
+	if err != nil {
+		return nil, false, false, comp.Done, err
+	}
+	value, deleted, found, err = offload.DecodeGetResult(comp.Data)
+	return value, deleted, found, comp.Done, err
+}
+
+// OffloadCompact issues an in-device compaction over the fabric: the
+// remote device merges the input SSTables and only the output table
+// metadata crosses the wire. The signature matches
+// lsm.Options.Compactor.
+func (c *EnvClient) OffloadCompact(now vclock.Time, inputs []lsm.TableHandle, bitsPerKey int, dropDeletes bool) ([]*lsm.TableMeta, vclock.Time, error) {
+	refs := make([]offload.TableRef, len(inputs))
+	for i, h := range inputs {
+		refs[i] = offload.TableRef{ID: uint64(h.ID), Blocks: uint32(h.Blocks)}
+	}
+	req := offload.CompactRequest{Inputs: refs, DropDeletes: dropDeletes, BitsPerKey: uint16(bitsPerKey)}
+	comp, err := c.do(now, hostif.Command{Op: hostif.OpOffloadCompact, Data: req.Encode()})
+	if err != nil {
+		return nil, comp.Done, err
+	}
+	blobs, err := offload.DecodeCompactResult(comp.Data)
+	if err != nil {
+		return nil, comp.Done, err
+	}
+	metas := make([]*lsm.TableMeta, len(blobs))
+	for i, b := range blobs {
+		if metas[i], err = lsm.UnmarshalTableMeta(b); err != nil {
+			return nil, comp.Done, err
+		}
+	}
+	return metas, comp.Done, nil
 }
 
 // DeleteTable implements lsm.Env.

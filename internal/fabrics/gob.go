@@ -7,6 +7,7 @@ import (
 	"repro/internal/hostif"
 	"repro/internal/lightlsm"
 	"repro/internal/ocssd"
+	"repro/internal/offload"
 	"repro/internal/ox"
 	"repro/internal/oxblock"
 	"repro/internal/oxeleos"
@@ -32,4 +33,5 @@ func init() {
 	gob.Register(oxblock.Stats{})
 	gob.Register(oxeleos.Stats{})
 	gob.Register(lightlsm.Stats{})
+	gob.Register(offload.Stats{})
 }

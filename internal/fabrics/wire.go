@@ -365,7 +365,8 @@ func validOp(op hostif.Op) bool {
 	case hostif.OpRead, hostif.OpWrite, hostif.OpTrim, hostif.OpFlush,
 		hostif.OpZoneAppend, hostif.OpZoneReset, hostif.OpZoneFinish,
 		hostif.OpTableCreate, hostif.OpTableAppend, hostif.OpTableCommit,
-		hostif.OpTableAbort, hostif.OpTableRead, hostif.OpTableDelete:
+		hostif.OpTableAbort, hostif.OpTableRead, hostif.OpTableDelete,
+		hostif.OpOffloadGet, hostif.OpOffloadScan, hostif.OpOffloadCompact:
 		return true
 	}
 	return false

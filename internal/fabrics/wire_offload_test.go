@@ -1,0 +1,90 @@
+package fabrics
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/hostif"
+	"repro/internal/offload"
+)
+
+// TestOffloadCommandCodec pins the computational-storage opcodes on the
+// ring codec: offload requests ride Command.Data as opaque bytes, and
+// every field the three ops use survives encode/decode bit-exactly.
+func TestOffloadCommandCodec(t *testing.T) {
+	pred := offload.Predicate{Offset: 8, Mask: 0xF0, Value: 0x30}
+	req := offload.CompactRequest{
+		Inputs:      []offload.TableRef{{ID: 4, Blocks: 9}, {ID: 5, Blocks: 2}},
+		DropDeletes: true,
+		BitsPerKey:  10,
+	}
+	cases := []hostif.Command{
+		{Op: hostif.OpOffloadGet, NSID: 2, Handle: 11, Length: 3, LPN: 1, Data: []byte("key-0042")},
+		{Op: hostif.OpOffloadScan, NSID: 1, LPN: 16, Pages: 64, Data: pred.Encode()},
+		{Op: hostif.OpOffloadCompact, NSID: 1, Data: req.Encode()},
+	}
+	for _, in := range cases {
+		var f frameBuf
+		f.start(frameRing)
+		encodeCommand(&f, 9, 4321, &in)
+		d := decoder{b: f.finish()[headerBytes:]}
+		var out hostif.Command
+		seq, at, dstLen, err := decodeCommand(&d, &out)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", in.Op, err)
+		}
+		if err := d.done(); err != nil {
+			t.Fatalf("%v: done: %v", in.Op, err)
+		}
+		if seq != 9 || at != 4321 || dstLen != 0 {
+			t.Fatalf("%v: seq=%d at=%d dstLen=%d", in.Op, seq, at, dstLen)
+		}
+		if out.Op != in.Op || out.NSID != in.NSID || out.Handle != in.Handle ||
+			out.Length != in.Length || out.LPN != in.LPN || out.Pages != in.Pages ||
+			!bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("%v: roundtrip mismatch: %+v vs %+v", in.Op, out, in)
+		}
+	}
+}
+
+// TestOffloadCommandTruncationRejected feeds every strict prefix of an
+// encoded offload command through the decoder: a torn offload request
+// must fail as a payload error, never reach a namespace half-parsed.
+func TestOffloadCommandTruncationRejected(t *testing.T) {
+	req := offload.CompactRequest{Inputs: []offload.TableRef{{ID: 1, Blocks: 4}}, BitsPerKey: 10}
+	var f frameBuf
+	f.start(frameRing)
+	encodeCommand(&f, 1, 0, &hostif.Command{Op: hostif.OpOffloadCompact, NSID: 1, Data: req.Encode()})
+	payload := append([]byte(nil), f.finish()[headerBytes:]...)
+	for n := 0; n < len(payload); n++ {
+		d := decoder{b: payload[:n]}
+		var cmd hostif.Command
+		if _, _, _, err := decodeCommand(&d, &cmd); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("prefix %d: got %v, want %v", n, err, ErrBadPayload)
+		}
+	}
+}
+
+// TestOffloadResultRidesCompletionData pins the return path: an offload
+// result frame crosses the wire as completion payload bytes, bit-exact,
+// and still decodes with the offload codec on the far side.
+func TestOffloadResultRidesCompletionData(t *testing.T) {
+	res := offload.EncodeGetResult([]byte("value-bytes"), false, true)
+	var f frameBuf
+	f.start(frameCompletions)
+	encodeCompletion(&f, 3, &hostif.Completion{Op: hostif.OpOffloadGet, Slot: 1, Done: 500}, res)
+	d := decoder{b: f.finish()[headerBytes:]}
+	var out hostif.Completion
+	tag, data, err := decodeCompletion(&d, &out)
+	if err != nil || d.done() != nil {
+		t.Fatalf("decode: %v / %v", err, d.done())
+	}
+	if tag != 3 || out.Op != hostif.OpOffloadGet {
+		t.Fatalf("tag=%d op=%v", tag, out.Op)
+	}
+	value, del, found, err := offload.DecodeGetResult(data)
+	if err != nil || del || !found || string(value) != "value-bytes" {
+		t.Fatalf("get result after wire = (%q, %v, %v, %v)", value, del, found, err)
+	}
+}

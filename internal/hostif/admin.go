@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ftl/ftlcore"
 	"repro/internal/ocssd"
+	"repro/internal/offload"
 	"repro/internal/ox"
 	"repro/internal/vclock"
 	"repro/internal/zns"
@@ -59,6 +60,11 @@ const (
 	// LogExecutor returns the execution-engine counters (ExecutorLog):
 	// grants, dispatches, realized overlap, barrier and conflict stalls.
 	LogExecutor
+	// LogOffload returns the target namespace's computational-storage
+	// counters (offload.Stats): offload command counts, host-link bytes
+	// saved against the host-side alternative, and in-device compute
+	// time.
+	LogOffload
 )
 
 // IdentifyController is the OpAdminIdentify payload for NSID 0.
@@ -398,6 +404,16 @@ func (a *AdminClient) ExecutorStats(now vclock.Time) (ExecutorLog, error) {
 		return ExecutorLog{}, err
 	}
 	return v.(ExecutorLog), nil
+}
+
+// OffloadStats returns a namespace's computational-storage counters
+// log page.
+func (a *AdminClient) OffloadStats(now vclock.Time, nsid int) (offload.Stats, error) {
+	v, err := a.GetLogPage(now, LogOffload, nsid)
+	if err != nil {
+		return offload.Stats{}, err
+	}
+	return v.(offload.Stats), nil
 }
 
 // NamespaceStats returns a namespace's FTL counters; the concrete type

@@ -3,6 +3,7 @@ package hostif
 import (
 	"fmt"
 
+	"repro/internal/offload"
 	"repro/internal/oxblock"
 	"repro/internal/vclock"
 )
@@ -48,6 +49,8 @@ func (n *BlockNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
 		return n.dev.Stats(), nil
 	case LogGCStats:
 		return n.dev.GCStats(), nil
+	case LogOffload:
+		return n.dev.Offload().Stats(), nil
 	default:
 		return nil, fmt.Errorf("%w: %v on %s", ErrBadLogPage, cmd.Admin.Log, n.Name())
 	}
@@ -97,6 +100,16 @@ func (n *BlockNamespace) Execute(now vclock.Time, cmd *Command) Result {
 	case OpFlush:
 		end, err := n.dev.Checkpoint(now)
 		return Result{End: end, Err: err}
+	case OpOffloadScan:
+		if err := n.checkRange(cmd.LPN, cmd.Pages); err != nil {
+			return Result{End: now, Err: err}
+		}
+		pred, err := offload.DecodePredicate(cmd.Data)
+		if err != nil {
+			return Result{End: now, Err: err}
+		}
+		res, end, err := n.dev.OffloadScan(now, n.base+cmd.LPN, cmd.Pages, pred)
+		return Result{End: end, Err: err, Data: res}
 	default:
 		return Result{End: now, Err: fmt.Errorf("%w: %v on %s", ErrUnsupported, cmd.Op, n.Name())}
 	}

@@ -81,6 +81,24 @@ const (
 	OpTableRead
 	// OpTableDelete releases a committed SSTable (chunk resets).
 	OpTableDelete
+	// OpOffloadGet resolves a point lookup inside the device (LightLSM):
+	// the controller searches one SSTable block in place and returns only
+	// the value, not the block. Handle names the table, Length its block
+	// count, LPN the block index, Data the key; the result comes back in
+	// Result.Data (offload.EncodeGetResult framing).
+	OpOffloadGet
+	// OpOffloadScan runs a predicate-filtered range scan inside the
+	// device (OX-Block): the controller reads [LPN, LPN+Pages) and ships
+	// only matching pages over the host link. Data carries the encoded
+	// offload.Predicate; the result is offload.EncodeScanResult framing.
+	OpOffloadScan
+	// OpOffloadCompact merges committed SSTables inside the device
+	// (LightLSM): the controller iterates the inputs, drops shadowed and
+	// (optionally) deleted entries and builds the output tables, charging
+	// media and in-device compute but no host-link block traffic. Data
+	// carries the encoded offload.CompactRequest; the result is
+	// offload.EncodeCompactResult framing (output table metas).
+	OpOffloadCompact
 )
 
 // Admin opcodes occupy the high opcode range and are valid only on the
@@ -122,6 +140,9 @@ var opNames = map[Op]string{
 	OpTableAbort:           "table-abort",
 	OpTableRead:            "table-read",
 	OpTableDelete:          "table-delete",
+	OpOffloadGet:           "offload-get",
+	OpOffloadScan:          "offload-scan",
+	OpOffloadCompact:       "offload-compact",
 	OpAdminIdentify:        "admin-identify",
 	OpAdminGetLogPage:      "admin-get-log-page",
 	OpAdminCreateIOQP:      "admin-create-ioqp",

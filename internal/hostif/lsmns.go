@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/lightlsm"
 	"repro/internal/lsm"
+	"repro/internal/offload"
 	"repro/internal/vclock"
 )
 
@@ -43,6 +44,8 @@ func (n *LSMNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
 	switch cmd.Admin.Log {
 	case LogNamespaceStats:
 		return n.env.Stats(), nil
+	case LogOffload:
+		return n.env.Offload().Stats(), nil
 	case LogTableChunks:
 		chunks, ok := n.env.TableChunks(lsm.TableID(cmd.Handle))
 		if !ok {
@@ -61,7 +64,19 @@ func (n *LSMNamespace) logPage(now vclock.Time, cmd *Command) (any, error) {
 // overlap. (The writer map below is mutated by Execute on the
 // assumption that same-namespace commands are serialized — which this
 // footprint is what guarantees under the pipelined executor.)
+//
+// The one exception is OpOffloadGet: its in-device path touches only
+// the target block's group/PU media timelines and that group's lookup
+// lane — no dispatch thread, no WAL, no writer table — so it is scoped
+// to the block's device group and two offloaded lookups on disjoint
+// groups may overlap. OpOffloadCompact writes tables (allocator, WAL)
+// and stays exclusive.
 func (n *LSMNamespace) Footprint(cmd *Command) Footprint {
+	if cmd.Op == OpOffloadGet {
+		if g, ok := n.env.BlockGroup(lsm.TableID(cmd.Handle), int(cmd.LPN)); ok {
+			return GroupFootprint(n.env.Controller(), g)
+		}
+	}
 	return ExclusiveFootprint(n.env.Controller())
 }
 
@@ -118,6 +133,17 @@ func (n *LSMNamespace) Execute(now vclock.Time, cmd *Command) Result {
 		h := lsm.TableHandle{ID: lsm.TableID(cmd.Handle), Blocks: int(cmd.Length)}
 		end, err := n.env.DeleteTable(now, h)
 		return Result{End: end, Err: err}
+	case OpOffloadGet:
+		h := lsm.TableHandle{ID: lsm.TableID(cmd.Handle), Blocks: int(cmd.Length)}
+		res, end, err := n.env.OffloadGet(now, h, int(cmd.LPN), cmd.Data)
+		return Result{End: end, Err: err, Data: res}
+	case OpOffloadCompact:
+		req, err := offload.DecodeCompactRequest(cmd.Data)
+		if err != nil {
+			return Result{End: now, Err: err}
+		}
+		res, end, err := n.env.OffloadCompact(now, req)
+		return Result{End: end, Err: err, Data: res}
 	default:
 		return Result{End: now, Err: fmt.Errorf("%w: %v on %s", ErrUnsupported, cmd.Op, n.Name())}
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/ftl/ftlcore"
 	"repro/internal/lsm"
 	"repro/internal/ocssd"
+	"repro/internal/offload"
 	"repro/internal/ox"
 	"repro/internal/vclock"
 )
@@ -93,7 +94,9 @@ type Env struct {
 	nextGroup int
 	stats     Stats
 
-	ppaPool sync.Pool // recycled []ocssd.PPA stripes for block reads
+	ppaPool  sync.Pool // recycled []ocssd.PPA stripes for block reads
+	blockBuf sync.Pool // recycled block buffers for in-device lookups
+	offl     *offload.Engine
 }
 
 type tableInfo struct {
@@ -127,6 +130,7 @@ func baseEnv(ctrl *ox.Controller, cfg Config) (*Env, error) {
 		cfg:      cfg,
 		dispatch: vclock.NewResource("lightlsm-dispatch"),
 		tables:   make(map[lsm.TableID]*tableInfo),
+		offl:     offload.NewEngine(geo.Groups, offload.DefaultConfig()),
 	}
 	e.alloc = ftlcore.NewAllocator(e.media, nil)
 	return e, nil
@@ -561,3 +565,113 @@ func (e *Env) DeleteTable(now vclock.Time, h lsm.TableHandle) (vclock.Time, erro
 // FreeChunks reports the allocator pool size (capacity planning in
 // benchmarks).
 func (e *Env) FreeChunks() int { return e.alloc.FreeCount() }
+
+// --- Computational storage (internal/offload) ----------------------------
+
+// Offload returns the environment's in-device compute engine (stats
+// and cost model of the offloaded commands).
+func (e *Env) Offload() *offload.Engine { return e.offl }
+
+// BlockGroup reports the device group holding the given block of a
+// committed table — the pipelined executor's footprint oracle for
+// offloaded lookups: two OffloadGets on disjoint groups touch disjoint
+// chip timelines and lookup lanes, so their commands may overlap. ok
+// is false for unknown tables or out-of-range blocks.
+func (e *Env) BlockGroup(id lsm.TableID, block int) (int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[id]
+	if !ok || block < 0 || block >= t.blocks {
+		return 0, false
+	}
+	return t.chunks[block%len(t.chunks)].Group, true
+}
+
+// OffloadGet resolves a point lookup inside the device (OpOffloadGet):
+// the block is read from NAND into device RAM, searched by the offload
+// engine's per-group lane, and only the EncodeGetResult frame — flags
+// plus the value — is returned for the host link. The path deliberately
+// bypasses the host-facing dispatch thread and every other device-wide
+// resource: it touches only the block's own group/PU media timelines
+// and that group's lookup lane, which is what makes the adapter's
+// GroupFootprint sound under the pipelined executor. Media faults
+// surface as the injector's typed errors (wrapped with %w), so
+// hostif.StatusOf classifies them exactly as host-side block reads.
+func (e *Env) OffloadGet(now vclock.Time, h lsm.TableHandle, block int, key []byte) (res []byte, end vclock.Time, err error) {
+	e.mu.Lock()
+	t, ok := e.tables[h.ID]
+	e.mu.Unlock()
+	if !ok {
+		return nil, now, fmt.Errorf("%w: %d", ErrUnknownTable, h.ID)
+	}
+	if block < 0 || block >= t.blocks {
+		return nil, now, fmt.Errorf("%w: %d of %d", ErrBlockRange, block, t.blocks)
+	}
+	chunk := t.chunks[block%len(t.chunks)]
+	stripe := block / len(t.chunks)
+	bp, _ := e.blockBuf.Get().(*[]byte)
+	if bp == nil {
+		s := make([]byte, e.BlockSize())
+		bp = &s
+	}
+	buf := (*bp)[:e.BlockSize()]
+	pp, _ := e.ppaPool.Get().(*[]ocssd.PPA)
+	if pp == nil {
+		s := make([]ocssd.PPA, e.geo.WSOpt)
+		pp = &s
+	}
+	ppas := *pp
+	base := stripe * e.geo.WSOpt
+	for i := range ppas {
+		ppas[i] = chunk.PPAOf(base + i)
+	}
+	end, err = e.media.VectorRead(now, ppas, buf)
+	e.ppaPool.Put(pp)
+	if err != nil {
+		e.blockBuf.Put(bp)
+		return nil, end, fmt.Errorf("lightlsm: offload get: %w", err)
+	}
+	end = e.offl.GetCost(end, chunk.Group, e.BlockSize())
+	value, del, found := lsm.SearchBlock(buf, key)
+	res = offload.EncodeGetResult(value, del, found)
+	e.blockBuf.Put(bp)
+	e.mu.Lock()
+	e.stats.BlocksRead++
+	e.mu.Unlock()
+	e.ctrl.NoteUserIO()
+	e.offl.NoteGet(found, len(res), e.BlockSize())
+	return res, end, nil
+}
+
+// OffloadCompact merges committed tables inside the device
+// (OpOffloadCompact): the exact host-side merge machinery
+// (lsm.MergeTables) runs against the environment directly, so the
+// output tables are bit-identical to a host compaction — but the block
+// traffic stays device-side, only the marshaled output metadata
+// crosses the host link, and the merge is charged to the offload
+// engine's compute unit on top of the media cost.
+func (e *Env) OffloadCompact(now vclock.Time, req offload.CompactRequest) (res []byte, end vclock.Time, err error) {
+	inputs := make([]lsm.TableHandle, len(req.Inputs))
+	inBlocks := 0
+	for i, r := range req.Inputs {
+		inputs[i] = lsm.TableHandle{ID: lsm.TableID(r.ID), Blocks: int(r.Blocks)}
+		inBlocks += int(r.Blocks)
+	}
+	metas, end, err := lsm.MergeTables(e, now, inputs, int(req.BitsPerKey), req.DropDeletes)
+	if err != nil {
+		return nil, end, fmt.Errorf("lightlsm: offload compact: %w", err)
+	}
+	end = e.offl.MergeCost(end, int64(inBlocks)*int64(e.BlockSize()))
+	blobs := make([][]byte, len(metas))
+	outBlocks := 0
+	for i, m := range metas {
+		blobs[i] = m.Marshal()
+		outBlocks += m.Handle.Blocks
+	}
+	res = offload.EncodeCompactResult(blobs)
+	// The host-side alternative streams every input block up and every
+	// output block back down the host link.
+	direct := int64(inBlocks+outBlocks) * int64(e.BlockSize())
+	e.offl.NoteCompact(inBlocks+outBlocks, int64(len(res)), direct)
+	return res, end, nil
+}

@@ -44,6 +44,21 @@ type Options struct {
 	CompactWorkers int
 	// Seed drives skiplist height choices.
 	Seed int64
+	// Lookup, when set, resolves a positive table probe inside the
+	// device (OpOffloadGet): instead of reading the block over the host
+	// link and searching it host-side, the device searches block in
+	// place and returns only the value. Bloom probe and block-index
+	// lookup stay host-side either way (table metadata lives in
+	// controller RAM). The returned value must remain valid until the
+	// next Lookup or ReadBlock call. Nil selects the host-side path.
+	Lookup func(now vclock.Time, h TableHandle, block int, key []byte) (value []byte, del, found bool, end vclock.Time, err error)
+	// Compactor, when set, runs table merges inside the device
+	// (OpOffloadCompact): inputs are merged newest-first device-side
+	// and only the output tables' metadata crosses the host link. The
+	// outputs must be bit-identical to the host-side merge of the same
+	// inputs (MergeTables guarantees this). Nil selects the host-side
+	// path.
+	Compactor func(now vclock.Time, inputs []TableHandle, bitsPerKey int, dropDeletes bool) ([]*TableMeta, vclock.Time, error)
 }
 
 func (o *Options) fill() error {
@@ -365,20 +380,12 @@ func (db *DB) compactL0Locked(now vclock.Time) error {
 		}
 	}
 	start := vclock.Max(now, db.compactPool.NextFree())
-	clock := start
-	var its []entryIterator
-	for _, t := range inputs {
-		its = append(its, newTableIterator(db.env, t, &clock))
-	}
-	for _, t := range inL1 {
-		its = append(its, newTableIterator(db.env, t, &clock))
-	}
-	metas, end, err := buildTables(db.env, clock, newDedupIterator(newMergeIterator(its)),
-		db.opts.BloomBitsPerKey, false)
+	merged := append(append([]*TableMeta(nil), inputs...), inL1...)
+	metas, end, err := db.mergeLocked(start, merged, false)
 	if err != nil {
 		return fmt.Errorf("lsm: L0 compaction: %w", err)
 	}
-	clock = end
+	clock := end
 	var bytesOut int64
 	for _, m := range metas {
 		bytesOut += m.Bytes
@@ -389,7 +396,7 @@ func (db *DB) compactL0Locked(now vclock.Time) error {
 	}
 	// Delete inputs (chunk resets on LightLSM: §4.3 "Each SSTable
 	// deletion only causes chunk erases").
-	for _, t := range append(inputs, inL1...) {
+	for _, t := range merged {
 		if clock, err = db.env.DeleteTable(clock, t.Handle); err != nil {
 			return err
 		}
@@ -426,17 +433,12 @@ func (db *DB) compactL1Locked(now vclock.Time) error {
 		}
 	}
 	start := vclock.Max(now, db.compactPool.NextFree())
-	clock := start
-	its := []entryIterator{newTableIterator(db.env, victim, &clock)}
-	for _, t := range inL2 {
-		its = append(its, newTableIterator(db.env, t, &clock))
-	}
-	metas, end, err := buildTables(db.env, clock, newDedupIterator(newMergeIterator(its)),
-		db.opts.BloomBitsPerKey, true)
+	merged := append([]*TableMeta{victim}, inL2...)
+	metas, end, err := db.mergeLocked(start, merged, true)
 	if err != nil {
 		return fmt.Errorf("lsm: L1 compaction: %w", err)
 	}
-	clock = end
+	clock := end
 	var bytesOut int64
 	for _, m := range metas {
 		bytesOut += m.Bytes
@@ -445,7 +447,7 @@ func (db *DB) compactL1Locked(now vclock.Time) error {
 		_, rEnd := db.rate.Acquire(start, vclock.DurationFor(bytesOut, db.opts.RateLimitMBps))
 		clock = vclock.Max(clock, rEnd)
 	}
-	for _, t := range append([]*TableMeta{victim}, inL2...) {
+	for _, t := range merged {
 		if clock, err = db.env.DeleteTable(clock, t.Handle); err != nil {
 			return err
 		}
@@ -461,6 +463,30 @@ func (db *DB) compactL1Locked(now vclock.Time) error {
 	db.stats.Compactions++
 	db.stats.BytesCompacted += bytesOut
 	return nil
+}
+
+// mergeLocked merges inputs (newest first) into fresh tables starting
+// at start, either host-side — streaming every input block over the
+// environment and rebuilding outputs locally — or through the
+// Compactor offload hook, which runs the same merge inside the device
+// and returns only the output metadata. Both paths produce identical
+// tables; they differ in where the merge executes and what crosses the
+// host link.
+func (db *DB) mergeLocked(start vclock.Time, inputs []*TableMeta, dropDeletes bool) ([]*TableMeta, vclock.Time, error) {
+	if db.opts.Compactor != nil {
+		hs := make([]TableHandle, len(inputs))
+		for i, t := range inputs {
+			hs[i] = t.Handle
+		}
+		return db.opts.Compactor(start, hs, db.opts.BloomBitsPerKey, dropDeletes)
+	}
+	clock := start
+	its := make([]entryIterator, 0, len(inputs))
+	for _, t := range inputs {
+		its = append(its, newTableIterator(db.env, t, &clock))
+	}
+	return buildTables(db.env, clock, newDedupIterator(newMergeIterator(its)),
+		db.opts.BloomBitsPerKey, dropDeletes)
 }
 
 // Get returns the newest value for key. Each table probe costs a bloom
@@ -546,6 +572,16 @@ func (db *DB) searchTable(now vclock.Time, t *TableMeta, key []byte) (v []byte, 
 	blockIdx := t.blockFor(key)
 	if blockIdx < 0 {
 		return nil, false, false, now, nil
+	}
+	if db.opts.Lookup != nil {
+		// Offloaded probe: the device searches the block in place and
+		// only the value crosses the host link.
+		v, del, found, end, err = db.opts.Lookup(now, t.Handle, blockIdx, key)
+		if err != nil {
+			return nil, false, false, end, err
+		}
+		db.stats.BlockReads++
+		return v, del, found, end, nil
 	}
 	if len(db.readBuf) < db.env.BlockSize() {
 		db.readBuf = make([]byte, db.env.BlockSize())

@@ -1,0 +1,182 @@
+package offload
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestPredicateRoundtrip(t *testing.T) {
+	p := Predicate{Offset: 1234, Mask: 0x0F, Value: 0xA5}
+	got, err := DecodePredicate(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("roundtrip = %+v, want %+v", got, p)
+	}
+}
+
+func TestPredicateRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, 5, 7} {
+		if _, err := DecodePredicate(make([]byte, n)); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("len %d: err = %v, want ErrBadFrame", n, err)
+		}
+	}
+}
+
+func TestPredicateMatch(t *testing.T) {
+	page := []byte{0xA4, 0xFF}
+	if !(Predicate{Offset: 0, Mask: 0x0F, Value: 0x04}).Match(page) {
+		t.Fatal("masked low nibble should match")
+	}
+	if (Predicate{Offset: 0, Mask: 0xFF, Value: 0x04}).Match(page) {
+		t.Fatal("full-byte compare should not match")
+	}
+	if (Predicate{Offset: 9, Mask: 0xFF, Value: 0}).Match(page) {
+		t.Fatal("out-of-range offset must never match")
+	}
+	if !(Predicate{Offset: 1, Mask: 0, Value: 0x77}).Match(page) {
+		t.Fatal("zero mask matches everything")
+	}
+}
+
+func TestGetResultRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		value      []byte
+		del, found bool
+	}{
+		{[]byte("hello"), false, true},
+		{nil, true, true},
+		{nil, false, false},
+	} {
+		v, del, found, err := DecodeGetResult(EncodeGetResult(tc.value, tc.del, tc.found))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(v, tc.value) || del != tc.del || found != tc.found {
+			t.Fatalf("roundtrip (%q,%v,%v) = (%q,%v,%v)", tc.value, tc.del, tc.found, v, del, found)
+		}
+	}
+	if _, _, _, err := DecodeGetResult(nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty get result: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestScanResultRoundtrip(t *testing.T) {
+	pages := append(bytes.Repeat([]byte{1}, 8), bytes.Repeat([]byte{2}, 8)...)
+	enc := EncodeScanResult(8, []uint32{3, 9}, pages)
+	pageSize, idx, got, err := DecodeScanResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pageSize != 8 || len(idx) != 2 || idx[0] != 3 || idx[1] != 9 || !bytes.Equal(got, pages) {
+		t.Fatalf("roundtrip = (%d, %v, %x)", pageSize, idx, got)
+	}
+	// Empty result set still carries the page size.
+	pageSize, idx, got, err = DecodeScanResult(EncodeScanResult(4096, nil, nil))
+	if err != nil || pageSize != 4096 || len(idx) != 0 || len(got) != 0 {
+		t.Fatalf("empty roundtrip = (%d, %v, %x), err %v", pageSize, idx, got, err)
+	}
+}
+
+func TestScanResultRejectsCorruption(t *testing.T) {
+	enc := EncodeScanResult(8, []uint32{0}, bytes.Repeat([]byte{7}, 8))
+	for _, bad := range [][]byte{
+		nil,
+		enc[:len(enc)-1],              // truncated page bytes
+		append(enc, 0),                // trailing garbage
+		enc[:7],                       // truncated header
+		EncodeScanResult(0, nil, nil), // zero page size
+	} {
+		if _, _, _, err := DecodeScanResult(bad); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%x: err = %v, want ErrBadFrame", bad, err)
+		}
+	}
+}
+
+func TestCompactRequestRoundtrip(t *testing.T) {
+	req := CompactRequest{
+		Inputs:      []TableRef{{ID: 7, Blocks: 12}, {ID: 900, Blocks: 1}},
+		DropDeletes: true,
+		BitsPerKey:  10,
+	}
+	got, err := DecodeCompactRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DropDeletes != req.DropDeletes || got.BitsPerKey != req.BitsPerKey || len(got.Inputs) != 2 ||
+		got.Inputs[0] != req.Inputs[0] || got.Inputs[1] != req.Inputs[1] {
+		t.Fatalf("roundtrip = %+v, want %+v", got, req)
+	}
+}
+
+func TestCompactRequestRejectsCorruption(t *testing.T) {
+	enc := (CompactRequest{Inputs: []TableRef{{ID: 1, Blocks: 2}}}).Encode()
+	for _, bad := range [][]byte{nil, enc[:6], enc[:len(enc)-1], append(enc, 0)} {
+		if _, err := DecodeCompactRequest(bad); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%x: err = %v, want ErrBadFrame", bad, err)
+		}
+	}
+}
+
+func TestCompactResultRoundtrip(t *testing.T) {
+	metas := [][]byte{[]byte("meta-one"), {}, []byte("m3")}
+	got, err := DecodeCompactResult(EncodeCompactResult(metas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !bytes.Equal(got[0], metas[0]) || len(got[1]) != 0 || !bytes.Equal(got[2], metas[2]) {
+		t.Fatalf("roundtrip = %q", got)
+	}
+}
+
+func TestCompactResultRejectsCorruption(t *testing.T) {
+	enc := EncodeCompactResult([][]byte{[]byte("abc")})
+	for _, bad := range [][]byte{nil, enc[:3], enc[:len(enc)-1], append(enc, 0)} {
+		if _, err := DecodeCompactResult(bad); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%x: err = %v, want ErrBadFrame", bad, err)
+		}
+	}
+}
+
+func TestEngineLanesSerializePerGroup(t *testing.T) {
+	e := NewEngine(2, Config{SetupCPU: vclock.Microsecond, ScanMBps: 1, MergeMBps: 1})
+	// Two gets on group 0 serialize on its lane; a get on group 1 at
+	// the same instant does not wait.
+	e1 := e.GetCost(0, 0, 1)
+	e2 := e.GetCost(0, 0, 1)
+	o1 := e.GetCost(0, 1, 1)
+	if e2 <= e1 {
+		t.Fatalf("same-group gets must serialize: %v then %v", e1, e2)
+	}
+	if o1 != e1 {
+		t.Fatalf("disjoint-group get should not queue: %v, want %v", o1, e1)
+	}
+	// Out-of-range groups fall back to the shared unit.
+	s1 := e.GetCost(0, 99, 1)
+	s2 := e.ScanCost(0, 1)
+	if s2 <= s1 {
+		t.Fatalf("shared unit must serialize: %v then %v", s1, s2)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e := NewEngine(1, Config{})
+	e.NoteGet(true, 65, 98304)
+	e.NoteGet(false, 1, 98304)
+	e.NoteScan(64, 3, 100, 262144)
+	e.NoteCompact(24, 500, 2*98304)
+	st := e.Stats()
+	if st.Gets != 2 || st.GetHits != 1 || st.Scans != 1 || st.PagesScanned != 64 ||
+		st.PagesMatched != 3 || st.Compactions != 1 || st.BlocksMerged != 24 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wantOut := int64(65 + 1 + 100 + 500)
+	wantDirect := int64(98304 + 98304 + 262144 + 2*98304)
+	if st.BytesOut != wantOut || st.BytesDirect != wantDirect || st.BytesSaved() != wantDirect-wantOut {
+		t.Fatalf("byte accounting = %+v", st)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/ftl/ftlcore"
 	"repro/internal/ocssd"
+	"repro/internal/offload"
 	"repro/internal/ox"
 	"repro/internal/vclock"
 )
@@ -142,6 +143,7 @@ type Device struct {
 	gcMoves  []byte      // pending RecGCMove payload for the victim in flight
 	gcEnd    vclock.Time // virtual completion of the background collector
 	stats    Stats
+	offl     *offload.Engine
 }
 
 // ckptSlots picks the reserved checkpoint chunks deterministically: slot
@@ -190,6 +192,7 @@ func New(ctrl *ox.Controller, cfg Config, now vclock.Time) (*Device, *RecoveryRe
 		pmap:  ftlcore.NewPageMap(int(cfg.LogicalPages)),
 		val:   ftlcore.NewValidity(geo),
 		rmap:  ftlcore.NewReverseMap(geo),
+		offl:  offload.NewEngine(geo.Groups, offload.DefaultConfig()),
 	}
 	slots := ckptSlots(geo, d.pmap.Pages())
 	reserved := make(map[ocssd.ChunkID]bool)
@@ -465,6 +468,13 @@ func (d *Device) Read(now vclock.Time, lpn int64, pages int) ([]byte, vclock.Tim
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.ctrl.NoteUserIO()
+	return d.readLocked(now, lpn, pages)
+}
+
+// readLocked is the shared read path of Read and OffloadScan: mapping
+// lookups, map CPU, one vector read of the mapped pages, zero-fill for
+// unmapped ones. Caller holds mu.
+func (d *Device) readLocked(now vclock.Time, lpn int64, pages int) ([]byte, vclock.Time, error) {
 	secSize := d.geo.Chip.SectorSize
 	out := make([]byte, pages*secSize)
 
@@ -491,6 +501,46 @@ func (d *Device) Read(now vclock.Time, lpn int64, pages int) ([]byte, vclock.Tim
 	}
 	d.stats.PagesRead += int64(pages)
 	return out, end, nil
+}
+
+// Offload returns the device's in-device compute engine (stats and
+// cost model of the offloaded commands).
+func (d *Device) Offload() *offload.Engine { return d.offl }
+
+// OffloadScan runs a predicate-filtered range scan inside the device
+// (OpOffloadScan): the extent is read into device RAM with the exact
+// Read machinery (same mapping CPU, same media reservations), the
+// offload engine's compute unit filters it at ScanMBps, and only the
+// matching pages — framed by offload.EncodeScanResult — are returned
+// for the host link. The host-side alternative reads the whole extent
+// over the link and filters on the host; selectivity decides the
+// winner. Media faults surface as the injector's typed errors so
+// hostif.StatusOf classifies them like plain reads.
+func (d *Device) OffloadScan(now vclock.Time, lpn int64, pages int, pred offload.Predicate) ([]byte, vclock.Time, error) {
+	if err := d.checkRange(lpn, pages); err != nil {
+		return nil, now, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ctrl.NoteUserIO()
+	raw, end, err := d.readLocked(now, lpn, pages)
+	if err != nil {
+		return nil, end, fmt.Errorf("oxblock: offload scan: %w", err)
+	}
+	secSize := d.geo.Chip.SectorSize
+	end = d.offl.ScanCost(end, int64(len(raw)))
+	var idx []uint32
+	var match []byte
+	for i := 0; i < pages; i++ {
+		page := raw[i*secSize : (i+1)*secSize]
+		if pred.Match(page) {
+			idx = append(idx, uint32(i))
+			match = append(match, page...)
+		}
+	}
+	res := offload.EncodeScanResult(secSize, idx, match)
+	d.offl.NoteScan(pages, len(idx), int64(len(res)), int64(len(raw)))
+	return res, end, nil
 }
 
 // Trim unmaps a page extent as one logged transaction.
