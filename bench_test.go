@@ -425,6 +425,55 @@ func BenchmarkScaleSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleSweep512 is the production-scale headline: the 512-PU
+// terabyte-class geometry (64 groups × 8 PUs) under the batched
+// executor, serial-verified on every run. metadata_bytes_per_chunk is
+// the packed per-chunk device footprint (the unpacked struct was 64 B;
+// the packed one is 24 B plus slot-table overhead) and acq_per_grant
+// is how many arbitration lock acquisitions a grant costs at batch 16
+// — the two gated compaction metrics, tracked alongside wall clock.
+func BenchmarkScaleSweep512(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	cfg := exp.DefaultScale()
+	cfg.PUCounts = []int{512}
+	cfg.Workers = []int{workers}
+	cfg.BatchSizes = []int{hostif.DefaultBatchSize}
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Scale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var batched exp.ScalePoint
+		for _, p := range points {
+			if p.Executor == hostif.ExecutorBatched {
+				batched = p
+			}
+		}
+		b.ReportMetric(batched.MetaBytesPerChunk, "metadata_bytes_per_chunk")
+		b.ReportMetric(batched.AcqPerGrant, "acq_per_grant")
+		b.ReportMetric(float64(batched.Wall.Microseconds())/1000, "batched_ms")
+		b.ReportMetric(batched.VirtMBps, "virt_MBps")
+		if i == 0 {
+			b.Log("\n" + exp.ScaleTable(points).Render())
+		}
+	}
+}
+
+// BenchmarkPoolAcquire measures vclock.Pool's hot path: one Acquire on
+// a 512-member pool per op (the indexed min-heap replaces the O(n)
+// scan; allocs/op must stay 0).
+func BenchmarkPoolAcquire(b *testing.B) {
+	p := vclock.NewPool("bench", 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Acquire(vclock.Time(i), vclock.Microsecond)
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationGlobalGC disables group marking: interference spreads

@@ -10,6 +10,10 @@
 // ns/op measures the runner and is gated loosely (-wall-threshold,
 // default 100%, i.e. fail only past 2x) so scheduler noise passes but
 // an accidental serialization or busy-wait does not.
+// metadata_bytes_per_chunk (reported by BenchmarkScaleSweep512) is
+// machine-independent like allocs/op and shares its tight threshold:
+// a struct field added to the device's per-chunk metadata without
+// re-baselining fails the build.
 //
 // Usage:
 //
@@ -41,6 +45,8 @@ var tracked = []string{
 	"BenchmarkFabricLoopback",
 	"BenchmarkFabricReconnect",
 	"BenchmarkOffloadGet",
+	"BenchmarkScaleSweep512",
+	"BenchmarkPoolAcquire",
 }
 
 type baseline struct {
@@ -118,6 +124,16 @@ func main() {
 			status = "FAIL"
 			failed = true
 		}
+		metaNote := ""
+		if base, ok := want["metadata_bytes_per_chunk"]; ok && base > 0 {
+			metaLimit := base * (1 + *threshold)
+			metaNote = fmt.Sprintf("  meta B/chunk %.1f (baseline %.1f, limit %.1f)", got["metadata_bytes_per_chunk"], base, metaLimit)
+			if got["metadata_bytes_per_chunk"] > metaLimit {
+				status = "FAIL"
+				failed = true
+				metaNote += "  METADATA REGRESSION"
+			}
+		}
 		wallNote := ""
 		if base, ok := want["ns_per_op"]; ok && base > 0 {
 			wallLimit := base * (1 + *wallThreshold)
@@ -128,8 +144,8 @@ func main() {
 				wallNote += "  WALL REGRESSION"
 			}
 		}
-		fmt.Printf("%s %-30s allocs/op %10.0f (baseline %10.0f, limit %10.0f)  ns/op %.2fs%s\n",
-			status, name, got["allocs_per_op"], want["allocs_per_op"], limit, got["ns_per_op"]/1e9, wallNote)
+		fmt.Printf("%s %-30s allocs/op %10.0f (baseline %10.0f, limit %10.0f)  ns/op %.2fs%s%s\n",
+			status, name, got["allocs_per_op"], want["allocs_per_op"], limit, got["ns_per_op"]/1e9, wallNote, metaNote)
 	}
 	if failed {
 		fmt.Printf("\nallocs/op regressed more than %.0f%% or wall-clock more than %.0f%% against baseline entry %q\n",

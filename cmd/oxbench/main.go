@@ -25,8 +25,8 @@ import (
 func main() {
 	runs := flag.String("run", "all", "comma-separated experiments: fig1,fig3,fig5,fig6,fig7,gc,unit,qd,qdwrr,qdfabric,tenants,scale,crashstorm,fabric,netstorm,offload,offloadfabric,all")
 	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
-	executor := flag.String("executor", "serial", "host command-service engine: serial | pipelined (tables are bit-identical either way)")
-	workers := flag.Int("workers", 0, "pipelined executor worker-pool size (0 = GOMAXPROCS)")
+	executor := flag.String("executor", "serial", "host command-service engine: serial | pipelined | batched (tables are bit-identical any way)")
+	workers := flag.Int("workers", 0, "pipelined/batched executor worker-pool size (0 = GOMAXPROCS)")
 	addr := flag.String("addr", "", "oxfabd address for -run fabric (default: in-process loopback server; remote runs are not deterministic)")
 	flag.Parse()
 
@@ -36,8 +36,10 @@ func main() {
 		ex = hostif.ExecutorSerial
 	case "pipelined":
 		ex = hostif.ExecutorPipelined
+	case "batched":
+		ex = hostif.ExecutorBatched
 	default:
-		fatal(fmt.Errorf("unknown -executor %q (serial | pipelined)", *executor))
+		fatal(fmt.Errorf("unknown -executor %q (serial | pipelined | batched)", *executor))
 	}
 
 	want := map[string]bool{}
@@ -227,9 +229,10 @@ func main() {
 		emit("offload_fabric", exp.OffloadTable(points))
 	}
 	if all || want["scale"] {
-		// The scale sweep runs both executors itself (serial reference
-		// rows plus one row per worker count) and fails if their virtual
-		// timings diverge; -executor does not apply. Its wall-clock and
+		// The scale sweep runs all three executors itself (serial
+		// reference rows plus one row per worker count and per batch
+		// size) and fails if their virtual timings diverge; -executor
+		// does not apply. Its wall-clock and
 		// speedup columns measure this machine and vary run to run, so
 		// the scenario stays out of the byte-diff determinism set.
 		points, err := exp.Scale(exp.DefaultScale())

@@ -435,12 +435,12 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
-// TestExecutorEquivalence is the table-level oracle of the pipelined
-// execution engine: every scenario renders a byte-identical table under
-// the serial reference executor and the pipelined one. Scaled-down
-// configurations keep it fast; the full-scale twin is the CI
-// determinism job, which regenerates the figure CSVs in both modes and
-// diffs them.
+// TestExecutorEquivalence is the table-level oracle of the execution
+// engines: every scenario renders a byte-identical table under the
+// serial reference executor, the pipelined one, and the batched one.
+// Scaled-down configurations keep it fast; the full-scale twin is the
+// CI determinism job, which regenerates the figure CSVs in all modes
+// and diffs them.
 func TestExecutorEquivalence(t *testing.T) {
 	const workers = 4
 	cases := []struct {
@@ -510,9 +510,25 @@ func TestExecutorEquivalence(t *testing.T) {
 			}
 			return WRRSweepTable(p).Render(), nil
 		}},
+		{"offload", func(ex hostif.ExecutorKind) (string, error) {
+			cfg := DefaultOffload()
+			cfg.ValueSizes = []int{1024, 16384}
+			cfg.FillMB = 1
+			cfg.Gets = 64
+			cfg.ScanMasks = []byte{0x0F}
+			cfg.Scans = 24
+			cfg.LogicalPages = 1024
+			cfg.CompactMB = 4
+			cfg.Executor, cfg.Workers = ex, workers
+			p, err := Offload(cfg)
+			if err != nil {
+				return "", err
+			}
+			return OffloadTable(p).Render(), nil
+		}},
 		{"scale", func(ex hostif.ExecutorKind) (string, error) {
-			// Scale verifies serial-vs-pipelined equality internally on
-			// every run; here we additionally pin that two invocations
+			// Scale verifies serial≡pipelined≡batched equality internally
+			// on every run; here we additionally pin that two invocations
 			// agree on the deterministic virtual columns (wall/speedup
 			// vary run to run and are excluded).
 			p, err := Scale(smallScale())
@@ -551,12 +567,14 @@ func TestExecutorEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			pipelined, err := tc.run(hostif.ExecutorPipelined)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if serial != pipelined {
-				t.Fatalf("executor changed the table:\n--- serial ---\n%s\n--- pipelined ---\n%s", serial, pipelined)
+			for _, ex := range []hostif.ExecutorKind{hostif.ExecutorPipelined, hostif.ExecutorBatched} {
+				got, err := tc.run(ex)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if serial != got {
+					t.Fatalf("executor %s changed the table:\n--- serial ---\n%s\n--- %s ---\n%s", ex, serial, ex, got)
+				}
 			}
 		})
 	}
@@ -564,29 +582,34 @@ func TestExecutorEquivalence(t *testing.T) {
 
 func smallScale() ScaleConfig {
 	return ScaleConfig{
-		PUCounts:     []int{1, 4},
+		PUCounts:     []int{1, 4, 128},
 		Workers:      []int{2},
+		BatchSizes:   []int{4},
 		AppendsPerPU: 24,
+		MaxOps:       512,
 		AppendBlocks: 2,
 		Seed:         13,
 	}
 }
 
-// TestScaleShape checks the scale sweep's structure: the serial row and
-// every worker row agree on virtual timing (enforced inside Scale), the
-// pipelined rows realize overlap on multi-PU geometry, and the table
-// renders every row.
+// TestScaleShape checks the scale sweep's structure: the serial row,
+// every worker row and every batch row agree on virtual timing
+// (enforced inside Scale), the pipelined rows realize overlap on
+// multi-PU geometry, the batched rows amortize arbitration
+// acquisitions, the packed per-chunk metadata stays within budget, and
+// the table renders every row. One PU count above 64 exercises the
+// deep-group geometry (64 groups, PUs/group > 1) with the MaxOps cap.
 func TestScaleShape(t *testing.T) {
 	cfg := smallScale()
 	points, err := Scale(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantRows := len(cfg.PUCounts) * (1 + len(cfg.Workers))
+	wantRows := len(cfg.PUCounts) * (1 + len(cfg.Workers) + len(cfg.BatchSizes))
 	if len(points) != wantRows {
 		t.Fatalf("points = %d, want %d", len(points), wantRows)
 	}
-	var sawOverlap bool
+	var sawOverlap, sawBatched bool
 	for _, p := range points {
 		if p.PUs > 1 && p.Executor == hostif.ExecutorPipelined && p.Overlapped > 0 {
 			sawOverlap = true
@@ -594,9 +617,26 @@ func TestScaleShape(t *testing.T) {
 		if p.Executor == hostif.ExecutorSerial && p.Overlapped != 0 {
 			t.Errorf("serial row reports overlap: %+v", p)
 		}
+		if p.Executor == hostif.ExecutorBatched {
+			sawBatched = true
+			if p.BatchSize != cfg.BatchSizes[0] {
+				t.Errorf("batched row batch size = %d, want %d", p.BatchSize, cfg.BatchSizes[0])
+			}
+			// With several queues feeding one doorbell instant, a batch
+			// of 4 must take fewer acquisitions than grants.
+			if p.PUs > 1 && p.AcqPerGrant >= 1 {
+				t.Errorf("batched %d-PU row did not amortize: acq/grant = %.3f", p.PUs, p.AcqPerGrant)
+			}
+		}
+		if p.MetaBytesPerChunk <= 0 || p.MetaBytesPerChunk >= 64 {
+			t.Errorf("%d-PU metadata footprint out of budget: %.1f B/chunk (packed struct is 24 B)", p.PUs, p.MetaBytesPerChunk)
+		}
 	}
 	if !sawOverlap {
 		t.Error("pipelined multi-PU rows realized no overlap")
+	}
+	if !sawBatched {
+		t.Error("no batched rows in sweep")
 	}
 	if rows := len(ScaleTable(points).Rows); rows != wantRows {
 		t.Fatalf("table rows = %d, want %d", rows, wantRows)

@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGCLocalityPinned pins the §4.3 locality table byte-for-byte at
+// the default configuration. The victim-selection refactor (packed
+// chunk-indexed candidate set with the ascending-scan tie-break
+// replacing the sorted map walk) must not move a single collection
+// count or percentage: these are the exact values the sweep produced
+// before the refactor.
+func TestGCLocalityPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full §4.3 sweep in -short mode")
+	}
+	p, err := GCLocality(DefaultGCLocality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "channels,collections,unaffected %,paper/expected %\n" +
+		"8,59,92.8,87.5\n" +
+		"16,26,95.6,93.8\n"
+	got := GCLocalityTable(p).CSV()
+	if !strings.HasSuffix(got, want) || !strings.HasPrefix(got, "channels") {
+		t.Fatalf("§4.3 table moved:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

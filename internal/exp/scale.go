@@ -9,37 +9,52 @@ import (
 	"repro/internal/zns"
 )
 
-// ScaleConfig parameterizes the pipelined-executor scaling scenario —
-// the paper's §2.2 argument ("parallel units never interfere") driven
-// end to end through the host interface: an OX-ZNS namespace on a
-// cache-less rig with one chunk-wide zones per PU, one queue pair per
-// PU appending closed-loop into zones of its own PU's group. Under the
-// serial executor every append executes under the host's single
-// sequencer; the pipelined executor overlaps the disjoint-PU appends on
-// a worker pool. Virtual-time results are bit-identical by the
+// ScaleConfig parameterizes the executor scaling scenario — the paper's
+// §2.2 argument ("parallel units never interfere") driven end to end
+// through the host interface: an OX-ZNS namespace on a cache-less rig,
+// one queue pair per group appending closed-loop into zones of its own
+// group. Under the serial executor every append executes under the
+// host's single sequencer; the pipelined executor overlaps the
+// disjoint-group appends on a worker pool; the batched executor
+// additionally gathers a batch of grants per arbitration acquisition.
+// Virtual-time results are bit-identical across all three by the
 // determinism contract (the run verifies this and fails otherwise);
 // what the sweep measures is wall-clock — how much of the simulated
-// device's parallelism the simulator itself can exploit.
+// device's parallelism the simulator itself can exploit — plus the
+// arbitration-acquisition and metadata footprint costs of scale.
 type ScaleConfig struct {
-	// PUCounts sweeps the device size: each point is a rig with that
-	// many single-PU groups.
+	// PUCounts sweeps the device size. Up to 64 PUs each point is a rig
+	// of single-PU groups; beyond 64 the rig keeps 64 groups and deepens
+	// them (the host's footprint group mask is 64 bits wide, so 512 PUs
+	// is 64 groups × 8 PUs). Counts above 64 must be multiples of 64.
 	PUCounts []int
 	// Workers sweeps the pipelined executor's pool size. Serial
 	// reference rows are always included.
 	Workers []int
+	// BatchSizes adds one batched-executor row per entry (using the last
+	// Workers entry as its pool size). Empty disables batched rows.
+	BatchSizes []int
 	// AppendsPerPU is the closed-loop command count per parallel unit.
 	AppendsPerPU int
+	// MaxOps caps one run's total appends so terabyte-scale points stay
+	// bounded: effective appends per PU = min(AppendsPerPU, MaxOps/PUs),
+	// floored at 1. Zero means no cap. The cap is part of the workload
+	// definition, so the serial/pipelined/batched equivalence check
+	// always compares identical schedules.
+	MaxOps int
 	// AppendBlocks sizes each zone append in device write units.
 	AppendBlocks int
 	Seed         int64
 }
 
-// DefaultScale returns the default sweep.
+// DefaultScale returns the default sweep, up to a 512-PU geometry.
 func DefaultScale() ScaleConfig {
 	return ScaleConfig{
-		PUCounts:     []int{1, 2, 4, 8},
+		PUCounts:     []int{1, 2, 4, 8, 64, 512},
 		Workers:      []int{1, 2, 4},
+		BatchSizes:   []int{hostif.DefaultBatchSize},
 		AppendsPerPU: 256,
+		MaxOps:       16384,
 		AppendBlocks: 2,
 		Seed:         13,
 	}
@@ -50,7 +65,10 @@ type ScalePoint struct {
 	PUs      int
 	Executor hostif.ExecutorKind
 	Workers  int
-	Ops      int
+	// BatchSize is the batched executor's grants per acquisition (0 for
+	// the other executors).
+	BatchSize int
+	Ops       int
 	// Elapsed is the virtual completion instant of the last append —
 	// identical across executors at equal PU count.
 	Elapsed vclock.Duration
@@ -58,35 +76,69 @@ type ScalePoint struct {
 	VirtMBps float64
 	// Wall is the measured wall-clock time of the run.
 	Wall time.Duration
-	// Overlapped/MaxInflight echo the executor log page.
-	Overlapped  int64
-	MaxInflight int
+	// Grants/Acquisitions/Overlapped/MaxInflight echo the executor log
+	// page; AcqPerGrant is Acquisitions/Grants — how often the sequencer
+	// had to take the arbitration lock per command it granted (1.0
+	// serial, ~1/batch for the batched executor under deep backlogs).
+	Grants       int64
+	Acquisitions int64
+	AcqPerGrant  float64
+	Overlapped   int64
+	MaxInflight  int
+	// MetaBytesPerChunk is the device's resident per-chunk metadata
+	// footprint (controller chunk records + buffer-slot bookkeeping)
+	// divided by total chunks.
+	MetaBytesPerChunk float64
 	// Speedup is serial wall-clock over this row's wall-clock at the
 	// same PU count (1.0 for the serial row itself).
 	Speedup float64
 }
 
-// Scale runs the sweep: for each PU count, a serial reference run and
-// one pipelined run per worker count. It returns an error if any
-// pipelined run's virtual timing diverges from the serial reference —
-// the determinism contract, enforced on every invocation.
+// Scale runs the sweep: for each PU count, a serial reference run, one
+// pipelined run per worker count and one batched run per batch size. It
+// returns an error if any engine run's virtual timing diverges from the
+// serial reference — the determinism contract, enforced on every
+// invocation.
 func Scale(cfg ScaleConfig) ([]ScalePoint, error) {
 	var out []ScalePoint
 	for _, pus := range cfg.PUCounts {
-		serial, err := scaleRun(cfg, pus, "", 0)
+		serial, err := scaleRun(cfg, pus, "", 0, 0)
 		if err != nil {
 			return out, fmt.Errorf("scale %d PUs serial: %w", pus, err)
 		}
 		serial.Speedup = 1
 		out = append(out, serial)
+		check := func(p ScalePoint, what string) error {
+			if p.Elapsed != serial.Elapsed {
+				return fmt.Errorf("scale %d PUs %s: virtual elapsed %v diverged from serial %v",
+					pus, what, p.Elapsed, serial.Elapsed)
+			}
+			return nil
+		}
 		for _, workers := range cfg.Workers {
-			p, err := scaleRun(cfg, pus, hostif.ExecutorPipelined, workers)
+			p, err := scaleRun(cfg, pus, hostif.ExecutorPipelined, workers, 0)
 			if err != nil {
 				return out, fmt.Errorf("scale %d PUs %d workers: %w", pus, workers, err)
 			}
-			if p.Elapsed != serial.Elapsed {
-				return out, fmt.Errorf("scale %d PUs %d workers: virtual elapsed %v diverged from serial %v",
-					pus, workers, p.Elapsed, serial.Elapsed)
+			if err := check(p, fmt.Sprintf("%d workers", workers)); err != nil {
+				return out, err
+			}
+			if p.Wall > 0 {
+				p.Speedup = float64(serial.Wall) / float64(p.Wall)
+			}
+			out = append(out, p)
+		}
+		for _, batch := range cfg.BatchSizes {
+			workers := 0
+			if n := len(cfg.Workers); n > 0 {
+				workers = cfg.Workers[n-1]
+			}
+			p, err := scaleRun(cfg, pus, hostif.ExecutorBatched, workers, batch)
+			if err != nil {
+				return out, fmt.Errorf("scale %d PUs batch %d: %w", pus, batch, err)
+			}
+			if err := check(p, fmt.Sprintf("batch %d", batch)); err != nil {
+				return out, err
 			}
 			if p.Wall > 0 {
 				p.Speedup = float64(serial.Wall) / float64(p.Wall)
@@ -97,12 +149,17 @@ func Scale(cfg ScaleConfig) ([]ScalePoint, error) {
 	return out, nil
 }
 
-// scaleRig builds a cache-less device of pus single-PU groups, so
-// group == PU and every zone is one chunk on one PU.
+// scaleRig builds a cache-less device with pus parallel units: single-PU
+// groups up to 64 PUs (group == PU, maximum isolation), 64 ever-deeper
+// groups beyond (the footprint group mask is 64 bits wide).
 func scaleRig(cfg ScaleConfig, pus int) RigConfig {
 	rc := DefaultRig()
-	rc.Groups = pus
-	rc.PUsPerGroup = 1
+	groups := pus
+	if groups > 64 {
+		groups = 64
+	}
+	rc.Groups = groups
+	rc.PUsPerGroup = pus / groups
 	rc.ChunksPerPU = 32
 	rc.CacheMB = 0 // cache admission is device-global; without it,
 	// disjoint-PU writes commute and may overlap
@@ -110,8 +167,24 @@ func scaleRig(cfg ScaleConfig, pus int) RigConfig {
 	return rc
 }
 
-func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (ScalePoint, error) {
-	_, ctrl, err := scaleRig(cfg, pus).Build()
+// scaleOps reports the effective appends per PU after the MaxOps cap.
+func scaleOps(cfg ScaleConfig, pus int) int {
+	per := cfg.AppendsPerPU
+	if cfg.MaxOps > 0 && per*pus > cfg.MaxOps {
+		per = cfg.MaxOps / pus
+		if per < 1 {
+			per = 1
+		}
+	}
+	return per
+}
+
+func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers, batch int) (ScalePoint, error) {
+	if pus > 64 && pus%64 != 0 {
+		return ScalePoint{}, fmt.Errorf("scale: %d PUs not a multiple of 64", pus)
+	}
+	rig := scaleRig(cfg, pus)
+	dev, ctrl, err := rig.Build()
 	if err != nil {
 		return ScalePoint{}, err
 	}
@@ -119,7 +192,8 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 	if err != nil {
 		return ScalePoint{}, err
 	}
-	host := hostif.NewHost(ctrl, hostConfig(hostif.HostConfig{}, ex, workers))
+	hc := hostConfig(hostif.HostConfig{BatchSize: batch}, ex, workers)
+	host := hostif.NewHost(ctrl, hc)
 	defer host.Close() // one host per sweep point: release its workers
 	admin := host.Admin()
 	nsid, err := admin.AttachNamespace(0, hostif.NewZoneNamespace(tgt))
@@ -135,9 +209,13 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 		return ScalePoint{}, err
 	}
 
-	// One actor per PU: its zones are the ones in its group, filled
-	// round-robin; each append is AppendBlocks write units.
-	zonesOf := make([][]int, pus)
+	// One actor per group: its zones are the ones in its group (spanning
+	// the group's PUs), filled round-robin; each append is AppendBlocks
+	// write units. The payload is all zeros so the NAND model's zero-page
+	// dedup keeps even terabyte-scale sweeps memory-free — content never
+	// affects virtual timing.
+	groups := rig.Groups
+	zonesOf := make([][]int, groups)
 	for _, zi := range report {
 		zonesOf[zi.Group] = append(zonesOf[zi.Group], zi.Index)
 	}
@@ -147,16 +225,15 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 		return ScalePoint{}, fmt.Errorf("scale: %d-byte appends exceed the %d-byte zone capacity", appendBytes, id.ZoneCapacity)
 	}
 	data := make([]byte, appendBytes)
-	for i := range data {
-		data[i] = byte(i)
-	}
+	perPU := scaleOps(cfg, pus)
+	perActor := perPU * rig.PUsPerGroup
 	type actor struct {
 		qp       *hostif.QueuePair
 		zones    []int
 		issued   int
 		lastDone vclock.Time
 	}
-	actors := make([]*actor, pus)
+	actors := make([]*actor, groups)
 	for i := range actors {
 		qp, err := admin.CreateIOQueuePair(0, 1, hostif.ClassMedium)
 		if err != nil {
@@ -164,10 +241,10 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 		}
 		actors[i] = &actor{qp: qp, zones: zonesOf[i]}
 	}
-	need := (cfg.AppendsPerPU + perZone - 1) / perZone
+	need := (perActor + perZone - 1) / perZone
 	for _, a := range actors {
 		if len(a.zones) < need {
-			return ScalePoint{}, fmt.Errorf("scale: %d zones per PU, need %d", len(a.zones), need)
+			return ScalePoint{}, fmt.Errorf("scale: %d zones per group, need %d", len(a.zones), need)
 		}
 	}
 	submit := func(a *actor, at vclock.Time) error {
@@ -178,9 +255,9 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 		return a.qp.Push(at, cmd)
 	}
 
-	// Lockstep rounds: every PU's next append is visible before the
+	// Lockstep rounds: every group's next append is visible before the
 	// round's drain, so the execution engine always sees the full
-	// disjoint-PU batch at once. Each actor still advances its own
+	// disjoint-group batch at once. Each actor still advances its own
 	// virtual clock (it resubmits at its own completion instant), and
 	// the round barrier is what a completion-batching driver does
 	// anyway. The serial executor runs the identical schedule, so the
@@ -194,7 +271,8 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 	qid0 := actors[0].qp.ID()
 	var end vclock.Time
 	inRound := 0
-	err = reapLoop(host, "scale", pus*cfg.AppendsPerPU, func(comp hostif.Completion) error {
+	totalOps := perActor * groups
+	err = reapLoop(host, "scale", totalOps, func(comp hostif.Completion) error {
 		a := actors[comp.QueueID-qid0]
 		a.lastDone = comp.Done
 		if comp.Done > end {
@@ -203,7 +281,7 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 		if inRound++; inRound == len(actors) {
 			inRound = 0
 			for _, a := range actors {
-				if a.issued < cfg.AppendsPerPU {
+				if a.issued < perActor {
 					if err := submit(a, a.lastDone); err != nil {
 						return err
 					}
@@ -220,20 +298,31 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 	p := ScalePoint{
 		PUs:      pus,
 		Executor: hostif.ExecutorSerial,
-		Ops:      pus * cfg.AppendsPerPU,
+		Ops:      totalOps,
 		Elapsed:  end.Sub(0),
 		Wall:     wall,
 	}
-	if ex == hostif.ExecutorPipelined {
-		p.Executor = hostif.ExecutorPipelined
-		log, err := admin.ExecutorStats(end)
-		if err != nil {
-			return ScalePoint{}, err
-		}
-		p.Workers = log.Workers
-		p.Overlapped = log.Overlapped
-		p.MaxInflight = log.MaxInflight
+	if ex != "" {
+		p.Executor = ex
 	}
+	log, err := admin.ExecutorStats(end)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	p.Workers = log.Workers
+	p.BatchSize = 0
+	if ex == hostif.ExecutorBatched {
+		p.BatchSize = log.BatchSize
+	}
+	p.Grants = log.Grants
+	p.Acquisitions = log.Acquisitions
+	if log.Grants > 0 {
+		p.AcqPerGrant = float64(log.Acquisitions) / float64(log.Grants)
+	}
+	p.Overlapped = log.Overlapped
+	p.MaxInflight = log.MaxInflight
+	totalChunks := pus * rig.ChunksPerPU
+	p.MetaBytesPerChunk = float64(dev.MetadataBytes()) / float64(totalChunks)
 	if end > 0 {
 		p.VirtMBps = float64(p.Ops) * float64(appendBytes) / 1e6 / end.Seconds()
 	}
@@ -246,18 +335,24 @@ func scaleRun(cfg ScaleConfig, pus int, ex hostif.ExecutorKind, workers int) (Sc
 // diffs for exactly that reason).
 func ScaleTable(points []ScalePoint) *Table {
 	t := &Table{
-		Title: "Pipelined executor scaling: disjoint-PU zone appends, serial vs worker pool (OX-ZNS, cache-less rig)",
-		Headers: []string{"PUs", "executor", "workers", "ops",
-			"virt elapsed", "virt MB/s", "overlap", "max inflight", "wall ms", "speedup"},
+		Title: "Executor scaling: disjoint-group zone appends, serial vs pipelined vs batched (OX-ZNS, cache-less rig)",
+		Headers: []string{"PUs", "executor", "workers", "batch", "ops",
+			"virt elapsed", "virt MB/s", "acq/grant", "overlap", "max inflight",
+			"meta B/chunk", "wall ms", "speedup"},
 	}
 	for _, p := range points {
-		workers := "-"
-		if p.Executor == hostif.ExecutorPipelined {
+		workers, batch := "-", "-"
+		if p.Executor == hostif.ExecutorPipelined || p.Executor == hostif.ExecutorBatched {
 			workers = fmt.Sprintf("%d", p.Workers)
 		}
-		t.Add(p.PUs, string(p.Executor), workers, p.Ops,
+		if p.Executor == hostif.ExecutorBatched {
+			batch = fmt.Sprintf("%d", p.BatchSize)
+		}
+		t.Add(p.PUs, string(p.Executor), workers, batch, p.Ops,
 			p.Elapsed.String(), fmt.Sprintf("%.0f", p.VirtMBps),
+			fmt.Sprintf("%.3f", p.AcqPerGrant),
 			p.Overlapped, p.MaxInflight,
+			fmt.Sprintf("%.1f", p.MetaBytesPerChunk),
 			fmt.Sprintf("%.1f", float64(p.Wall.Microseconds())/1000),
 			fmt.Sprintf("%.2fx", p.Speedup))
 	}

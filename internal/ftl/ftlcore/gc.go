@@ -11,29 +11,41 @@ import (
 // ReverseMap records which logical page wrote each physical sector, so
 // garbage collection can find the mapping entry to relocate. (Hardware
 // FTLs keep this in the page OOB area; we keep it in controller RAM.)
+// Per-chunk slabs live in a dense array indexed by flat chunk index —
+// no map buckets, no hashing — allocated lazily on first write to a
+// chunk and returned to a free list when the chunk is dropped, so at
+// steady state a chunk's lifetime allocates nothing.
 type ReverseMap struct {
-	mu sync.Mutex
-	m  map[ocssd.ChunkID][]int64
-	n  int // sectors per chunk
+	mu    sync.Mutex
+	idx   chunkIndex
+	slabs [][]int64 // per chunk, nil until first Set
+	pool  [][]int64 // recycled slabs from dropped chunks
+	n     int       // sectors per chunk
 }
 
 // NewReverseMap creates a reverse map for the geometry.
 func NewReverseMap(geo ocssd.Geometry) *ReverseMap {
-	return &ReverseMap{m: make(map[ocssd.ChunkID][]int64), n: geo.SectorsPerChunk()}
+	idx := newChunkIndex(geo)
+	return &ReverseMap{idx: idx, slabs: make([][]int64, idx.total), n: geo.SectorsPerChunk()}
 }
 
 // Set records that lba's data lives at ppa.
 func (r *ReverseMap) Set(ppa ocssd.PPA, lba int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	id := ppa.ChunkOf()
-	s := r.m[id]
+	flat := r.idx.flat(ppa.ChunkOf())
+	s := r.slabs[flat]
 	if s == nil {
-		s = make([]int64, r.n)
+		if n := len(r.pool); n > 0 {
+			s = r.pool[n-1]
+			r.pool = r.pool[:n-1]
+		} else {
+			s = make([]int64, r.n)
+		}
 		for i := range s {
 			s[i] = -1
 		}
-		r.m[id] = s
+		r.slabs[flat] = s
 	}
 	s[ppa.Sector] = lba
 }
@@ -42,18 +54,22 @@ func (r *ReverseMap) Set(ppa ocssd.PPA, lba int64) {
 func (r *ReverseMap) Get(ppa ocssd.PPA) (int64, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := r.m[ppa.ChunkOf()]
+	s := r.slabs[r.idx.flat(ppa.ChunkOf())]
 	if s == nil || s[ppa.Sector] < 0 {
 		return 0, false
 	}
 	return s[ppa.Sector], true
 }
 
-// Drop forgets a chunk (after reset).
+// Drop forgets a chunk (after reset), recycling its slab.
 func (r *ReverseMap) Drop(id ocssd.ChunkID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	delete(r.m, id)
+	flat := r.idx.flat(id)
+	if s := r.slabs[flat]; s != nil {
+		r.slabs[flat] = nil
+		r.pool = append(r.pool, s)
+	}
 }
 
 // GCConfig tunes garbage collection.
@@ -122,10 +138,13 @@ type GC struct {
 	BeforeReset func(now vclock.Time, victim ocssd.ChunkID) (vclock.Time, error)
 
 	mu         sync.Mutex
-	candidates map[ocssd.ChunkID]struct{} // closed data chunks
-	dst        map[int]ocssd.ChunkID      // open GC destination per group
-	dstWP      map[int]int
-	marked     int // group under collection; -1 when idle
+	idx        chunkIndex
+	candidates chunkSet        // closed data chunks, 1 bit per chunk
+	dst        []ocssd.ChunkID // open GC destination per group
+	dstOpen    []bool
+	dstWP      []int
+	reclaim    []int // pickGroup scratch, one counter per group
+	marked     int   // group under collection; -1 when idle
 	windows    []gcWindow
 	samples    []gcSample
 	stats      GCStats
@@ -145,6 +164,8 @@ func NewGC(media ox.Media, ctrl *ox.Controller, alloc *Allocator, val *Validity,
 	if cfg.TargetFree < cfg.FreeThreshold {
 		cfg.TargetFree = cfg.FreeThreshold
 	}
+	geo := media.Geometry()
+	idx := newChunkIndex(geo)
 	return &GC{
 		media:      media,
 		ctrl:       ctrl,
@@ -152,10 +173,13 @@ func NewGC(media ox.Media, ctrl *ox.Controller, alloc *Allocator, val *Validity,
 		val:        val,
 		rmap:       rmap,
 		cfg:        cfg,
-		geo:        media.Geometry(),
-		candidates: make(map[ocssd.ChunkID]struct{}),
-		dst:        make(map[int]ocssd.ChunkID),
-		dstWP:      make(map[int]int),
+		geo:        geo,
+		idx:        idx,
+		candidates: newChunkSet(idx.total),
+		dst:        make([]ocssd.ChunkID, geo.Groups),
+		dstOpen:    make([]bool, geo.Groups),
+		dstWP:      make([]int, geo.Groups),
+		reclaim:    make([]int, geo.Groups),
 		marked:     -1,
 	}
 }
@@ -164,14 +188,14 @@ func NewGC(media ox.Media, ctrl *ox.Controller, alloc *Allocator, val *Validity,
 func (g *GC) AddCandidate(id ocssd.ChunkID) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.candidates[id] = struct{}{}
+	g.candidates.add(g.idx.flat(id))
 }
 
 // CandidateCount reports the number of collectable chunks.
 func (g *GC) CandidateCount() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.candidates)
+	return g.candidates.count()
 }
 
 // MarkedGroup reports the group currently marked for collection (-1 if
@@ -303,15 +327,18 @@ func (g *GC) Collect(now vclock.Time, remap func(lba int64, old, new ocssd.PPA) 
 func (g *GC) pickGroup() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	reclaim := make([]int, g.geo.Groups)
+	reclaim := g.reclaim
+	for i := range reclaim {
+		reclaim[i] = 0
+	}
 	spc := g.geo.SectorsPerChunk()
 	floor := spc - spc/minReclaimDenominator
-	for id := range g.candidates {
-		v := g.val.ValidCount(id)
+	for flat := g.candidates.next(0); flat >= 0; flat = g.candidates.next(flat + 1) {
+		v := g.val.ValidCount(g.idx.id(flat))
 		if v > floor {
 			continue
 		}
-		reclaim[id.Group] += spc - v
+		reclaim[flat/g.idx.perGroup] += spc - v
 	}
 	best, bestV := -1, 0
 	for grp, v := range reclaim {
@@ -330,44 +357,36 @@ const minReclaimDenominator = 8 // 1/8 of the chunk
 // pickVictim selects the candidate with the fewest valid sectors, inside
 // the marked group (or device-wide with GlobalVictims). Chunks without
 // enough reclaimable space are never victims: moving a nearly-valid
-// chunk frees (almost) nothing and only amplifies writes. Ties break on
-// chunk identity so the pick never depends on map iteration order —
-// victim choice, and therefore every downstream virtual-time result, is
-// a pure function of the workload.
+// chunk frees (almost) nothing and only amplifies writes. The bitset
+// scan runs in ascending flat order — which IS (group, pu, chunk)
+// order — so keeping the first minimum seen gives the canonical
+// lowest-identity tie-break with no comparator and no sort: victim
+// choice, and therefore every downstream virtual-time result, is a
+// pure function of the workload.
 func (g *GC) pickVictim(group int) (ocssd.ChunkID, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	lo, hi := 0, g.idx.total
+	if !g.cfg.GlobalVictims {
+		lo = group * g.idx.perGroup
+		hi = lo + g.idx.perGroup
+	}
 	spc := g.geo.SectorsPerChunk()
 	floor := spc - spc/minReclaimDenominator
-	var best ocssd.ChunkID
-	bestValid := -1
-	for id := range g.candidates {
-		if !g.cfg.GlobalVictims && id.Group != group {
-			continue
-		}
-		v := g.val.ValidCount(id)
+	bestFlat, bestValid := -1, -1
+	for flat := g.candidates.next(lo); flat >= 0 && flat < hi; flat = g.candidates.next(flat + 1) {
+		v := g.val.ValidCount(g.idx.id(flat))
 		if v > floor {
 			continue
 		}
-		if bestValid < 0 || v < bestValid || (v == bestValid && lessChunkID(id, best)) {
-			best, bestValid = id, v
+		if bestValid < 0 || v < bestValid {
+			bestFlat, bestValid = flat, v
 		}
 	}
-	if bestValid < 0 {
+	if bestFlat < 0 {
 		return ocssd.ChunkID{}, false
 	}
-	return best, true
-}
-
-// lessChunkID orders chunks by (group, pu, chunk).
-func lessChunkID(a, b ocssd.ChunkID) bool {
-	if a.Group != b.Group {
-		return a.Group < b.Group
-	}
-	if a.PU != b.PU {
-		return a.PU < b.PU
-	}
-	return a.Chunk < b.Chunk
+	return g.idx.id(bestFlat), true
 }
 
 // collectChunk relocates the victim's live sectors into a destination
@@ -444,7 +463,7 @@ func (g *GC) collectChunk(now vclock.Time, victim ocssd.ChunkID, remap func(int6
 	g.val.Drop(victim)
 	g.rmap.Drop(victim)
 	g.mu.Lock()
-	delete(g.candidates, victim)
+	g.candidates.remove(g.idx.flat(victim))
 	g.stats.ChunksReclaimed++
 	g.mu.Unlock()
 	return end, nil
@@ -457,13 +476,12 @@ func (g *GC) destination(group int) (ocssd.ChunkID, int, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	spc := g.geo.SectorsPerChunk()
-	if id, ok := g.dst[group]; ok {
+	if g.dstOpen[group] {
 		if room := spc - g.dstWP[group]; room > 0 {
-			return id, room, nil
+			return g.dst[group], room, nil
 		}
-		g.candidates[id] = struct{}{}
-		delete(g.dst, group)
-		delete(g.dstWP, group)
+		g.candidates.add(g.idx.flat(g.dst[group]))
+		g.dstOpen[group] = false
 	}
 	id, err := g.alloc.Alloc(InGroup(group))
 	if err != nil {
@@ -475,6 +493,7 @@ func (g *GC) destination(group int) (ocssd.ChunkID, int, error) {
 		}
 	}
 	g.dst[group] = id
+	g.dstOpen[group] = true
 	g.dstWP[group] = 0
 	return id, spc, nil
 }

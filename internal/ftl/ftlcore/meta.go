@@ -1,0 +1,95 @@
+package ftlcore
+
+import (
+	"math/bits"
+
+	"repro/internal/ocssd"
+)
+
+// chunkIndex maps ChunkIDs onto a dense flat index space, group-major:
+// flat(id) = (group·PUsPerGroup + pu)·ChunksPerPU + chunk. Ascending
+// flat order is exactly (group, pu, chunk) lexicographic order, so
+// scans over flat-indexed arrays visit chunks in the canonical
+// deterministic order for free — the packed replacement for the
+// map-iterate-then-tie-break the collector used to do.
+type chunkIndex struct {
+	pusPerGroup int
+	chunksPerPU int
+	perGroup    int // chunks per group
+	total       int
+}
+
+func newChunkIndex(geo ocssd.Geometry) chunkIndex {
+	return chunkIndex{
+		pusPerGroup: geo.PUsPerGroup,
+		chunksPerPU: geo.ChunksPerPU,
+		perGroup:    geo.PUsPerGroup * geo.ChunksPerPU,
+		total:       geo.TotalPUs() * geo.ChunksPerPU,
+	}
+}
+
+// flat returns the dense index of id.
+func (x chunkIndex) flat(id ocssd.ChunkID) int {
+	return (id.Group*x.pusPerGroup+id.PU)*x.chunksPerPU + id.Chunk
+}
+
+// id returns the ChunkID at a dense index.
+func (x chunkIndex) id(flat int) ocssd.ChunkID {
+	return ocssd.ChunkID{
+		Group: flat / x.perGroup,
+		PU:    (flat % x.perGroup) / x.chunksPerPU,
+		Chunk: flat % x.chunksPerPU,
+	}
+}
+
+// chunkSet is a bitset over flat chunk indices: 1 bit per chunk where
+// the map[ChunkID]struct{} it replaces paid ~50 bytes per entry, and
+// membership scans are word-at-a-time in deterministic ascending
+// order.
+type chunkSet struct {
+	words []uint64
+	n     int
+}
+
+func newChunkSet(total int) chunkSet {
+	return chunkSet{words: make([]uint64, (total+63)/64)}
+}
+
+func (s *chunkSet) add(flat int) {
+	w, b := flat/64, uint(flat%64)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.n++
+	}
+}
+
+func (s *chunkSet) remove(flat int) {
+	w, b := flat/64, uint(flat%64)
+	if s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		s.n--
+	}
+}
+
+func (s *chunkSet) count() int { return s.n }
+
+// next returns the smallest member ≥ from, or -1 when none remains.
+func (s *chunkSet) next(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from / 64
+	if w >= len(s.words) {
+		return -1
+	}
+	word := s.words[w] >> uint(from%64)
+	if word != 0 {
+		return from + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			return w*64 + bits.TrailingZeros64(s.words[w])
+		}
+	}
+	return -1
+}

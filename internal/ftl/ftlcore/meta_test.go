@@ -1,0 +1,91 @@
+package ftlcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ocssd"
+)
+
+func metaGeo() ocssd.Geometry {
+	g := ocssd.DefaultGeometry()
+	g.Groups, g.PUsPerGroup, g.ChunksPerPU = 3, 4, 5
+	return g
+}
+
+// Flat indices enumerate chunks in (group, pu, chunk) order — the
+// property pickVictim's ascending scan relies on for its canonical
+// tie-break.
+func TestChunkIndexOrder(t *testing.T) {
+	idx := newChunkIndex(metaGeo())
+	prev := -1
+	for g := 0; g < 3; g++ {
+		for u := 0; u < 4; u++ {
+			for c := 0; c < 5; c++ {
+				id := ocssd.ChunkID{Group: g, PU: u, Chunk: c}
+				f := idx.flat(id)
+				if f != prev+1 {
+					t.Fatalf("flat(%v) = %d, want %d", id, f, prev+1)
+				}
+				if got := idx.id(f); got != id {
+					t.Fatalf("id(%d) = %v, want %v", f, got, id)
+				}
+				prev = f
+			}
+		}
+	}
+	if idx.total != prev+1 {
+		t.Fatalf("total = %d, want %d", idx.total, prev+1)
+	}
+}
+
+// The bitset agrees with a reference map over a random add/remove/scan
+// sequence: same count, same membership, and next() enumerates exactly
+// the members in ascending order.
+func TestChunkSetMatchesMap(t *testing.T) {
+	const n = 333
+	s := newChunkSet(n)
+	ref := make(map[int]bool)
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 5000; step++ {
+		f := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			s.add(f)
+			ref[f] = true
+		} else {
+			s.remove(f)
+			delete(ref, f)
+		}
+	}
+	if s.count() != len(ref) {
+		t.Fatalf("count = %d, want %d", s.count(), len(ref))
+	}
+	got := 0
+	last := -1
+	for f := s.next(0); f >= 0; f = s.next(f + 1) {
+		if !ref[f] {
+			t.Fatalf("next yielded non-member %d", f)
+		}
+		if f <= last {
+			t.Fatalf("next not ascending: %d after %d", f, last)
+		}
+		last = f
+		got++
+	}
+	if got != len(ref) {
+		t.Fatalf("next enumerated %d members, want %d", got, len(ref))
+	}
+	// Double add/remove must not skew the count.
+	s.remove(7)
+	c := s.count()
+	s.add(7)
+	s.add(7)
+	if s.count() != c+1 {
+		t.Fatalf("double add skewed count: %d, want %d", s.count(), c+1)
+	}
+	s.remove(7)
+	s.remove(7)
+	if s.count() != c {
+		t.Fatalf("double remove skewed count: %d, want %d", s.count(), c)
+	}
+}

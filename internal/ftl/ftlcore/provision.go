@@ -55,7 +55,8 @@ type Allocator struct {
 	rrGroup atomic.Int64 // round-robin cursor for AnyTarget
 
 	offMu   sync.Mutex
-	offline map[ocssd.ChunkID]struct{}
+	idx     chunkIndex
+	offline chunkSet // retired (bad) chunks, 1 bit per chunk
 }
 
 // NewAllocator builds an allocator over the media's current chunk report.
@@ -65,11 +66,13 @@ type Allocator struct {
 // open chunks stay out until recovery explicitly frees them.
 func NewAllocator(media ox.Media, reserved map[ocssd.ChunkID]bool) *Allocator {
 	geo := media.Geometry()
+	idx := newChunkIndex(geo)
 	a := &Allocator{
 		media:   media,
 		geo:     geo,
 		groups:  make([]allocGroup, geo.Groups),
-		offline: make(map[ocssd.ChunkID]struct{}),
+		idx:     idx,
+		offline: newChunkSet(idx.total),
 	}
 	for g := range a.groups {
 		a.groups[g].free = make([][]int, geo.PUsPerGroup)
@@ -77,7 +80,7 @@ func NewAllocator(media ox.Media, reserved map[ocssd.ChunkID]bool) *Allocator {
 	for _, ci := range media.Report() {
 		switch {
 		case ci.State == ocssd.ChunkOffline:
-			a.offline[ci.ID] = struct{}{}
+			a.offline.add(idx.flat(ci.ID))
 		case reserved[ci.ID]:
 			// withheld
 		case ci.State == ocssd.ChunkFree:
@@ -203,14 +206,14 @@ func (a *Allocator) ReturnFree(id ocssd.ChunkID) {
 func (a *Allocator) Retire(id ocssd.ChunkID) {
 	a.offMu.Lock()
 	defer a.offMu.Unlock()
-	a.offline[id] = struct{}{}
+	a.offline.add(a.idx.flat(id))
 }
 
 // RetiredCount reports the number of chunks withheld as bad.
 func (a *Allocator) RetiredCount() int {
 	a.offMu.Lock()
 	defer a.offMu.Unlock()
-	return len(a.offline)
+	return a.offline.count()
 }
 
 // StripeWriter appends data across a rotating set of open chunks, one

@@ -41,16 +41,39 @@ const (
 	// and a deterministic reorder stage restores serial completion
 	// order.
 	ExecutorPipelined ExecutorKind = "pipelined"
+	// ExecutorBatched is the pipelined engine with batched sequencing:
+	// the sequencer pulls up to HostConfig.BatchSize WRR grants per
+	// arbitration acquisition, footprint-classifying the whole batch up
+	// front, so workers amortize the arbitration rendezvous instead of
+	// meeting the sequencer once per command. Conflicts within a batch
+	// become intra-batch barriers; completions still release in strict
+	// grant order, so results are bit-identical to the serial oracle.
+	ExecutorBatched ExecutorKind = "batched"
 )
 
+// DefaultBatchSize is the grant-batch size of ExecutorBatched when
+// HostConfig.BatchSize is zero.
+const DefaultBatchSize = 16
+
 // ExecutorLog is the LogExecutor admin log page: the pipeline counters
-// that make the execution engine observable over queue 0.
+// that make the execution engine observable over queue 0. With several
+// arbitration domains the top-level counters aggregate every domain
+// and PerDomain carries the per-domain breakdown.
 type ExecutorLog struct {
-	// Executor and Workers echo the host configuration.
-	Executor ExecutorKind
-	Workers  int
+	// Executor, Workers, BatchSize and Domains echo the host
+	// configuration (Workers and BatchSize are per domain).
+	Executor  ExecutorKind
+	Workers   int
+	BatchSize int
+	Domains   int
 	// Grants counts commands granted by the sequencer (I/O and admin).
 	Grants int64
+	// Acquisitions counts arbitration acquisitions: sequencer rendezvous
+	// at which at least one grant was pulled. The serial and pipelined
+	// executors acquire once per grant; the batched executor amortizes
+	// up to BatchSize grants per acquisition, so Acquisitions/Grants is
+	// the amortization actually realized.
+	Acquisitions int64
 	// Dispatched counts grants handed to the worker pool.
 	Dispatched int64
 	// Inline counts grants executed inline in the sequencer (admin
@@ -64,11 +87,33 @@ type ExecutorLog struct {
 	// the pipeline to drain before executing.
 	BarrierStalls int64
 	// ConflictStalls counts the times a dispatch waited for an
-	// in-flight command with a conflicting footprint to complete.
+	// in-flight command with a conflicting footprint to complete — with
+	// the batched executor, the intra-batch conflict barriers.
 	ConflictStalls int64
 	// MaxInflight is the high-water mark of concurrently dispatched
 	// commands.
 	MaxInflight int
+	// PerDomain is the per-domain breakdown, one row per arbitration
+	// domain in domain order (nil on single-domain hosts).
+	PerDomain []DomainExecutorLog
+}
+
+// DomainExecutorLog is one arbitration domain's sequencer counters.
+type DomainExecutorLog struct {
+	// Domain is the domain index; QueuePairs counts the queue pairs
+	// currently bound to it (the admin queue lives in domain 0).
+	Domain     int
+	QueuePairs int
+	// The remaining fields mirror their ExecutorLog namesakes, scoped
+	// to this domain's sequencer.
+	Grants         int64
+	Acquisitions   int64
+	Dispatched     int64
+	Inline         int64
+	Overlapped     int64
+	BarrierStalls  int64
+	ConflictStalls int64
+	MaxInflight    int
 }
 
 // execJob is one granted command in flight through the worker pool.
@@ -111,11 +156,27 @@ type inflightCmd struct {
 	fp  Footprint
 }
 
-// engine is the worker pool plus the reorder stage. The fields below
-// resultMu are owned by the sequencer: they are only touched from the
-// arbitration loop, under the host's execMu.
+// grant is one arbitrated command gathered into a sequencer batch,
+// footprint-classified at gather time. The namespace snapshot the
+// classification read stays valid for the whole batch because an
+// inline-class grant (the only kind that can mutate host structures)
+// always terminates the batch it joins.
+type grant struct {
+	qp     *QueuePair
+	e      sqe
+	seq    uint64
+	inline bool
+	ns     Namespace
+	fp     Footprint
+}
+
+// engine is the worker pool plus the reorder stage of one arbitration
+// domain. The fields below resultMu are owned by the sequencer: they
+// are only touched from the arbitration loop, under the domain's
+// execMu.
 type engine struct {
 	workers  int
+	batch    int // grants gathered per arbitration acquisition (1 = pipelined)
 	jobs     chan execJob
 	stopOnce sync.Once
 
@@ -127,23 +188,28 @@ type engine struct {
 	nextSeq     uint64        // next sequence number to assign
 	nextRelease uint64        // next sequence number to complete
 	inflight    []inflightCmd // dispatched, completion not yet released
-	stats       ExecutorLog
+	batchBuf    []grant       // reusable gather buffer
+	stats       DomainExecutorLog
 }
 
 // newEngine starts a worker pool of the given size (minimum 1; zero
-// selects GOMAXPROCS). Workers live until the engine is stopped.
-func newEngine(workers int) *engine {
+// selects GOMAXPROCS) gathering batch grants per arbitration
+// acquisition. Workers live until the engine is stopped.
+func newEngine(workers, batch int) *engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if batch < 1 {
+		batch = 1
+	}
 	eng := &engine{
-		workers: workers,
-		jobs:    make(chan execJob, workers),
-		done:    make(map[uint64]execDone),
+		workers:  workers,
+		batch:    batch,
+		jobs:     make(chan execJob, workers),
+		done:     make(map[uint64]execDone),
+		batchBuf: make([]grant, 0, batch),
 	}
 	eng.resultC = sync.NewCond(&eng.resultMu)
-	eng.stats.Executor = ExecutorPipelined
-	eng.stats.Workers = workers
 	for i := 0; i < workers; i++ {
 		go eng.worker()
 	}
@@ -249,79 +315,164 @@ func (eng *engine) dispatch(h *Host, j execJob, fp Footprint) {
 	eng.jobs <- j
 }
 
-// drainPipelinedLocked is the pipelined twin of drainLocked: the
-// sequencer grants commands in arbitration order and feeds the
-// execution engine; the reorder stage posts completions back in grant
-// order. Caller holds execMu and delivers takeNotes() after releasing
-// it.
-func (h *Host) drainPipelinedLocked() {
-	eng := h.eng
+// drainEngineLocked is the engine twin of drainLocked: the sequencer
+// grants commands in arbitration order and feeds the execution engine;
+// the reorder stage posts completions back in grant order. Per
+// arbitration acquisition it gathers up to eng.batch grants,
+// footprint-classifying each as it is pulled — with batch size 1 this
+// is exactly the pipelined executor's grant-at-a-time rendezvous, and
+// with larger batches the arbitration/release bookkeeping amortizes
+// across the batch. Grant order is untouched by batching: arbitrate is
+// a pure function of the doorbell and credit state, and neither
+// gathering nor dispatching rings a doorbell, so pulling B grants
+// back-to-back yields the same sequence the serial loop grants one at
+// a time. An inline-class grant (admin, host-link-charged, bad NSID)
+// terminates its batch: admin execution mutates the snapshots
+// classification reads, so no grant is ever classified after an
+// unexecuted admin command. Caller holds d.execMu and delivers
+// takeNotes() after releasing it.
+func (d *domain) drainEngineLocked() {
+	h := d.h
+	eng := d.eng
 	for {
 		// Opportunistically retire finished work so the in-flight window
 		// (and its conflict scans) stay short.
 		eng.release(h, releaseReady)
-		best := h.arbitrate()
-		if best == nil {
+
+		// Gather one batch of grants.
+		batch := eng.batchBuf[:0]
+		for len(batch) < eng.batch {
+			best := d.arbitrate()
+			if best == nil {
+				break
+			}
+			e, ok := best.takeHead()
+			if !ok {
+				continue
+			}
+			g := grant{qp: best, e: e, seq: eng.nextSeq}
+			eng.nextSeq++
+			eng.stats.Grants++
+			cmd := e.cmd
+
+			// Inline classes — each acts as a full barrier at dispatch.
+			// Admin commands mutate host structures the sequencer itself
+			// reads; host-link transfers share one bus whose reservation
+			// order is the serial order; a bad NSID never reaches an
+			// adapter.
+			g.inline = cmd.Op.IsAdmin()
+			if !g.inline {
+				if h.cfg.ChargeHostLink {
+					g.inline = true
+				} else if err := checkNSID(h.namespaces(), cmd.NSID); err != nil {
+					g.inline = true
+				} else {
+					nsid := cmd.NSID
+					if nsid == 0 {
+						nsid = 1
+					}
+					g.ns = h.namespaces()[nsid-1]
+					g.fp = g.ns.Footprint(cmd).normalize()
+				}
+			}
+			batch = append(batch, g)
+			if g.inline {
+				break
+			}
+		}
+		eng.batchBuf = batch
+		if len(batch) == 0 {
 			eng.release(h, releaseAll)
-			h.flushNotifies()
+			d.flushNotifies()
 			return
 		}
-		e, ok := best.takeHead()
-		if !ok {
-			continue
-		}
-		seq := eng.nextSeq
-		eng.nextSeq++
-		eng.stats.Grants++
-		cmd := e.cmd
+		eng.stats.Acquisitions++
 
-		// Inline paths — each acts as a full barrier. Admin commands
-		// mutate host structures the sequencer itself reads; host-link
-		// transfers share one bus whose reservation order is the serial
-		// order; a bad NSID never reaches an adapter.
-		inline := cmd.Op.IsAdmin()
-		var ns Namespace
-		if !inline {
-			if h.cfg.ChargeHostLink {
-				inline = true
-			} else if err := checkNSID(h.namespaces(), cmd.NSID); err != nil {
-				inline = true
-			} else {
-				nsid := cmd.NSID
-				if nsid == 0 {
-					nsid = 1
+		// Dispatch the batch in grant order. Intra-batch footprint
+		// conflicts stall in dispatch until the conflicting in-flight
+		// command releases; inline grants drain the pipeline first.
+		for i := range batch {
+			g := &batch[i]
+			if g.inline {
+				eng.barrier(h)
+				if eng.nextRelease != g.seq {
+					panic("hostif: sequencer released past an inline command")
 				}
-				ns = h.namespaces()[nsid-1]
+				eng.nextRelease = g.seq + 1
+				eng.stats.Inline++
+				g.qp.complete(h.exec(g.qp, g.e))
+				if !g.e.cmd.Op.IsAdmin() {
+					h.executed.Add(1)
+				}
+				continue
 			}
+			eng.dispatch(h, execJob{seq: g.seq, qp: g.qp, e: g.e, ns: g.ns}, g.fp)
 		}
-		if inline {
-			eng.barrier(h)
-			if eng.nextRelease != seq {
-				panic("hostif: sequencer released past an inline command")
-			}
-			eng.nextRelease = seq + 1
-			eng.stats.Inline++
-			best.complete(h.exec(best, e))
-			if !cmd.Op.IsAdmin() {
-				h.executed.Add(1)
-			}
-			continue
-		}
-		eng.dispatch(h, execJob{seq: seq, qp: best, e: e, ns: ns}, ns.Footprint(cmd).normalize())
 	}
 }
 
-// executorLog snapshots the pipeline counters. Caller holds execMu (the
-// admin path), so the sequencer state is quiescent. A serial host has
-// no sequencer stats; it reports its executed I/O count as grants, all
-// of them inline, with every pipeline counter zero.
+// executorLog snapshots the sequencer counters of every domain,
+// aggregated into the top-level ExecutorLog with a per-domain
+// breakdown on multi-domain hosts. Caller holds execMu(0) (the admin
+// path); other domains' counters are read under their own locks. A
+// serial sequencer reports its grant count with every grant inline and
+// one acquisition per grant, every pipeline counter zero.
 func (h *Host) executorLog() ExecutorLog {
-	if h.eng == nil {
-		return ExecutorLog{
-			Executor: ExecutorSerial,
-			Grants:   h.executed.Load(),
-			Inline:   h.executed.Load(),
+	log := ExecutorLog{
+		Executor: ExecutorSerial,
+		Domains:  len(h.domains),
+	}
+	if eng := h.domains[0].eng; eng != nil {
+		log.Executor = h.cfg.Executor
+		log.Workers = eng.workers
+		log.BatchSize = eng.batch
+	}
+	var per []DomainExecutorLog
+	if len(h.domains) > 1 {
+		per = make([]DomainExecutorLog, 0, len(h.domains))
+	}
+	for i, d := range h.domains {
+		if i > 0 {
+			// Domain 0's lock is already held by the admin path; the
+			// ascending acquisition respects the domain lock order.
+			d.execMu.Lock()
+		}
+		dl := d.stats()
+		if i > 0 {
+			d.execMu.Unlock()
+		}
+		log.Grants += dl.Grants
+		log.Acquisitions += dl.Acquisitions
+		log.Dispatched += dl.Dispatched
+		log.Inline += dl.Inline
+		log.Overlapped += dl.Overlapped
+		log.BarrierStalls += dl.BarrierStalls
+		log.ConflictStalls += dl.ConflictStalls
+		if dl.MaxInflight > log.MaxInflight {
+			log.MaxInflight = dl.MaxInflight
+		}
+		if per != nil {
+			per = append(per, dl)
 		}
 	}
-	return h.eng.stats
+	log.PerDomain = per
+	return log
+}
+
+// stats snapshots one domain's sequencer counters. Caller holds the
+// domain's execMu.
+func (d *domain) stats() DomainExecutorLog {
+	if d.eng == nil {
+		return DomainExecutorLog{
+			Domain:       d.id,
+			QueuePairs:   len(d.queuePairs()),
+			Grants:       d.grants,
+			Acquisitions: d.grants,
+			Inline:       d.grants,
+		}
+	}
+	dl := d.eng.stats
+	dl.Domain = d.id
+	dl.QueuePairs = len(d.queuePairs())
+	return dl
 }

@@ -47,6 +47,7 @@ const (
 // a time; different queue pairs may be driven concurrently.
 type QueuePair struct {
 	host  *Host
+	dom   *domain // arbitration domain the pair is bound to
 	id    int
 	depth int
 	class Class
@@ -165,8 +166,8 @@ func (qp *QueuePair) Submit(cmd *Command) (uint64, error) {
 		}
 	}
 	if qp.host.cfg.globalLock {
-		qp.host.execMu.Lock()
-		defer qp.host.execMu.Unlock()
+		qp.dom.execMu.Lock()
+		defer qp.dom.execMu.Unlock()
 	}
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
@@ -199,8 +200,8 @@ func (qp *QueuePair) Submit(cmd *Command) (uint64, error) {
 // slot order. It returns the number of entries made visible.
 func (qp *QueuePair) Ring(now vclock.Time) int {
 	if qp.host.cfg.globalLock {
-		qp.host.execMu.Lock()
-		defer qp.host.execMu.Unlock()
+		qp.dom.execMu.Lock()
+		defer qp.dom.execMu.Unlock()
 	}
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
@@ -221,7 +222,7 @@ func (qp *QueuePair) Ring(now vclock.Time) int {
 }
 
 // takeHead pops the oldest visible entry and refreshes the atomic
-// doorbell timestamp. Caller holds the host's execMu (only the
+// doorbell timestamp. Caller holds the domain's execMu (only the
 // arbitration loop consumes visible entries).
 func (qp *QueuePair) takeHead() (sqe, bool) {
 	qp.mu.Lock()
@@ -240,7 +241,7 @@ func (qp *QueuePair) takeHead() (sqe, bool) {
 }
 
 // complete queues an executed command's completion and advances the
-// notification coalescing batch. Caller holds the host's execMu.
+// notification coalescing batch. Caller holds the domain's execMu.
 func (qp *QueuePair) complete(c Completion) {
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
@@ -259,14 +260,16 @@ func (qp *QueuePair) Push(now vclock.Time, cmd *Command) error {
 	return nil
 }
 
-// Reap pops the oldest completion-queue entry, first letting the host
-// execute every visible command. It reports false when the completion
-// queue is empty. Reaping recycles the completed command's arena slot.
+// Reap pops the oldest completion-queue entry, first letting the
+// queue pair's arbitration domain execute every visible command. It
+// reports false when the completion queue is empty. Reaping recycles
+// the completed command's arena slot. Only the pair's own domain
+// drains: queue pairs in other domains are untouched.
 func (qp *QueuePair) Reap() (Completion, bool) {
-	h := qp.host
-	h.execMu.Lock()
-	h.drainLocked()
-	notes := h.takeNotes()
+	d := qp.dom
+	d.execMu.Lock()
+	d.drainLocked()
+	notes := d.takeNotes()
 	qp.mu.Lock()
 	var c Completion
 	ok := qp.cq.len() > 0
@@ -275,8 +278,8 @@ func (qp *QueuePair) Reap() (Completion, bool) {
 		qp.recycleLocked(c.cmd)
 	}
 	qp.mu.Unlock()
-	h.execMu.Unlock()
-	h.deliver(notes)
+	d.execMu.Unlock()
+	qp.host.deliver(notes)
 	return c, ok
 }
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/fault"
 	"repro/internal/nand"
@@ -149,46 +150,65 @@ type Options struct {
 	Faults *fault.Injector
 }
 
+// chunkMeta is the per-chunk controller record, packed to 24 bytes so a
+// terabyte-scale geometry (512 PUs × thousands of chunks) keeps its whole
+// chunk table in a few MiB of dense cache-friendly array. Two fields of
+// the old 64-byte layout are gone, not shrunk: the partial-stripe buffer
+// lives in the PU's slot table (bufSlot indexes it; open chunks are
+// bounded by MaxOpenPerPU, total chunks are not), and the buffer's base
+// sector is derived — bufBase = wp − len(buf)/sectorSize — because the
+// write pointer always leads the buffer by exactly the buffered sectors.
 type chunkMeta struct {
-	state    ChunkState
-	wp       int
-	wear     int
 	flushEnd vclock.Time // latest NAND program completion for this chunk
-	buf      []byte      // partial-stripe buffer (len < stripe bytes)
-	bufBase  int         // sector index where buf starts (stripe-aligned)
+	wp       int32       // write pointer: next writable sector
+	wear     int32       // reset count
+	bufSlot  int32       // index into the PU's stripe-buffer slots; -1 = none
+	state    ChunkState
 }
 
 // puState is the per-parallel-unit shard of device state. Everything a
 // write, read or reset touches on one PU — chunk metadata, the open-
-// chunk count and the stripe-buffer free list — lives behind this one
+// chunk count and the stripe-buffer slot table — lives behind this one
 // mutex, so operations on distinct PUs never contend (§2.2: parallel
 // units do not interfere across groups; here they do not even share a
 // lock).
 type puState struct {
-	mu      sync.Mutex
-	chunks  []chunkMeta
-	open    int      // open chunk count on this PU
-	bufFree [][]byte // recycled stripe buffers (len 0, cap = stripe bytes)
+	mu        sync.Mutex
+	chunks    []chunkMeta
+	open      int      // open chunk count on this PU
+	bufs      [][]byte // stripe-buffer slots, indexed by chunkMeta.bufSlot
+	freeSlots []int32  // recycled slot indices
 }
 
-// getBuf pops a recycled stripe buffer or allocates one. Caller holds
-// the PU lock.
-func (p *puState) getBuf(stripeBytes int) []byte {
-	if n := len(p.bufFree); n > 0 {
-		b := p.bufFree[n-1]
-		p.bufFree = p.bufFree[:n-1]
-		return b
+// getSlot assigns a stripe-buffer slot to an opening chunk, recycling a
+// released slot when one exists. Caller holds the PU lock.
+func (p *puState) getSlot(stripeBytes int) int32 {
+	if n := len(p.freeSlots); n > 0 {
+		s := p.freeSlots[n-1]
+		p.freeSlots = p.freeSlots[:n-1]
+		p.bufs[s] = p.bufs[s][:0]
+		return s
 	}
-	return make([]byte, 0, stripeBytes)
+	p.bufs = append(p.bufs, make([]byte, 0, stripeBytes))
+	return int32(len(p.bufs) - 1)
 }
 
-// putBuf returns a stripe buffer to the free list. Caller holds the PU
+// putSlot releases a chunk's stripe-buffer slot back to the free list.
+// Negative slots (chunk had no buffer) are ignored. Caller holds the PU
 // lock.
-func (p *puState) putBuf(b []byte) {
-	if cap(b) == 0 {
-		return
+func (p *puState) putSlot(s int32) {
+	if s >= 0 {
+		p.freeSlots = append(p.freeSlots, s)
 	}
-	p.bufFree = append(p.bufFree, b[:0])
+}
+
+// buffered returns the chunk's partial-stripe buffer (nil when the chunk
+// holds no slot). Caller holds the PU lock.
+func (p *puState) buffered(m *chunkMeta) []byte {
+	if m.bufSlot < 0 {
+		return nil
+	}
+	return p.bufs[m.bufSlot]
 }
 
 // Device is one simulated Open-Channel SSD.
@@ -309,6 +329,7 @@ func newDevice(geo Geometry, opts Options) (*Device, error) {
 			pu := d.pu(g, u)
 			pu.chunks = make([]chunkMeta, geo.ChunksPerPU)
 			for c := range pu.chunks {
+				pu.chunks[c].bufSlot = -1
 				// A chunk is offline if any of its per-plane blocks is
 				// factory bad (the chunk spans block c on every plane).
 				for p := 0; p < geo.Chip.Planes; p++ {
@@ -350,11 +371,11 @@ func (d *Device) restore(table map[uint32]chunkDurable) error {
 			// resurrect it (and with a matching seed never claims to).
 			continue
 		}
-		m.wear = cd.wear
+		m.wear = int32(cd.wear)
 		switch cd.state {
 		case ChunkOffline:
 			m.state = ChunkOffline
-			m.wp = cd.wp
+			m.wp = int32(cd.wp)
 		case ChunkFree:
 			m.state = ChunkFree
 			m.wp = 0
@@ -374,8 +395,9 @@ func (d *Device) restore(table map[uint32]chunkDurable) error {
 					}
 				}
 			}
-			m.wp = wp
-			m.bufBase = wp
+			// No bufBase to restore: the base is derived from wp and the
+			// (empty) buffer, and a slot is assigned lazily on first write.
+			m.wp = int32(wp)
 			m.state = cd.state
 			if m.state == ChunkOpen && wp == spc {
 				m.state = ChunkClosed
@@ -390,6 +412,14 @@ func (d *Device) restore(table map[uint32]chunkDurable) error {
 
 // pu returns the state shard of one parallel unit.
 func (d *Device) pu(g, u int) *puState { return &d.pus[g*d.geo.PUsPerGroup+u] }
+
+// bufBase reports the stripe-aligned sector where a chunk's partial-
+// stripe buffer begins: the write pointer minus the buffered sectors
+// (the pointer always leads the buffer by exactly its content). Caller
+// holds the PU lock.
+func (d *Device) bufBase(pu *puState, m *chunkMeta) int {
+	return int(m.wp) - len(pu.buffered(m))/d.geo.Chip.SectorSize
+}
 
 // flatChunk is the backend/fault-injector key of a chunk: its index in
 // group-major, PU-major, chunk-minor order.
@@ -427,6 +457,25 @@ func (d *Device) Errors() <-chan AsyncError { return d.asyncC }
 // SectorsWritten) may be momentarily out of step. Quiesce the device
 // for exact cross-counter invariants.
 func (d *Device) Stats() Stats { return d.stats.snapshot() }
+
+// MetadataBytes reports the resident bytes of per-chunk controller
+// metadata: the packed chunk records plus the stripe-buffer slot
+// bookkeeping (slot headers and free list — slot payloads are data
+// buffers bounded by open chunks, not metadata that scales with chunk
+// count). Divide by Geometry().TotalPUs()·ChunksPerPU for the
+// bytes-per-chunk budget the scale benchmarks gate on.
+func (d *Device) MetadataBytes() int64 {
+	var total int64
+	for i := range d.pus {
+		pu := &d.pus[i]
+		pu.mu.Lock()
+		total += int64(cap(pu.chunks)) * int64(unsafe.Sizeof(chunkMeta{}))
+		total += int64(cap(pu.bufs)) * int64(unsafe.Sizeof([]byte(nil)))
+		total += int64(cap(pu.freeSlots)) * int64(unsafe.Sizeof(int32(0)))
+		pu.mu.Unlock()
+	}
+	return total
+}
 
 // ChannelUtilization reports per-group channel utilization over [0, now].
 func (d *Device) ChannelUtilization(now vclock.Time) []float64 {
@@ -487,13 +536,13 @@ func (d *Device) retireChunk(pu *puState, id ChunkID, err error) {
 	m := &pu.chunks[id.Chunk]
 	if m.state == ChunkOpen {
 		pu.open--
-		pu.putBuf(m.buf)
-		m.buf = nil
+		pu.putSlot(m.bufSlot)
+		m.bufSlot = -1
 	}
 	m.state = ChunkOffline
 	d.stats.grownBadChunks.Add(1)
 	if d.backend != nil {
-		d.backend.logState(d.flatChunk(id), ChunkOffline, m.wp, m.wear)
+		d.backend.logState(d.flatChunk(id), ChunkOffline, int(m.wp), int(m.wear))
 	}
 	d.notify(id, err)
 }
@@ -521,18 +570,20 @@ func (d *Device) die(cur *puState) {
 					}
 					for c := range pu.chunks {
 						m := &pu.chunks[c]
-						if m.state != ChunkOpen || len(m.buf) == 0 {
+						buf := pu.buffered(m)
+						if m.state != ChunkOpen || len(buf) == 0 {
 							continue
 						}
-						n := copy(scratch, m.buf)
+						base := d.bufBase(pu, m)
+						n := copy(scratch, buf)
 						clear(scratch[n:])
 						flat := d.flatChunk(ChunkID{g, u, c})
-						d.backend.writeData(flat, m.bufBase, scratch)
+						d.backend.writeData(flat, base, scratch)
 						st := ChunkOpen
-						if m.bufBase+d.geo.WSOpt == spc {
+						if base+d.geo.WSOpt == spc {
 							st = ChunkClosed
 						}
-						d.backend.logState(flat, st, m.bufBase+d.geo.WSOpt, m.wear)
+						d.backend.logState(flat, st, base+d.geo.WSOpt, int(m.wear))
 					}
 					if pu != cur {
 						pu.mu.Unlock()
@@ -557,7 +608,7 @@ func (d *Device) dieOnProgram(pu *puState, id ChunkID, baseSector int, buf []byt
 			if baseSector+d.geo.WSOpt == d.geo.SectorsPerChunk() {
 				st = ChunkClosed
 			}
-			d.backend.logState(flat, st, baseSector+d.geo.WSOpt, pu.chunks[id.Chunk].wear)
+			d.backend.logState(flat, st, baseSector+d.geo.WSOpt, int(pu.chunks[id.Chunk].wear))
 		} else if torn > 0 {
 			d.backend.writeData(flat, baseSector, buf[:torn*d.geo.Chip.SectorSize])
 		}
@@ -582,7 +633,7 @@ func (d *Device) Chunk(id ChunkID) (ChunkInfo, error) {
 	pu.mu.Lock()
 	defer pu.mu.Unlock()
 	m := &pu.chunks[id.Chunk]
-	return ChunkInfo{ID: id, State: m.state, WP: m.wp, Wear: m.wear}, nil
+	return ChunkInfo{ID: id, State: m.state, WP: int(m.wp), Wear: int(m.wear)}, nil
 }
 
 // Report returns the full chunk log (every chunk on the device).
@@ -597,8 +648,8 @@ func (d *Device) Report() []ChunkInfo {
 				out = append(out, ChunkInfo{
 					ID:    ChunkID{g, u, c},
 					State: m.state,
-					WP:    m.wp,
-					Wear:  m.wear,
+					WP:    int(m.wp),
+					Wear:  int(m.wear),
 				})
 			}
 			pu.mu.Unlock()
@@ -668,7 +719,7 @@ func (d *Device) programStripe(at vclock.Time, pu *puState, id ChunkID, baseSect
 		if baseSector+geo.WSOpt == geo.SectorsPerChunk() {
 			st = ChunkClosed
 		}
-		if err := d.backend.logState(flat, st, baseSector+geo.WSOpt, m.wear); err != nil {
+		if err := d.backend.logState(flat, st, baseSector+geo.WSOpt, int(m.wear)); err != nil {
 			return progEnd, err
 		}
 	}
@@ -696,14 +747,17 @@ func (d *Device) writeChunk(now vclock.Time, pu *puState, id ChunkID, sector int
 			return now, fmt.Errorf("%w: %v", ErrOpenLimit, id)
 		}
 		m.state = ChunkOpen
-		m.buf = pu.getBuf(d.stripeBytes())
-		m.bufBase = 0
 		pu.open++
 	}
-	if sector != m.wp {
+	if m.bufSlot < 0 {
+		// Freshly opened, or restored open without a write yet: assign a
+		// stripe-buffer slot.
+		m.bufSlot = pu.getSlot(d.stripeBytes())
+	}
+	if sector != int(m.wp) {
 		return now, fmt.Errorf("%w: %v sector %d, wp %d", ErrWritePointer, id, sector, m.wp)
 	}
-	if m.wp+n > geo.SectorsPerChunk() {
+	if int(m.wp)+n > geo.SectorsPerChunk() {
 		return now, fmt.Errorf("%w: %v", ErrChunkFull, id)
 	}
 
@@ -718,18 +772,21 @@ func (d *Device) writeChunk(now vclock.Time, pu *puState, id ChunkID, sector int
 	completeAt = completeAt.Add(copyDur)
 
 	stripe := d.stripeBytes()
+	slot := m.bufSlot
 	var lastProg vclock.Time
 	for len(data) > 0 {
-		room := stripe - len(m.buf)
+		room := stripe - len(pu.bufs[slot])
 		take := len(data)
 		if take > room {
 			take = room
 		}
-		m.buf = append(m.buf, data[:take]...)
+		pu.bufs[slot] = append(pu.bufs[slot], data[:take]...)
 		data = data[take:]
-		m.wp += take / geo.Chip.SectorSize
-		if len(m.buf) == stripe {
-			progEnd, err := d.programStripe(completeAt, pu, id, m.bufBase, m.buf)
+		m.wp += int32(take / geo.Chip.SectorSize)
+		if len(pu.bufs[slot]) == stripe {
+			// The buffer holds a full stripe, so its base is exactly one
+			// stripe behind the (already advanced) write pointer.
+			progEnd, err := d.programStripe(completeAt, pu, id, int(m.wp)-geo.WSOpt, pu.bufs[slot])
 			if err != nil {
 				return completeAt, err
 			}
@@ -740,8 +797,7 @@ func (d *Device) writeChunk(now vclock.Time, pu *puState, id ChunkID, sector int
 				d.cache.occupy(progEnd, int64(take))
 			}
 			lastProg = progEnd
-			m.bufBase += geo.WSOpt
-			m.buf = m.buf[:0]
+			pu.bufs[slot] = pu.bufs[slot][:0]
 		} else if d.cache.enabled() {
 			// Partial-stripe remainder: release the hold immediately;
 			// the stripe buffer is small, bounded controller state.
@@ -751,10 +807,10 @@ func (d *Device) writeChunk(now vclock.Time, pu *puState, id ChunkID, sector int
 	if !d.cache.enabled() && lastProg > completeAt {
 		completeAt = lastProg
 	}
-	if m.wp == geo.SectorsPerChunk() {
+	if int(m.wp) == geo.SectorsPerChunk() {
 		m.state = ChunkClosed
-		pu.putBuf(m.buf)
-		m.buf = nil
+		pu.putSlot(slot)
+		m.bufSlot = -1
 		pu.open--
 	}
 	return completeAt, nil
@@ -826,7 +882,7 @@ func (d *Device) Append(now vclock.Time, id ChunkID, data []byte) (int, vclock.T
 	}
 	pu := d.pu(id.Group, id.PU)
 	pu.mu.Lock()
-	start := pu.chunks[id.Chunk].wp
+	start := int(pu.chunks[id.Chunk].wp)
 	end, err := d.writeChunk(now, pu, id, start, data)
 	pu.mu.Unlock()
 	if err != nil {
@@ -853,12 +909,12 @@ func (d *Device) Pad(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	pu.mu.Lock()
 	defer pu.mu.Unlock()
 	m := &pu.chunks[id.Chunk]
-	if m.state != ChunkOpen || len(m.buf) == 0 {
+	if m.state != ChunkOpen || len(pu.buffered(m)) == 0 {
 		return now, nil // nothing buffered: already durable
 	}
-	padBytes := d.stripeBytes() - len(m.buf)
+	padBytes := d.stripeBytes() - len(pu.buffered(m))
 	padSectors := padBytes / geo.Chip.SectorSize
-	end, err := d.writeChunk(now, pu, id, m.wp, d.zeroStripe[:padBytes])
+	end, err := d.writeChunk(now, pu, id, int(m.wp), d.zeroStripe[:padBytes])
 	if err != nil {
 		return now, err
 	}
@@ -925,7 +981,7 @@ func (d *Device) VectorRead(now vclock.Time, ppas []PPA, dst []byte) (vclock.Tim
 				pu.mu.Unlock()
 				return now, fmt.Errorf("%w: %v", ErrOffline, p)
 			}
-			if p.Sector >= m.wp {
+			if p.Sector >= int(m.wp) {
 				pu.mu.Unlock()
 				return now, fmt.Errorf("%w: %v (wp %d)", ErrUnwritten, p, m.wp)
 			}
@@ -947,8 +1003,9 @@ func (d *Device) VectorRead(now vclock.Time, ppas []PPA, dst []byte) (vclock.Tim
 			}
 			out := dst[k*sz : (k+1)*sz]
 			// Still in the partial-stripe controller buffer?
-			if off := (p.Sector - m.bufBase) * sz; m.state == ChunkOpen && p.Sector >= m.bufBase && off+sz <= len(m.buf) {
-				copy(out, m.buf[off:off+sz])
+			if base, buf := d.bufBase(pu, m), pu.buffered(m); m.state == ChunkOpen && p.Sector >= base && (p.Sector-base+1)*sz <= len(buf) {
+				off := (p.Sector - base) * sz
+				copy(out, buf[off:off+sz])
 				t := now.Add(vclock.DurationFor(int64(sz), geo.CacheMBps))
 				if t > end {
 					end = t
@@ -1032,11 +1089,11 @@ func (d *Device) Reset(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	// settled by the state switch above, so this does not use retireChunk.
 	offlineHere := func(cause error) {
 		m.state = ChunkOffline
-		pu.putBuf(m.buf)
-		m.buf = nil
+		pu.putSlot(m.bufSlot)
+		m.bufSlot = -1
 		d.stats.grownBadChunks.Add(1)
 		if d.backend != nil {
-			d.backend.logState(d.flatChunk(id), ChunkOffline, m.wp, m.wear)
+			d.backend.logState(d.flatChunk(id), ChunkOffline, int(m.wp), int(m.wear))
 		}
 		d.notify(id, cause)
 	}
@@ -1058,11 +1115,10 @@ func (d *Device) Reset(now vclock.Time, id ChunkID) (vclock.Time, error) {
 	m.state = ChunkFree
 	m.wp = 0
 	m.wear++
-	pu.putBuf(m.buf)
-	m.buf = nil
-	m.bufBase = 0
+	pu.putSlot(m.bufSlot)
+	m.bufSlot = -1
 	if d.backend != nil {
-		if err := d.backend.logState(d.flatChunk(id), ChunkFree, 0, m.wear); err != nil {
+		if err := d.backend.logState(d.flatChunk(id), ChunkFree, 0, int(m.wear)); err != nil {
 			return end, err
 		}
 	}
@@ -1115,7 +1171,7 @@ func (d *Device) FlushAll(now vclock.Time) (vclock.Time, error) {
 			pu := d.pu(g, u)
 			for c := 0; c < d.geo.ChunksPerPU; c++ {
 				pu.mu.Lock()
-				needs := pu.chunks[c].state == ChunkOpen && len(pu.chunks[c].buf) > 0
+				needs := pu.chunks[c].state == ChunkOpen && len(pu.buffered(&pu.chunks[c])) > 0
 				pu.mu.Unlock()
 				if !needs {
 					continue
@@ -1145,24 +1201,25 @@ func (d *Device) Crash() {
 			pu.mu.Lock()
 			for c := range pu.chunks {
 				m := &pu.chunks[c]
-				if m.state != ChunkOpen || len(m.buf) == 0 {
+				buffered := pu.buffered(m)
+				if m.state != ChunkOpen || len(buffered) == 0 {
 					continue
 				}
+				base := d.bufBase(pu, m)
 				if d.opts.PowerLossProtected {
 					// Capacitors flush the partial stripe with padding.
-					padBytes := d.stripeBytes() - len(m.buf)
-					buf := append(m.buf, d.zeroStripe[:padBytes]...)
-					if _, err := d.programStripe(0, pu, ChunkID{g, u, c}, m.bufBase, buf); err == nil {
-						m.bufBase += d.geo.WSOpt
-						m.wp = m.bufBase
+					padBytes := d.stripeBytes() - len(buffered)
+					buf := append(buffered, d.zeroStripe[:padBytes]...)
+					if _, err := d.programStripe(0, pu, ChunkID{g, u, c}, base, buf); err == nil {
+						m.wp = int32(base + d.geo.WSOpt)
 					}
 					d.stats.padSectors.Add(int64(padBytes / d.geo.Chip.SectorSize))
 				} else {
 					// Buffered sectors vanish: the write pointer retreats.
-					m.wp = m.bufBase
+					m.wp = int32(base)
 				}
-				pu.putBuf(m.buf)
-				m.buf = nil
+				pu.putSlot(m.bufSlot)
+				m.bufSlot = -1
 			}
 			pu.mu.Unlock()
 		}

@@ -177,16 +177,20 @@ func (r *Resource) Reset() {
 // Pool is a set of interchangeable resources (e.g. the cores of a
 // controller CPU). Acquire picks the member that frees earliest.
 //
-// Member timelines live inside the pool itself — plain free/busy arrays
-// behind one mutex — so every operation is a single lock acquisition
-// and one O(n) scan. (The pool used to hold n Resources and call their
-// locking accessors while holding its own mutex; nested acquisition
-// bought nothing, since members are never shared outside the pool.)
+// Member timelines live inside the pool itself — free/busy arrays plus
+// an indexed min-heap over the free instants, all behind one mutex — so
+// Acquire is a single lock acquisition and one O(log n) sift instead of
+// an O(n) scan. The heap is ordered lexicographically by (free instant,
+// member index), which makes the root exactly the member a linear scan
+// with a lowest-index tie-break would pick, so the choice — and every
+// virtual time derived from it — is unchanged from the scan version.
 type Pool struct {
-	mu   sync.Mutex
-	name string
-	free []Time     // per-member earliest free instant
-	busy []Duration // per-member cumulative reserved time
+	mu        sync.Mutex
+	name      string
+	free      []Time     // per-member earliest free instant
+	busy      []Duration // per-member cumulative reserved time
+	heap      []int32    // member indices, min-heap on (free[i], i)
+	totalBusy Duration   // running sum of busy[*]
 }
 
 // NewPool creates a pool of n members (minimum 1) named name.
@@ -194,23 +198,53 @@ func NewPool(name string, n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	return &Pool{name: name, free: make([]Time, n), busy: make([]Duration, n)}
+	p := &Pool{
+		name: name,
+		free: make([]Time, n),
+		busy: make([]Duration, n),
+		heap: make([]int32, n),
+	}
+	for i := range p.heap {
+		p.heap[i] = int32(i)
+	}
+	return p
 }
 
 // Size reports the number of resources in the pool.
 func (p *Pool) Size() int { return len(p.free) }
 
+// less orders heap entries by free instant, ties broken on member
+// index — the deterministic tie-break the O(n) scan used to give.
+func (p *Pool) less(a, b int32) bool {
+	return p.free[a] < p.free[b] || (p.free[a] == p.free[b] && a < b)
+}
+
+// siftDown restores the heap invariant after the member at heap
+// position i had its free instant extended.
+func (p *Pool) siftDown(i int) {
+	n := len(p.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && p.less(p.heap[l], p.heap[min]) {
+			min = l
+		}
+		if r < n && p.less(p.heap[r], p.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		p.heap[i], p.heap[min] = p.heap[min], p.heap[i]
+		i = min
+	}
+}
+
 // NextFree reports the earliest instant at which any member is free.
 func (p *Pool) NextFree() Time {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	free := p.free[0]
-	for _, f := range p.free[1:] {
-		if f < free {
-			free = f
-		}
-	}
-	return free
+	return p.free[p.heap[0]]
 }
 
 // Acquire reserves dur on the member that becomes free earliest (ties
@@ -221,16 +255,13 @@ func (p *Pool) Acquire(now Time, dur Duration) (start, end Time) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	best := 0
-	for i := 1; i < len(p.free); i++ {
-		if p.free[i] < p.free[best] {
-			best = i
-		}
-	}
+	best := p.heap[0]
 	start = Max(now, p.free[best])
 	end = start.Add(dur)
 	p.free[best] = end
 	p.busy[best] += dur
+	p.totalBusy += dur
+	p.siftDown(0)
 	return start, end
 }
 
@@ -238,11 +269,7 @@ func (p *Pool) Acquire(now Time, dur Duration) (start, end Time) {
 func (p *Pool) Busy() Duration {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var b Duration
-	for _, d := range p.busy {
-		b += d
-	}
-	return b
+	return p.totalBusy
 }
 
 // Utilization reports aggregate utilization of the pool over [0, now]:
@@ -279,7 +306,9 @@ func (p *Pool) Reset() {
 	for i := range p.free {
 		p.free[i] = 0
 		p.busy[i] = 0
+		p.heap[i] = int32(i)
 	}
+	p.totalBusy = 0
 }
 
 // Actor is a process in virtual time: a host thread, a db_bench client,

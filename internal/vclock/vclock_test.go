@@ -313,3 +313,99 @@ func TestDisjointResourcesCommute(t *testing.T) {
 		t.Fatal("shared-resource acquisition unexpectedly commuted; the engine's conflict rule relies on it not doing so")
 	}
 }
+
+// scanPool is the pre-heap reference implementation of Pool member
+// selection: a linear scan for the earliest-free member with a
+// lowest-index tie-break. The heap pool must match it decision for
+// decision — same member, same start, same end — on any sequence.
+type scanPool struct {
+	free []Time
+	busy []Duration
+}
+
+func (p *scanPool) acquire(now Time, dur Duration) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
+		}
+	}
+	start = Max(now, p.free[best])
+	end = start.Add(dur)
+	p.free[best] = end
+	p.busy[best] += dur
+	return start, end
+}
+
+// Property: the indexed-heap Pool is observationally identical to the
+// O(n) scan pool — every Acquire returns the same (start, end), and
+// NextFree, Busy and Utilization agree at every step — over randomized
+// sizes, durations and non-monotonic now sequences.
+func TestPoolMatchesScanProperty(t *testing.T) {
+	f := func(size uint8, reqs []uint16) bool {
+		n := int(size%9) + 1
+		heap := NewPool("h", n)
+		scan := &scanPool{free: make([]Time, n), busy: make([]Duration, n)}
+		now := Time(0)
+		for i, q := range reqs {
+			dur := Duration(q % 700)
+			if i%3 == 0 {
+				now = now.Add(Duration(q % 40))
+			} else if i%5 == 0 && now > 25 {
+				now = now.Add(-25) // callers may present an older now
+			}
+			if heap.NextFree() != minTime(scan.free) {
+				return false
+			}
+			hs, he := heap.Acquire(now, dur)
+			ss, se := scan.acquire(now, dur)
+			if hs != ss || he != se {
+				return false
+			}
+		}
+		var busy Duration
+		for _, b := range scan.busy {
+			busy += b
+		}
+		if heap.Busy() != busy {
+			return false
+		}
+		if now > 0 {
+			var u float64
+			for i := range scan.free {
+				b := scan.busy[i]
+				if scan.free[i] > now {
+					b -= scan.free[i].Sub(now)
+				}
+				m := float64(b) / float64(now)
+				if m < 0 {
+					m = 0
+				}
+				if m > 1 {
+					m = 1
+				}
+				u += m
+			}
+			if heap.Utilization(now) != u/float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minTime(ts []Time) Time {
+	m := ts[0]
+	for _, v := range ts[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
